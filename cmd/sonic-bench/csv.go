@@ -1,0 +1,111 @@
+package main
+
+// CSV export for the figures: -csv <dir> writes plotting-ready files for
+// each experiment that ran, so the paper's plots can be regenerated with
+// any charting tool.
+
+import (
+	"encoding/csv"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+
+	"sonic/internal/experiments"
+	"sonic/internal/stats"
+	"sonic/internal/userstudy"
+)
+
+// writeCSV writes rows (first row = header) to dir/name.
+func writeCSV(dir, name string, rows [][]string) error {
+	if dir == "" {
+		return nil
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	f, err := os.Create(filepath.Join(dir, name))
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	w := csv.NewWriter(f)
+	if err := w.WriteAll(rows); err != nil {
+		return err
+	}
+	w.Flush()
+	return w.Error()
+}
+
+func csvFig4a(dir string, pts []experiments.Fig4aPoint) error {
+	rows := [][]string{{"distance", "trial", "loss_pct"}}
+	for _, p := range pts {
+		for i, l := range p.Losses {
+			rows = append(rows, []string{p.Label, strconv.Itoa(i), fmt.Sprintf("%.2f", l)})
+		}
+	}
+	return writeCSV(dir, "fig4a_frame_loss.csv", rows)
+}
+
+func csvFig4b(dir string, res *experiments.Fig4bResult) error {
+	rows := [][]string{{"config", "size_kb", "cdf"}}
+	for _, sc := range experiments.SizeConfigs {
+		vals, cum := stats.CDF(res.Sizes[sc.Label])
+		for i := range vals {
+			rows = append(rows, []string{
+				sc.Label,
+				fmt.Sprintf("%.1f", vals[i]/1024),
+				fmt.Sprintf("%.3f", cum[i]),
+			})
+		}
+	}
+	return writeCSV(dir, "fig4b_size_cdf.csv", rows)
+}
+
+func csvFig4c(dir string, curves []experiments.Fig4cCurve) error {
+	rows := [][]string{{"curve", "t_hours", "backlog_mb"}}
+	for _, c := range curves {
+		for _, p := range c.Result.Series {
+			rows = append(rows, []string{
+				c.Label,
+				fmt.Sprintf("%.2f", p.THours),
+				fmt.Sprintf("%.3f", float64(p.Backlog)/(1<<20)),
+			})
+		}
+	}
+	return writeCSV(dir, "fig4c_backlog.csv", rows)
+}
+
+func csvRSSI(dir string, pts []experiments.RSSIPoint) error {
+	rows := [][]string{{"rssi_db", "trial", "loss_pct"}}
+	for _, p := range pts {
+		for i, l := range p.Losses {
+			rows = append(rows, []string{
+				fmt.Sprintf("%.0f", p.RSSI), strconv.Itoa(i), fmt.Sprintf("%.2f", l),
+			})
+		}
+	}
+	return writeCSV(dir, "rssi_sweep.csv", rows)
+}
+
+func csvFig5(dir string, res *userstudy.StudyResult) error {
+	rows := [][]string{{"loss_pct", "interp", "question", "page_median"}}
+	for _, lr := range userstudy.LossRates {
+		for _, ip := range []bool{false, true} {
+			cond := userstudy.Condition{LossRate: lr, Interp: ip}
+			for _, m := range res.MediansContent[cond] {
+				rows = append(rows, []string{
+					fmt.Sprintf("%.0f", lr*100), strconv.FormatBool(ip),
+					"content", fmt.Sprintf("%.2f", m),
+				})
+			}
+			for _, m := range res.MediansText[cond] {
+				rows = append(rows, []string{
+					fmt.Sprintf("%.0f", lr*100), strconv.FormatBool(ip),
+					"text", fmt.Sprintf("%.2f", m),
+				})
+			}
+		}
+	}
+	return writeCSV(dir, "fig5_user_study.csv", rows)
+}

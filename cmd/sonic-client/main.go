@@ -1,0 +1,119 @@
+// Command sonic-client decodes a SONIC page broadcast from a WAV file
+// (as produced by sonic-server -emit, possibly degraded by a channel)
+// into a PNG screenshot plus its click map, and can resolve a tap.
+//
+//	sonic-client -in page.wav -png page.png -clicks clicks.json
+//	sonic-client -in page.wav -click 200,340 -screen 720
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"sonic/internal/audio"
+	"sonic/internal/clickmap"
+	"sonic/internal/core"
+	"sonic/internal/imagecodec"
+)
+
+func main() {
+	var (
+		in     = flag.String("in", "", "input WAV broadcast")
+		png    = flag.String("png", "", "write the decoded page image here")
+		clicks = flag.String("clicks", "", "write the click map JSON here")
+		click  = flag.String("click", "", "resolve a tap at x,y (device coordinates)")
+		screen = flag.Int("screen", 1080, "device screen width (scaling factor = screen/1080)")
+	)
+	flag.Parse()
+	if *in == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	pipe, err := core.NewPipeline(core.DefaultConfig())
+	if err != nil {
+		fatalf("pipeline: %v", err)
+	}
+	f, err := os.Open(*in)
+	if err != nil {
+		fatalf("open: %v", err)
+	}
+	defer f.Close()
+	buf, err := audio.ReadWAV(f)
+	if err != nil {
+		fatalf("wav: %v", err)
+	}
+	res, err := pipe.DecodePageAudio(buf.Samples)
+	if err != nil {
+		fatalf("decode: %v", err)
+	}
+	fmt.Printf("burst: %d/%d frames (%.1f%% loss), modem SNR %.1f dB\n",
+		res.FramesTotal-res.FramesLost, res.FramesTotal,
+		res.FrameLossRate*100, res.ModemSNRdB)
+	if !res.Complete {
+		fatalf("page incomplete; cannot decode image")
+	}
+
+	img, err := imagecodec.DecodeSIC(res.Bundle.Image)
+	if err != nil {
+		fatalf("image: %v", err)
+	}
+	var cm clickmap.Map
+	if len(res.Bundle.ClickMap) > 0 {
+		if err := cm.UnmarshalJSON(res.Bundle.ClickMap); err != nil {
+			fatalf("clickmap: %v", err)
+		}
+	}
+	factor := float64(*screen) / float64(imagecodec.PageWidth)
+	scaled := img.ResizeNearest(factor)
+	scaledCM := cm.Scale(factor)
+	fmt.Printf("page %s: %dx%d (scaled %dx%d for a %dpx screen), %d link regions\n",
+		cm.PageURL, img.W, img.H, scaled.W, scaled.H, *screen, len(cm.Regions))
+
+	if *png != "" {
+		out, err := os.Create(*png)
+		if err != nil {
+			fatalf("create: %v", err)
+		}
+		defer out.Close()
+		if err := scaled.WritePNG(out); err != nil {
+			fatalf("png: %v", err)
+		}
+		fmt.Printf("wrote %s\n", *png)
+	}
+	if *clicks != "" {
+		data, err := scaledCM.MarshalJSON()
+		if err != nil {
+			fatalf("clickmap: %v", err)
+		}
+		if err := os.WriteFile(*clicks, data, 0o644); err != nil {
+			fatalf("write: %v", err)
+		}
+		fmt.Printf("wrote %s\n", *clicks)
+	}
+	if *click != "" {
+		parts := strings.SplitN(*click, ",", 2)
+		if len(parts) != 2 {
+			fatalf("bad -click %q, want x,y", *click)
+		}
+		x, err1 := strconv.Atoi(parts[0])
+		y, err2 := strconv.Atoi(parts[1])
+		if err1 != nil || err2 != nil {
+			fatalf("bad -click %q", *click)
+		}
+		if url, ok := scaledCM.Hit(x, y); ok {
+			fmt.Printf("tap (%d,%d) -> %s (cached? request via SMS: GET %s LOC <lat,lon>)\n",
+				x, y, url, url)
+		} else {
+			fmt.Printf("tap (%d,%d) -> nothing clickable\n", x, y)
+		}
+	}
+}
+
+func fatalf(format string, args ...interface{}) {
+	fmt.Fprintf(os.Stderr, format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,0 +1,178 @@
+// Command sonic-sim runs a day-scale discrete-event simulation of a
+// SONIC deployment: a transmitter broadcasting the corpus carousel, a
+// population of listeners with the paper's three capability classes
+// (Figure 3), hourly content churn, and SMS requests from uplink users.
+// It reports what such a deployment actually delivers: catalog
+// freshness, per-user pages received, request latency.
+//
+//	sonic-sim -hours 24 -listeners 200 -rate 10000
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"time"
+
+	"sonic/internal/broadcast"
+	"sonic/internal/core"
+	"sonic/internal/corpus"
+	"sonic/internal/stats"
+)
+
+func main() {
+	var (
+		hours     = flag.Int("hours", 24, "simulated hours")
+		listeners = flag.Int("listeners", 200, "listener population")
+		rate      = flag.Float64("rate", 10000, "channel rate (bps)")
+		uplinkPct = flag.Int("uplink", 20, "percent of listeners with SMS uplink (user-C)")
+		seed      = flag.Int64("seed", 1, "simulation seed")
+	)
+	flag.Parse()
+
+	pipe, err := core.NewPipeline(core.DefaultConfig())
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	rng := rand.New(rand.NewSource(*seed))
+	pages := corpus.Pages()
+	size := func(ref corpus.PageRef, hour int) int {
+		h := 0
+		for _, c := range ref.URL {
+			h = h*31 + int(c)
+		}
+		if h < 0 {
+			h = -h
+		}
+		return 90*1024 + h%(65*1024)
+	}
+
+	car, err := broadcast.CorpusCarousel(pages, size, broadcast.PolicySqrt)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	// Listener state: which page each listener last received and when.
+	type listener struct {
+		uplink   bool
+		lossRate float64 // per-frame loss of their reception setup
+		received int
+		misses   int // transmissions they failed to capture
+	}
+	pop := make([]listener, *listeners)
+	for i := range pop {
+		pop[i].uplink = rng.Intn(100) < *uplinkPct
+		// Receiver mix per Fig. 3: most on tuner/cable (lossless), some
+		// over the air at varying distances.
+		switch {
+		case rng.Float64() < 0.6: // user-B/C: tuner or jack
+			pop[i].lossRate = 0
+		case rng.Float64() < 0.8: // near radio
+			pop[i].lossRate = 0.03
+		default: // across the room
+			pop[i].lossRate = 0.15
+		}
+	}
+
+	// Broadcast loop: schedule pages with the carousel; each transmission
+	// takes airtime = bytes*8/rate seconds; listeners capture it if no
+	// frame of the bitstream is lost (bitstream transport: all or
+	// nothing per page).
+	sched := car.Schedule(100000)
+	entries := car.Entries()
+	var (
+		simT         float64 // seconds
+		horizonS     = float64(*hours) * 3600
+		transmission int
+		freshAt      = map[string]int{} // url -> hour of content last aired
+		requests     []float64          // request-to-delivery latencies
+		pending      = map[string][]float64{}
+	)
+	for _, idx := range sched {
+		if simT >= horizonS {
+			break
+		}
+		e := entries[idx]
+		hour := int(simT / 3600)
+		bytes := size(e.Ref, hour)
+		air := float64(bytes) * 8 / *rate
+		simT += air
+		transmission++
+		freshAt[e.Ref.URL] = hour
+
+		// Deliveries.
+		frames := bytes / 85
+		for i := range pop {
+			if pop[i].lossRate == 0 || rng.Float64() < probAllFrames(pop[i].lossRate, frames) {
+				pop[i].received++
+			} else {
+				pop[i].misses++
+			}
+		}
+		// Outstanding requests for this page are satisfied now.
+		for _, t0 := range pending[e.Ref.URL] {
+			requests = append(requests, simT-t0)
+		}
+		delete(pending, e.Ref.URL)
+
+		// Uplink users occasionally request a random page (Zipf-ish).
+		if rng.Float64() < 0.3 {
+			who := rng.Intn(len(pop))
+			if pop[who].uplink {
+				ref := pages[rng.Intn(10)] // popular head
+				pending[ref.URL] = append(pending[ref.URL], simT)
+			}
+		}
+	}
+
+	// --- report -----------------------------------------------------------
+	fmt.Printf("sonic-sim: %d h at %.0f kbps (net %.1f kbps page goodput), %d listeners (%d%% uplink)\n",
+		*hours, *rate/1000, pipe.NetGoodputBps()/1000, *listeners, *uplinkPct)
+	fmt.Printf("transmissions: %d pages aired (%.1f/hour)\n",
+		transmission, float64(transmission)/float64(*hours))
+	distinct := len(freshAt)
+	fmt.Printf("catalog coverage: %d/%d corpus pages aired at least once\n", distinct, len(pages))
+
+	var cableRecv, airRecv []float64
+	for _, l := range pop {
+		if l.lossRate == 0 {
+			cableRecv = append(cableRecv, float64(l.received))
+		} else {
+			airRecv = append(airRecv, float64(l.received))
+		}
+	}
+	fmt.Printf("cable/tuner listeners (%d): pages received %s\n",
+		len(cableRecv), stats.BoxplotOf(cableRecv))
+	fmt.Printf("over-the-air listeners (%d): pages received %s\n",
+		len(airRecv), stats.BoxplotOf(airRecv))
+	fmt.Println("  (bitstream transport: one lost frame voids the page, so over-the-air")
+	fmt.Println("   listeners need the cell transport — see DESIGN.md section 5a)")
+
+	if len(requests) > 0 {
+		rb := stats.BoxplotOf(requests)
+		fmt.Printf("request-to-delivery latency (s): %s (n=%d)\n", rb, len(requests))
+		fmt.Printf("  (median %.1f min; the SMS ack promises an ETA in this range)\n",
+			rb.Median/60)
+	} else {
+		fmt.Println("no uplink requests were satisfied in the horizon")
+	}
+	wait := car.ExpectedWaitSeconds(*rate)
+	fmt.Printf("carousel expected wait for a random popular page: %s\n",
+		time.Duration(wait*float64(time.Second)).Round(time.Second))
+}
+
+// probAllFrames is the probability all n frames survive at per-frame
+// loss p.
+func probAllFrames(p float64, n int) float64 {
+	q := 1.0
+	for i := 0; i < n; i++ {
+		q *= 1 - p
+		if q < 1e-12 {
+			return 0
+		}
+	}
+	return q
+}

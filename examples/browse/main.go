@@ -1,0 +1,126 @@
+// Browse: the paper's full §3.1 workflow on a simulated deployment —
+// user-C texts a URL to the SONIC number, the server renders and queues
+// it, an FM transmitter polls the page over the TCP control link and
+// broadcasts it as sound, every listener in range receives it, and
+// user-C then navigates a hyperlink through the click map (cache hit or
+// a fresh SMS request).
+package main
+
+import (
+	"fmt"
+	"log"
+	"net"
+	"time"
+
+	"sonic"
+	"sonic/internal/corpus"
+	"sonic/internal/server"
+	"sonic/internal/sms"
+)
+
+func main() {
+	pipe, err := sonic.NewPipeline(sonic.DefaultConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// --- infrastructure ---------------------------------------------------
+	srv := sonic.NewServer(sonic.DefaultServerConfig(), pipe)
+	srv.AddTransmitter(sonic.Transmitter{
+		ID: "tx-karachi", FreqMHz: 93.7, Lat: 24.86, Lon: 67.00, RadiusKm: 40,
+	})
+	smsc := sonic.NewSMSC(2*time.Second, 6*time.Second, 42)
+	smsc.Register("+92300SONIC", srv.HandleSMS(smsc))
+
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	go srv.Serve(l) //nolint:errcheck // demo process exits with main
+	tx, err := server.DialTransmitter(l.Addr().String(), "tx-karachi")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer tx.Close()
+
+	// --- users --------------------------------------------------------------
+	// User-C: SMS uplink, radio via audio jack.
+	userC := sonic.NewClient(sonic.ClientConfig{
+		Number: "+923001112223", SonicNumber: "+92300SONIC",
+		ScreenWidth: 720, Lat: 24.87, Lon: 67.02,
+		Capability: sonic.UplinkSMS,
+	})
+	userC.AttachSMSC(smsc)
+	// User-A: downlink only, radio across the room (0.5 m of air).
+	userA := sonic.NewClient(sonic.ClientConfig{ScreenWidth: 540})
+
+	now := time.Unix(0, 0)
+	wantURL := corpus.Pages()[0].URL
+
+	// (1) user-C requests a page by SMS.
+	fmt.Printf("[user-C] SMS -> %s\n", sms.FormatRequest(sms.Request{URL: wantURL, Lat: 24.87, Lon: 67.02}))
+	if err := userC.Request(wantURL, now); err != nil {
+		log.Fatal(err)
+	}
+	now = now.Add(10 * time.Second)
+	smsc.Advance(now) // deliver request; server renders, queues, acks
+	now = now.Add(10 * time.Second)
+	smsc.Advance(now) // deliver ack
+	if eta, ok := userC.PendingETA(wantURL); ok {
+		fmt.Printf("[user-C] ack received, page expected by t+%ds\n", int(eta.Sub(time.Unix(0, 0)).Seconds()))
+	}
+
+	// (2) the transmitter polls the control link and broadcasts.
+	url, pageID, bundle, ok, err := tx.Poll()
+	if err != nil || !ok {
+		log.Fatalf("transmitter poll: ok=%v err=%v", ok, err)
+	}
+	fmt.Printf("[tx-karachi] broadcasting %s (page id %d, %d KB) on 93.7 MHz\n",
+		url, pageID, len(bundle.Image)/1024)
+	airAudio, err := pipe.EncodePageAudio(pageID, bundle)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("[tx-karachi] airtime %.0f s at %.1f kbps net\n",
+		float64(len(airAudio))/48000, pipe.NetGoodputBps()/1000)
+
+	// (3) every listener receives the same burst (broadcast!).
+	deliver := func(name string, c *sonic.Client, link sonic.Link) {
+		rx := link.Transmit(airAudio, 48000)
+		res, err := pipe.DecodePageAudio(rx)
+		if err != nil {
+			fmt.Printf("[%s] no reception: %v\n", name, err)
+			return
+		}
+		if !res.Complete {
+			fmt.Printf("[%s] lost %d/%d frames; page unusable in bitstream mode\n",
+				name, res.FramesLost, res.FramesTotal)
+			return
+		}
+		c.HandleBroadcast(url, res.Bundle, now, srv.PageTTL(), 1)
+		fmt.Printf("[%s] page cached (%d/%d frames)\n", name, res.FramesTotal-res.FramesLost, res.FramesTotal)
+	}
+	deliver("user-C", userC, sonic.Chain{sonic.NewFMLink(-70), sonic.NewCableLink()})
+	deliver("user-A", userA, sonic.Chain{sonic.NewFMLink(-72), sonic.NewAcousticLink(0.5)})
+
+	// (4) user-C opens the page and taps the first hyperlink.
+	p, err := userC.Open(url, now)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("[user-C] opened %s: %dx%d on screen, %d links, catalog=%v\n",
+		p.URL, p.Image.W, p.Image.H, len(p.Clicks.Regions), userC.Catalog(now))
+	if len(p.Clicks.Regions) > 0 {
+		r := p.Clicks.Regions[len(p.Clicks.Regions)-1]
+		_, err := userC.Click(p, r.X+1, r.Y+1, now)
+		switch err {
+		case nil:
+			fmt.Printf("[user-C] tap -> %s loaded instantly from cache\n", r.URL)
+		default:
+			fmt.Printf("[user-C] tap -> %s not cached; SMS request sent (%v)\n", r.URL, err)
+		}
+	}
+
+	reqs, hits := srv.Stats()
+	fmt.Printf("[server] requests=%d cacheHits=%d\n", reqs, hits)
+}

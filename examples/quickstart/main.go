@@ -1,0 +1,69 @@
+// Quickstart: render a webpage, broadcast it as sound over a simulated
+// FM link, receive it, and open it on a phone-sized screen — the minimal
+// end-to-end SONIC flow through the public API.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"sonic"
+)
+
+func main() {
+	// The paper's transmission stack: Sonic92 OFDM profile, rs8 outer +
+	// v29 inner FEC, SIC quality 10.
+	pipe, err := sonic.NewPipeline(sonic.DefaultConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("profile: raw %.1f kbps, transport %.1f kbps, net %.1f kbps\n",
+		pipe.Modem().Profile().RawBitRate()/1000,
+		pipe.TransportRateBps()/1000,
+		pipe.NetGoodputBps()/1000)
+
+	// Server side: render the page, bundle image + click map.
+	page := sonic.GeneratePage("khabar.pk/", 9) // the 9am render
+	rendered := sonic.RenderPage(page)
+	// Keep the demo burst short: crop to the first screenful or two.
+	rendered.Image = rendered.Image.Crop(1200)
+	bundle, err := sonic.BundlePage(rendered, 10)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("rendered %q: %dx%d px -> %d KB image + %d B click map\n",
+		page.Title, rendered.Image.W, rendered.Image.H,
+		len(bundle.Image)/1024, len(bundle.ClickMap))
+
+	// Broadcast as audio.
+	audio, err := pipe.EncodePageAudio(1, bundle)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("on-air: %.1f s of audio (%d samples at 48 kHz)\n",
+		float64(len(audio))/48000, len(audio))
+
+	// Downlink: FM radio at healthy RSSI, receiver wired via audio jack
+	// (the paper's user-C).
+	link := sonic.Chain{sonic.NewFMLink(-70), sonic.NewCableLink()}
+	rx := link.Transmit(audio, 48000)
+
+	// Client side: demodulate, reassemble, decode, scale to the device.
+	res, err := pipe.DecodePageAudio(rx)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("received: %d/%d frames (%.1f%% loss), modem SNR %.1f dB, complete=%v\n",
+		res.FramesTotal-res.FramesLost, res.FramesTotal,
+		res.FrameLossRate*100, res.ModemSNRdB, res.Complete)
+	if !res.Complete {
+		log.Fatal("page incomplete")
+	}
+	img, err := sonic.DecodePageImage(res.Bundle)
+	if err != nil {
+		log.Fatal(err)
+	}
+	phone := img.ResizeNearest(720.0 / 1080.0)
+	fmt.Printf("decoded image %dx%d, scaled to %dx%d for a 720 px screen\n",
+		img.W, img.H, phone.W, phone.H)
+}

@@ -1,0 +1,3 @@
+module sonic
+
+go 1.22

@@ -1,0 +1,207 @@
+// Package audio provides the PCM buffer utilities shared by the SONIC
+// modem and FM chain: float64 sample buffers, int16 conversion, and
+// RIFF/WAVE file encoding/decoding (16-bit PCM, mono or interleaved
+// multi-channel). The SONIC prototype moves webpage frames as audible
+// sound; this package is how that sound enters and leaves files for the
+// cmd/sonic-modem tool and the examples.
+package audio
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+)
+
+// Buffer is a mono PCM signal with an associated sample rate.
+type Buffer struct {
+	Rate    int       // samples per second
+	Samples []float64 // nominal range [-1, 1]
+}
+
+// NewBuffer allocates an n-sample buffer at the given rate.
+func NewBuffer(rate, n int) *Buffer {
+	return &Buffer{Rate: rate, Samples: make([]float64, n)}
+}
+
+// Duration returns the buffer duration in seconds.
+func (b *Buffer) Duration() float64 {
+	if b.Rate <= 0 {
+		return 0
+	}
+	return float64(len(b.Samples)) / float64(b.Rate)
+}
+
+// Clone returns a deep copy of the buffer.
+func (b *Buffer) Clone() *Buffer {
+	s := make([]float64, len(b.Samples))
+	copy(s, b.Samples)
+	return &Buffer{Rate: b.Rate, Samples: s}
+}
+
+// Append concatenates other's samples (which must share the sample rate).
+func (b *Buffer) Append(other *Buffer) error {
+	if other.Rate != b.Rate {
+		return fmt.Errorf("audio: rate mismatch %d vs %d", other.Rate, b.Rate)
+	}
+	b.Samples = append(b.Samples, other.Samples...)
+	return nil
+}
+
+// AppendSilence appends d seconds of silence.
+func (b *Buffer) AppendSilence(d float64) {
+	n := int(d * float64(b.Rate))
+	b.Samples = append(b.Samples, make([]float64, n)...)
+}
+
+// FloatToInt16 converts a float sample in [-1,1] to int16 with clamping.
+func FloatToInt16(v float64) int16 {
+	v *= 32767
+	if v > 32767 {
+		v = 32767
+	}
+	if v < -32768 {
+		v = -32768
+	}
+	return int16(math.Round(v))
+}
+
+// Int16ToFloat converts an int16 sample to a float in [-1,1).
+func Int16ToFloat(v int16) float64 {
+	return float64(v) / 32768
+}
+
+// errors for WAV parsing
+var (
+	ErrNotWAV         = errors.New("audio: not a RIFF/WAVE file")
+	ErrUnsupportedWAV = errors.New("audio: unsupported WAV encoding (want 16-bit PCM)")
+)
+
+// WriteWAV writes the buffer as a 16-bit PCM mono WAV file.
+func WriteWAV(w io.Writer, b *Buffer) error {
+	dataLen := len(b.Samples) * 2
+	var hdr [44]byte
+	copy(hdr[0:4], "RIFF")
+	binary.LittleEndian.PutUint32(hdr[4:8], uint32(36+dataLen))
+	copy(hdr[8:12], "WAVE")
+	copy(hdr[12:16], "fmt ")
+	binary.LittleEndian.PutUint32(hdr[16:20], 16) // PCM fmt chunk size
+	binary.LittleEndian.PutUint16(hdr[20:22], 1)  // PCM
+	binary.LittleEndian.PutUint16(hdr[22:24], 1)  // mono
+	binary.LittleEndian.PutUint32(hdr[24:28], uint32(b.Rate))
+	binary.LittleEndian.PutUint32(hdr[28:32], uint32(b.Rate*2)) // byte rate
+	binary.LittleEndian.PutUint16(hdr[32:34], 2)                // block align
+	binary.LittleEndian.PutUint16(hdr[34:36], 16)               // bits/sample
+	copy(hdr[36:40], "data")
+	binary.LittleEndian.PutUint32(hdr[40:44], uint32(dataLen))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	pcm := make([]byte, dataLen)
+	for i, s := range b.Samples {
+		binary.LittleEndian.PutUint16(pcm[i*2:], uint16(FloatToInt16(s)))
+	}
+	_, err := w.Write(pcm)
+	return err
+}
+
+// ReadWAV parses a 16-bit PCM WAV file. Multi-channel files are downmixed
+// to mono by averaging channels.
+func ReadWAV(r io.Reader) (*Buffer, error) {
+	var riff [12]byte
+	if _, err := io.ReadFull(r, riff[:]); err != nil {
+		return nil, err
+	}
+	if string(riff[0:4]) != "RIFF" || string(riff[8:12]) != "WAVE" {
+		return nil, ErrNotWAV
+	}
+	var (
+		rate     int
+		channels int
+		bits     int
+		haveFmt  bool
+	)
+	for {
+		var chunk [8]byte
+		if _, err := io.ReadFull(r, chunk[:]); err != nil {
+			if err == io.EOF || err == io.ErrUnexpectedEOF {
+				return nil, fmt.Errorf("audio: missing data chunk: %w", ErrNotWAV)
+			}
+			return nil, err
+		}
+		id := string(chunk[0:4])
+		size := int(binary.LittleEndian.Uint32(chunk[4:8]))
+		switch id {
+		case "fmt ":
+			body := make([]byte, size)
+			if _, err := io.ReadFull(r, body); err != nil {
+				return nil, err
+			}
+			if len(body) < 16 {
+				return nil, ErrUnsupportedWAV
+			}
+			format := binary.LittleEndian.Uint16(body[0:2])
+			channels = int(binary.LittleEndian.Uint16(body[2:4]))
+			rate = int(binary.LittleEndian.Uint32(body[4:8]))
+			bits = int(binary.LittleEndian.Uint16(body[14:16]))
+			if format != 1 || bits != 16 || channels < 1 {
+				return nil, ErrUnsupportedWAV
+			}
+			haveFmt = true
+		case "data":
+			if !haveFmt {
+				return nil, ErrUnsupportedWAV
+			}
+			pcm := make([]byte, size)
+			if _, err := io.ReadFull(r, pcm); err != nil {
+				return nil, err
+			}
+			frames := size / (2 * channels)
+			out := &Buffer{Rate: rate, Samples: make([]float64, frames)}
+			for i := 0; i < frames; i++ {
+				var acc float64
+				for c := 0; c < channels; c++ {
+					v := int16(binary.LittleEndian.Uint16(pcm[(i*channels+c)*2:]))
+					acc += Int16ToFloat(v)
+				}
+				out.Samples[i] = acc / float64(channels)
+			}
+			return out, nil
+		default:
+			// Skip unknown chunk (word-aligned).
+			skip := size + size&1
+			if _, err := io.CopyN(io.Discard, r, int64(skip)); err != nil {
+				return nil, err
+			}
+		}
+	}
+}
+
+// Tone synthesizes a sine tone: frequency hz, duration seconds, amplitude
+// amp, at the given sample rate.
+func Tone(hz float64, duration float64, amp float64, rate int) *Buffer {
+	n := int(duration * float64(rate))
+	b := NewBuffer(rate, n)
+	for i := range b.Samples {
+		b.Samples[i] = amp * math.Sin(2*math.Pi*hz*float64(i)/float64(rate))
+	}
+	return b
+}
+
+// Chirp synthesizes a linear frequency sweep from f0 to f1 Hz over the
+// duration, useful as a sync preamble.
+func Chirp(f0, f1, duration, amp float64, rate int) *Buffer {
+	n := int(duration * float64(rate))
+	b := NewBuffer(rate, n)
+	if n == 0 {
+		return b
+	}
+	k := (f1 - f0) / duration
+	for i := range b.Samples {
+		t := float64(i) / float64(rate)
+		phase := 2 * math.Pi * (f0*t + 0.5*k*t*t)
+		b.Samples[i] = amp * math.Sin(phase)
+	}
+	return b
+}

@@ -1,0 +1,173 @@
+package audio
+
+import (
+	"bytes"
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestBufferBasics(t *testing.T) {
+	b := NewBuffer(48000, 4800)
+	if got := b.Duration(); math.Abs(got-0.1) > 1e-9 {
+		t.Errorf("Duration = %g, want 0.1", got)
+	}
+	if (&Buffer{}).Duration() != 0 {
+		t.Error("zero-rate Duration should be 0")
+	}
+
+	c := b.Clone()
+	c.Samples[0] = 1
+	if b.Samples[0] == 1 {
+		t.Error("Clone aliases samples")
+	}
+
+	other := NewBuffer(48000, 10)
+	if err := b.Append(other); err != nil {
+		t.Fatal(err)
+	}
+	if len(b.Samples) != 4810 {
+		t.Errorf("after Append len = %d", len(b.Samples))
+	}
+	bad := NewBuffer(44100, 10)
+	if err := b.Append(bad); err == nil {
+		t.Error("Append with rate mismatch should fail")
+	}
+
+	b.AppendSilence(0.01)
+	if len(b.Samples) != 4810+480 {
+		t.Errorf("after AppendSilence len = %d", len(b.Samples))
+	}
+}
+
+func TestFloatInt16Conversion(t *testing.T) {
+	if FloatToInt16(1.0) != 32767 {
+		t.Errorf("FloatToInt16(1) = %d", FloatToInt16(1.0))
+	}
+	if FloatToInt16(-1.5) != -32768 {
+		t.Errorf("clamping failed: %d", FloatToInt16(-1.5))
+	}
+	if FloatToInt16(2.0) != 32767 {
+		t.Errorf("clamping failed: %d", FloatToInt16(2.0))
+	}
+	if FloatToInt16(0) != 0 {
+		t.Errorf("FloatToInt16(0) = %d", FloatToInt16(0))
+	}
+	// Round trip property within quantization error.
+	f := func(v float64) bool {
+		if math.IsNaN(v) || math.Abs(v) > 1 {
+			v = math.Mod(v, 1)
+			if math.IsNaN(v) {
+				v = 0
+			}
+		}
+		back := Int16ToFloat(FloatToInt16(v))
+		return math.Abs(back-v) < 1.0/32000
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestWAVRoundTrip(t *testing.T) {
+	src := Tone(1000, 0.05, 0.5, 48000)
+	var buf bytes.Buffer
+	if err := WriteWAV(&buf, src); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadWAV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Rate != 48000 {
+		t.Errorf("rate = %d", got.Rate)
+	}
+	if len(got.Samples) != len(src.Samples) {
+		t.Fatalf("len = %d, want %d", len(got.Samples), len(src.Samples))
+	}
+	for i := range src.Samples {
+		if math.Abs(got.Samples[i]-src.Samples[i]) > 1.0/16384 {
+			t.Fatalf("sample %d: %g vs %g", i, got.Samples[i], src.Samples[i])
+		}
+	}
+}
+
+func TestReadWAVRejectsGarbage(t *testing.T) {
+	if _, err := ReadWAV(bytes.NewReader([]byte("not a wav file at all..."))); err == nil {
+		t.Error("garbage should be rejected")
+	}
+	// RIFF header but wrong magic.
+	b := append([]byte("RIFF"), make([]byte, 8)...)
+	if _, err := ReadWAV(bytes.NewReader(b)); err == nil {
+		t.Error("non-WAVE RIFF should be rejected")
+	}
+}
+
+func TestReadWAVSkipsUnknownChunks(t *testing.T) {
+	src := Tone(500, 0.01, 0.5, 8000)
+	var buf bytes.Buffer
+	if err := WriteWAV(&buf, src); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	// Splice a LIST chunk between fmt and data.
+	var spliced bytes.Buffer
+	spliced.Write(raw[:36]) // RIFF hdr + fmt chunk
+	spliced.WriteString("LIST")
+	extra := []byte("INFOsoft")
+	var lenb [4]byte
+	lenb[0] = byte(len(extra))
+	spliced.Write(lenb[:])
+	spliced.Write(extra)
+	spliced.Write(raw[36:]) // data chunk
+	got, err := ReadWAV(&spliced)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Samples) != len(src.Samples) {
+		t.Errorf("len = %d, want %d", len(got.Samples), len(src.Samples))
+	}
+}
+
+func TestToneFrequency(t *testing.T) {
+	const rate = 8000
+	b := Tone(1000, 0.1, 1.0, rate)
+	// Count zero crossings: a 1 kHz tone over 0.1 s has ~200 crossings.
+	crossings := 0
+	for i := 1; i < len(b.Samples); i++ {
+		if (b.Samples[i-1] < 0) != (b.Samples[i] < 0) {
+			crossings++
+		}
+	}
+	if crossings < 195 || crossings > 205 {
+		t.Errorf("zero crossings = %d, want ~200", crossings)
+	}
+}
+
+func TestChirpSweeps(t *testing.T) {
+	const rate = 48000
+	b := Chirp(1000, 5000, 0.1, 1.0, rate)
+	if len(b.Samples) != 4800 {
+		t.Fatalf("len = %d", len(b.Samples))
+	}
+	// Instantaneous frequency near the start should be lower than near the
+	// end: compare zero-crossing density in the first and last quarters.
+	count := func(s []float64) int {
+		n := 0
+		for i := 1; i < len(s); i++ {
+			if (s[i-1] < 0) != (s[i] < 0) {
+				n++
+			}
+		}
+		return n
+	}
+	q := len(b.Samples) / 4
+	head := count(b.Samples[:q])
+	tail := count(b.Samples[3*q:])
+	if tail < head*2 {
+		t.Errorf("chirp not sweeping: head=%d tail=%d crossings", head, tail)
+	}
+	if got := Chirp(1, 2, 0, 1, rate); len(got.Samples) != 0 {
+		t.Error("zero-duration chirp should be empty")
+	}
+}

@@ -1,0 +1,155 @@
+package broadcast
+
+import (
+	"testing"
+
+	"sonic/internal/corpus"
+)
+
+// modelSize is a deterministic per-page size in the regime the paper
+// measured (Q10/PH10k: ~90-150 KB).
+func modelSize(ref corpus.PageRef, hour int) int {
+	base := 90 * 1024
+	h := 0
+	for _, c := range ref.URL {
+		h = h*31 + int(c)
+	}
+	if h < 0 {
+		h = -h
+	}
+	return base + h%61440 // up to +60KB
+}
+
+func cfg(rate float64, pages []corpus.PageRef) Config {
+	return Config{
+		Pages: pages, RateBps: rate, Hours: 48, StepMinutes: 10, Size: modelSize,
+	}
+}
+
+func TestValidation(t *testing.T) {
+	good := cfg(10000, corpus.Pages())
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := good
+	bad.RateBps = 0
+	if bad.Validate() == nil {
+		t.Error("zero rate should fail")
+	}
+	bad = good
+	bad.StepMinutes = 7
+	if bad.Validate() == nil {
+		t.Error("step not dividing 60 should fail")
+	}
+	bad = good
+	bad.Pages = nil
+	if bad.Validate() == nil {
+		t.Error("no pages should fail")
+	}
+}
+
+func TestFig4cShape(t *testing.T) {
+	pages := corpus.Pages()
+	r10, err := Simulate(cfg(10000, pages))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r20, err := Simulate(cfg(20000, pages))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r40, err := Simulate(cfg(40000, pages))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s10, s20, s40 := r10.Summarize(), r20.Summarize(), r40.Summarize()
+
+	// Paper: at 10 kbps the backlog "rarely reaches zero"; 20/40 kbps
+	// drain it regularly.
+	if s10.ZeroFraction > 0.10 {
+		t.Errorf("10kbps idle fraction = %.2f, want rarely zero", s10.ZeroFraction)
+	}
+	if s20.ZeroFraction <= s10.ZeroFraction {
+		t.Errorf("20kbps should idle more than 10kbps (%.2f vs %.2f)",
+			s20.ZeroFraction, s10.ZeroFraction)
+	}
+	if s40.ZeroFraction < 0.3 {
+		t.Errorf("40kbps idle fraction = %.2f, want mostly drained", s40.ZeroFraction)
+	}
+	// Bounded growth ("the amount of data to be sent does not grow
+	// indefinitely"): the peak stays within a few hours of inflow.
+	if s10.PeakBytes > 60<<20 {
+		t.Errorf("10kbps peak = %d MB, unbounded growth?", s10.PeakBytes>>20)
+	}
+	// Ordering: faster drains => smaller mean backlog.
+	if !(s40.MeanBytes < s20.MeanBytes && s20.MeanBytes < s10.MeanBytes) {
+		t.Errorf("mean backlog not ordered: %v %v %v",
+			s10.MeanBytes, s20.MeanBytes, s40.MeanBytes)
+	}
+}
+
+func TestDiurnalSawtooth(t *testing.T) {
+	// Backlog at 10 kbps must rise during the day and fall at night:
+	// compare the average slope in daytime vs nighttime windows.
+	r, err := Simulate(cfg(10000, corpus.Pages()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var daySlope, nightSlope float64
+	var dayN, nightN int
+	for i := 1; i < len(r.Series); i++ {
+		d := float64(r.Series[i].Backlog - r.Series[i-1].Backlog)
+		hod := int(r.Series[i].THours) % 24
+		if hod >= 8 && hod < 21 {
+			daySlope += d
+			dayN++
+		} else if hod >= 23 || hod < 6 {
+			nightSlope += d
+			nightN++
+		}
+	}
+	if dayN == 0 || nightN == 0 {
+		t.Fatal("windows empty")
+	}
+	if daySlope/float64(dayN) <= nightSlope/float64(nightN) {
+		t.Errorf("no diurnal sawtooth: day slope %.0f vs night %.0f",
+			daySlope/float64(dayN), nightSlope/float64(nightN))
+	}
+}
+
+func TestN200GrowsBacklog(t *testing.T) {
+	p100 := ExtendCorpus(100)
+	p200 := ExtendCorpus(200)
+	if len(p100) != 100 || len(p200) != 200 {
+		t.Fatalf("extend sizes: %d, %d", len(p100), len(p200))
+	}
+	// URLs must stay unique.
+	seen := map[string]bool{}
+	for _, p := range p200 {
+		if seen[p.URL] {
+			t.Fatalf("duplicate %s", p.URL)
+		}
+		seen[p.URL] = true
+	}
+	r100, _ := Simulate(cfg(20000, p100))
+	r200, _ := Simulate(cfg(20000, p200))
+	if r200.Summarize().MeanBytes <= r100.Summarize().MeanBytes {
+		t.Error("doubling the catalog should grow the backlog at equal rate")
+	}
+}
+
+func TestSeriesLengthAndMonotoneTime(t *testing.T) {
+	r, err := Simulate(cfg(10000, corpus.Pages()[:10]))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 48 * 6
+	if len(r.Series) != want {
+		t.Errorf("series length = %d, want %d", len(r.Series), want)
+	}
+	for i := 1; i < len(r.Series); i++ {
+		if r.Series[i].THours <= r.Series[i-1].THours {
+			t.Fatal("time not monotone")
+		}
+	}
+}

@@ -1,0 +1,160 @@
+package broadcast
+
+import (
+	"math"
+	"testing"
+
+	"sonic/internal/corpus"
+)
+
+func testEntries() []CarouselEntry {
+	return []CarouselEntry{
+		{Ref: corpus.PageRef{URL: "hot.pk/"}, Bytes: 100 * 1024, Demand: 1.0},
+		{Ref: corpus.PageRef{URL: "warm.pk/"}, Bytes: 100 * 1024, Demand: 0.25},
+		{Ref: corpus.PageRef{URL: "cold.pk/"}, Bytes: 100 * 1024, Demand: 0.01},
+	}
+}
+
+func TestNewCarouselValidation(t *testing.T) {
+	if _, err := NewCarousel(nil, PolicyFlat); err == nil {
+		t.Error("empty carousel should fail")
+	}
+	bad := testEntries()
+	bad[0].Bytes = 0
+	if _, err := NewCarousel(bad, PolicyFlat); err == nil {
+		t.Error("zero size should fail")
+	}
+	if _, err := NewCarousel(testEntries(), CarouselPolicy(9)); err == nil {
+		t.Error("unknown policy should fail")
+	}
+}
+
+func TestSharesNormalized(t *testing.T) {
+	for _, pol := range []CarouselPolicy{PolicyFlat, PolicySqrt} {
+		c, err := NewCarousel(testEntries(), pol)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var sum float64
+		for i := range c.Entries() {
+			s := c.AirtimeShare(i)
+			if s <= 0 || s > 1 {
+				t.Errorf("policy %d share[%d] = %g", pol, i, s)
+			}
+			sum += s
+		}
+		if math.Abs(sum-1) > 1e-9 {
+			t.Errorf("policy %d shares sum to %g", pol, sum)
+		}
+	}
+}
+
+func TestSqrtPolicyFavorsDemand(t *testing.T) {
+	c, err := NewCarousel(testEntries(), PolicySqrt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.AirtimeShare(0) <= c.AirtimeShare(1) || c.AirtimeShare(1) <= c.AirtimeShare(2) {
+		t.Errorf("shares not demand-ordered: %g %g %g",
+			c.AirtimeShare(0), c.AirtimeShare(1), c.AirtimeShare(2))
+	}
+	// Flat ignores demand (equal sizes -> equal shares).
+	f, _ := NewCarousel(testEntries(), PolicyFlat)
+	if math.Abs(f.AirtimeShare(0)-f.AirtimeShare(2)) > 1e-9 {
+		t.Error("flat policy should ignore demand for equal sizes")
+	}
+}
+
+func TestSqrtPolicyBeatsFlatOnExpectedWait(t *testing.T) {
+	// The broadcast-disk result: sqrt allocation lowers demand-weighted
+	// expected wait whenever demand is skewed.
+	size := func(ref corpus.PageRef, hour int) int { return modelSizeForTest(ref.URL) }
+	flat, opt, err := CompareCarouselPolicies(corpus.Pages(), size, 10000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if opt >= flat {
+		t.Errorf("sqrt policy wait %.0fs not better than flat %.0fs", opt, flat)
+	}
+	improvement := flat / opt
+	if improvement < 1.2 {
+		t.Errorf("improvement only %.2fx on a Zipf corpus", improvement)
+	}
+	t.Logf("expected wait at 10kbps: flat %.0fs, sqrt %.0fs (%.1fx)", flat, opt, improvement)
+}
+
+func modelSizeForTest(url string) int {
+	h := 0
+	for _, c := range url {
+		h = h*31 + int(c)
+	}
+	if h < 0 {
+		h = -h
+	}
+	return 90*1024 + h%(65*1024)
+}
+
+func TestScheduleProportions(t *testing.T) {
+	c, err := NewCarousel(testEntries(), PolicySqrt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 3000
+	counts := map[int]int{}
+	for _, i := range c.Schedule(n) {
+		counts[i]++
+	}
+	// Every entry airs (no starvation).
+	for i := range testEntries() {
+		if counts[i] == 0 {
+			t.Fatalf("entry %d starved", i)
+		}
+	}
+	// Byte-airtime proportions track shares within 10%.
+	for i := range testEntries() {
+		got := float64(counts[i]) / n // equal sizes: count share == byte share
+		want := c.AirtimeShare(i)
+		if math.Abs(got-want) > 0.1*want+0.01 {
+			t.Errorf("entry %d airtime %.3f, want ~%.3f", i, got, want)
+		}
+	}
+	// Hot page should not burst: its occurrences must be spread out
+	// (max gap not much more than twice its period in slots).
+	sched := c.Schedule(300)
+	last := -1
+	maxGap := 0
+	for idx, e := range sched {
+		if e == 0 {
+			if last >= 0 && idx-last > maxGap {
+				maxGap = idx - last
+			}
+			last = idx
+		}
+	}
+	expGap := int(1/c.AirtimeShare(0)) + 1
+	if maxGap > 3*expGap {
+		t.Errorf("hot page max gap %d slots, expected ~%d", maxGap, expGap)
+	}
+}
+
+func TestExpectedWaitEdgeCases(t *testing.T) {
+	c, _ := NewCarousel(testEntries(), PolicyFlat)
+	if !math.IsInf(c.ExpectedWaitSeconds(0), 1) {
+		t.Error("zero rate should be infinite wait")
+	}
+	// Faster channel, shorter wait.
+	if c.ExpectedWaitSeconds(20000) >= c.ExpectedWaitSeconds(10000) {
+		t.Error("doubling rate should reduce wait")
+	}
+}
+
+func TestTopNByDemand(t *testing.T) {
+	c, _ := NewCarousel(testEntries(), PolicyFlat)
+	top := c.TopNByDemand(2)
+	if len(top) != 2 || top[0].Ref.URL != "hot.pk/" {
+		t.Errorf("top = %+v", top)
+	}
+	if len(c.TopNByDemand(99)) != 3 {
+		t.Error("overlong n should clamp")
+	}
+}

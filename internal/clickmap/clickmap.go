@@ -1,0 +1,102 @@
+// Package clickmap implements the interactivity layer SONIC borrows from
+// DRIVESHAFT (§3.2): rendered pages are static images, so interaction is
+// restored by shipping a map of clickable <x,y> regions alongside each
+// image. SONIC limits interactivity to hyperlinks; clicking a region asks
+// the client to load (from cache) or request (via SMS) the target URL.
+package clickmap
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// Region is one clickable rectangle on the rendered page, in image
+// coordinates (1080-wide reference frame before client scaling).
+type Region struct {
+	X, Y, W, H int
+	URL        string
+}
+
+// rectJSON is the explicit wire form (Region's inline form would drop
+// zero coordinates).
+type rectJSON struct {
+	X   int    `json:"x"`
+	Y   int    `json:"y"`
+	W   int    `json:"w"`
+	H   int    `json:"h"`
+	URL string `json:"url"`
+}
+
+// Contains reports whether the point lies inside the region.
+func (r Region) Contains(x, y int) bool {
+	return x >= r.X && x < r.X+r.W && y >= r.Y && y < r.Y+r.H
+}
+
+// Map is the click map for one rendered page.
+type Map struct {
+	PageURL string
+	Regions []Region
+}
+
+// Add appends a region.
+func (m *Map) Add(x, y, w, h int, url string) {
+	m.Regions = append(m.Regions, Region{X: x, Y: y, W: w, H: h, URL: url})
+}
+
+// Hit returns the URL of the topmost region containing (x, y).
+func (m *Map) Hit(x, y int) (string, bool) {
+	// Later regions are drawn on top; search in reverse.
+	for i := len(m.Regions) - 1; i >= 0; i-- {
+		if m.Regions[i].Contains(x, y) {
+			return m.Regions[i].URL, true
+		}
+	}
+	return "", false
+}
+
+// Scale returns a copy with all coordinates multiplied by factor — the
+// client-side scaling factor (§3.2: phone screen width / 1080), applied
+// to the click map exactly as to the image.
+func (m *Map) Scale(factor float64) *Map {
+	out := &Map{PageURL: m.PageURL, Regions: make([]Region, len(m.Regions))}
+	for i, r := range m.Regions {
+		out.Regions[i] = Region{
+			X:   int(float64(r.X) * factor),
+			Y:   int(float64(r.Y) * factor),
+			W:   int(float64(r.W) * factor),
+			H:   int(float64(r.H) * factor),
+			URL: r.URL,
+		}
+	}
+	return out
+}
+
+// MarshalJSON encodes the map as a compact JSON document that rides along
+// with the page image.
+func (m *Map) MarshalJSON() ([]byte, error) {
+	regions := make([]rectJSON, len(m.Regions))
+	for i, r := range m.Regions {
+		regions[i] = rectJSON{r.X, r.Y, r.W, r.H, r.URL}
+	}
+	return json.Marshal(struct {
+		Page    string     `json:"page"`
+		Regions []rectJSON `json:"regions"`
+	}{m.PageURL, regions})
+}
+
+// UnmarshalJSON decodes a map produced by MarshalJSON.
+func (m *Map) UnmarshalJSON(data []byte) error {
+	var doc struct {
+		Page    string     `json:"page"`
+		Regions []rectJSON `json:"regions"`
+	}
+	if err := json.Unmarshal(data, &doc); err != nil {
+		return fmt.Errorf("clickmap: %w", err)
+	}
+	m.PageURL = doc.Page
+	m.Regions = m.Regions[:0]
+	for _, r := range doc.Regions {
+		m.Regions = append(m.Regions, Region{r.X, r.Y, r.W, r.H, r.URL})
+	}
+	return nil
+}

@@ -1,0 +1,72 @@
+package clickmap
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+func TestRegionContains(t *testing.T) {
+	r := Region{X: 10, Y: 20, W: 30, H: 5, URL: "a.pk/x"}
+	if !r.Contains(10, 20) || !r.Contains(39, 24) {
+		t.Error("corners should be inside")
+	}
+	if r.Contains(40, 20) || r.Contains(10, 25) || r.Contains(9, 20) {
+		t.Error("outside points reported inside")
+	}
+}
+
+func TestMapHitTopmost(t *testing.T) {
+	m := &Map{PageURL: "a.pk/"}
+	m.Add(0, 0, 100, 100, "a.pk/under")
+	m.Add(10, 10, 20, 20, "a.pk/over")
+	if url, ok := m.Hit(15, 15); !ok || url != "a.pk/over" {
+		t.Errorf("Hit = %q, %v; want topmost region", url, ok)
+	}
+	if url, ok := m.Hit(50, 50); !ok || url != "a.pk/under" {
+		t.Errorf("Hit = %q, %v", url, ok)
+	}
+	if _, ok := m.Hit(999, 999); ok {
+		t.Error("miss reported as hit")
+	}
+}
+
+func TestMapScale(t *testing.T) {
+	m := &Map{PageURL: "a.pk/"}
+	m.Add(100, 200, 300, 40, "a.pk/l")
+	// The paper's scaling factor: a 720-wide phone -> 720/1080.
+	s := m.Scale(720.0 / 1080.0)
+	r := s.Regions[0]
+	if r.X != 66 || r.Y != 133 || r.W != 200 || r.H != 26 {
+		t.Errorf("scaled region = %+v", r)
+	}
+	if s.PageURL != "a.pk/" {
+		t.Error("page URL lost")
+	}
+	// Original untouched.
+	if m.Regions[0].X != 100 {
+		t.Error("Scale mutated original")
+	}
+}
+
+func TestMapJSONRoundTrip(t *testing.T) {
+	m := &Map{PageURL: "khabar.pk/"}
+	m.Add(1, 2, 3, 4, "khabar.pk/a")
+	m.Add(0, 0, 9, 9, "khabar.pk/b")
+	data, err := json.Marshal(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got Map
+	if err := json.Unmarshal(data, &got); err != nil {
+		t.Fatal(err)
+	}
+	if got.PageURL != m.PageURL || len(got.Regions) != 2 {
+		t.Fatalf("round trip: %+v", got)
+	}
+	if got.Regions[0] != m.Regions[0] || got.Regions[1] != m.Regions[1] {
+		t.Error("regions differ after round trip")
+	}
+	if err := got.UnmarshalJSON([]byte("{bad")); err == nil {
+		t.Error("bad JSON should fail")
+	}
+}

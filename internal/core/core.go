@@ -1,0 +1,363 @@
+// Package core assembles SONIC's end-to-end transmission pipeline — the
+// paper's primary contribution (§3). On the send side: a rendered
+// webpage image is encoded (SIC, the WebP stand-in), bundled with its
+// click map, chunked into 100-byte frames, protected with the rs8 outer
+// and v29 inner FEC, and modulated into audio with the 92-subcarrier
+// OFDM profile for FM broadcast. The receive side inverts each stage and
+// repairs losses with nearest-neighbor interpolation where the
+// cell-transport mode is used.
+package core
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"sonic/internal/fec"
+	"sonic/internal/fm"
+	"sonic/internal/frame"
+	"sonic/internal/imagecodec"
+	"sonic/internal/interp"
+	"sonic/internal/modem"
+)
+
+// Config selects the pieces of the transmission stack.
+type Config struct {
+	Modem modem.Profile
+	// UseRS/InnerCode select the FEC stack (both on = the paper's stack).
+	UseRS     bool
+	InnerCode *fec.ConvCode // nil = no inner code
+	// CellTransport selects the loss-resilient column-cell transport
+	// instead of chunking the compressed bitstream.
+	CellTransport bool
+	// CellTolerance is the per-channel near-run tolerance in cell mode.
+	CellTolerance int
+	// Quality is the image quality for the SIC bitstream transport.
+	Quality int
+	// SoftDecision feeds the inner Viterbi decoder per-bit soft metrics
+	// from the demodulator instead of hard decisions (~2 dB gain, the
+	// way Quiet's decoder operates).
+	SoftDecision bool
+}
+
+// DefaultConfig is the paper's configuration: Sonic92 OFDM profile,
+// rs8+v29 FEC, SIC at quality 10 (§3.2, §3.3).
+func DefaultConfig() Config {
+	return Config{
+		Modem:     modem.Sonic92(),
+		UseRS:     true,
+		InnerCode: fec.NewV29(),
+		Quality:   10,
+	}
+}
+
+// Pipeline is a configured SONIC encoder/decoder pair.
+type Pipeline struct {
+	cfg   Config
+	modem *modem.OFDM
+	codec *frame.Codec
+}
+
+// NewPipeline validates the config and builds the pipeline.
+func NewPipeline(cfg Config) (*Pipeline, error) {
+	m, err := modem.NewOFDM(cfg.Modem)
+	if err != nil {
+		return nil, err
+	}
+	var rs *fec.RS
+	if cfg.UseRS {
+		rs = fec.NewRS8()
+	}
+	if cfg.Quality < imagecodec.MinQuality || cfg.Quality > imagecodec.MaxQuality {
+		return nil, fmt.Errorf("core: quality %d out of range", cfg.Quality)
+	}
+	return &Pipeline{
+		cfg:   cfg,
+		modem: m,
+		codec: frame.NewCodecWith(rs, cfg.InnerCode),
+	}, nil
+}
+
+// Codec exposes the frame codec (for experiments).
+func (p *Pipeline) Codec() *frame.Codec { return p.codec }
+
+// Modem exposes the modem (for experiments).
+func (p *Pipeline) Modem() *modem.OFDM { return p.modem }
+
+// NetGoodputBps returns the post-FEC, post-framing payload rate the
+// profile sustains — the paper's headline "10 kbps" figure for the
+// default configuration.
+func (p *Pipeline) NetGoodputBps() float64 {
+	raw := p.cfg.Modem.RawBitRate() // modem payload bits per second
+	payloadPerFrame := float64(frame.PayloadSize)
+	onAirPerFrame := float64(p.codec.CodedFrameSize())
+	return raw * payloadPerFrame / onAirPerFrame
+}
+
+// TransportRateBps returns the FEC-coded transport rate — the paper's
+// headline "10 kbps" number: the modem rate times the code rates of the
+// inner (1/2) and outer (223/255) FEC, before the 100-byte framing
+// overhead that NetGoodputBps additionally charges.
+func (p *Pipeline) TransportRateBps() float64 {
+	r := p.cfg.Modem.RawBitRate()
+	if p.cfg.InnerCode != nil {
+		r *= p.cfg.InnerCode.Rate()
+	}
+	if p.cfg.UseRS {
+		r *= 223.0 / 255.0
+	}
+	return r
+}
+
+// AirtimeSeconds returns the on-air time to broadcast n payload bytes
+// (framing and FEC included, modem preamble amortized per burst).
+func (p *Pipeline) AirtimeSeconds(n int) float64 {
+	frames := (n + frame.PayloadSize - 1) / frame.PayloadSize
+	coded := frames * p.codec.CodedFrameSize()
+	return p.modem.BurstDuration(coded)
+}
+
+// --- page bundles ----------------------------------------------------------
+
+// Bundle is the broadcast unit for one page: the encoded image and the
+// serialized click map.
+type Bundle struct {
+	Image    []byte
+	ClickMap []byte
+}
+
+// MarshalBundle frames the two parts with a length header.
+func MarshalBundle(b Bundle) []byte {
+	out := make([]byte, 8, 8+len(b.Image)+len(b.ClickMap))
+	binary.BigEndian.PutUint32(out[0:4], uint32(len(b.Image)))
+	binary.BigEndian.PutUint32(out[4:8], uint32(len(b.ClickMap)))
+	out = append(out, b.Image...)
+	out = append(out, b.ClickMap...)
+	return out
+}
+
+// ErrBadBundle is returned for malformed bundle blobs.
+var ErrBadBundle = errors.New("core: malformed page bundle")
+
+// UnmarshalBundle parses a blob produced by MarshalBundle.
+func UnmarshalBundle(blob []byte) (Bundle, error) {
+	if len(blob) < 8 {
+		return Bundle{}, ErrBadBundle
+	}
+	il := int(binary.BigEndian.Uint32(blob[0:4]))
+	cl := int(binary.BigEndian.Uint32(blob[4:8]))
+	if il < 0 || cl < 0 || 8+il+cl > len(blob) {
+		return Bundle{}, ErrBadBundle
+	}
+	return Bundle{
+		Image:    append([]byte(nil), blob[8:8+il]...),
+		ClickMap: append([]byte(nil), blob[8+il:8+il+cl]...),
+	}, nil
+}
+
+// --- transmit / receive ------------------------------------------------------
+
+// EncodePageAudio turns a page bundle into the broadcast audio burst.
+func (p *Pipeline) EncodePageAudio(pageID uint16, b Bundle) ([]float64, error) {
+	frames := frame.Chunk(pageID, MarshalBundle(b))
+	stream, err := p.codec.EncodeStream(frames)
+	if err != nil {
+		return nil, err
+	}
+	return p.modem.Modulate(stream), nil
+}
+
+// ReceiveResult summarizes one received page transmission.
+type ReceiveResult struct {
+	PageID        uint16
+	Bundle        Bundle
+	FramesTotal   int
+	FramesLost    int
+	Complete      bool
+	ModemSNRdB    float64
+	FrameLossRate float64
+}
+
+// DecodePageAudio demodulates a burst and reassembles the page bundle.
+// A partially received page returns Complete=false with loss accounting
+// (and no Bundle) — in bitstream transport any loss is fatal to the
+// image, which is exactly the trade-off the cell transport removes.
+func (p *Pipeline) DecodePageAudio(audio []float64) (*ReceiveResult, error) {
+	frames, lost, snr, err := p.receiveFrames(audio)
+	if err != nil {
+		return nil, err
+	}
+	res := &ReceiveResult{ModemSNRdB: snr, FramesLost: lost}
+	if len(frames) == 0 {
+		res.FramesTotal = lost
+		res.FrameLossRate = 1
+		return res, nil
+	}
+	res.PageID = frames[0].PageID
+	r := frame.NewReassembler(res.PageID)
+	for _, f := range frames {
+		r.Add(f)
+	}
+	res.FramesTotal = r.Total()
+	if r.Total() > 0 {
+		res.FramesLost = r.Total() - r.Received()
+		res.FrameLossRate = r.LossRate()
+	}
+	if blob, ok := r.Bytes(); ok {
+		b, err := UnmarshalBundle(blob)
+		if err != nil {
+			return res, err
+		}
+		res.Bundle = b
+		res.Complete = true
+	}
+	return res, nil
+}
+
+// receiveFrames demodulates a burst and decodes its frames through the
+// configured hard or soft path.
+func (p *Pipeline) receiveFrames(audio []float64) (frames []*frame.Frame, lost int, snr float64, err error) {
+	if p.cfg.SoftDecision && p.cfg.InnerCode != nil {
+		dem, err := p.modem.DemodulateSoft(audio)
+		if err != nil {
+			return nil, 0, 0, err
+		}
+		frames, lost = p.codec.DecodeStreamSoft(dem.Soft)
+		return frames, lost, dem.SNRdB, nil
+	}
+	dem, err := p.modem.Demodulate(audio)
+	if err != nil {
+		return nil, 0, 0, err
+	}
+	frames, lost = p.codec.DecodeStream(dem.Payload)
+	return frames, lost, dem.SNRdB, nil
+}
+
+// --- cell transport ----------------------------------------------------------
+
+// EncodeImageCells converts a raster into per-frame cells (§3.3's 1-px
+// partition scheme): each frame payload carries exactly one
+// independently decodable cell.
+func (p *Pipeline) EncodeImageCells(pageID uint16, img *imagecodec.Raster) ([]*frame.Frame, error) {
+	cells, err := imagecodec.EncodeColumnsTol(img, frame.PayloadSize, p.cfg.CellTolerance)
+	if err != nil {
+		return nil, err
+	}
+	frames := make([]*frame.Frame, len(cells))
+	for i, c := range cells {
+		frames[i] = &frame.Frame{
+			PageID:  pageID,
+			Seq:     uint32(i),
+			Total:   uint32(len(cells)),
+			Payload: c.Marshal(),
+		}
+	}
+	return frames, nil
+}
+
+// DecodeImageCells rebuilds a raster (w×h) from whatever cell frames
+// arrived, interpolating missing pixels per §3.3. It returns the healed
+// image, the missing-pixel mask (before interpolation), and the pixel
+// loss rate.
+func DecodeImageCells(frames []*frame.Frame, w, h int) (*imagecodec.Raster, []bool, float64) {
+	var cells []imagecodec.Cell
+	for _, f := range frames {
+		c, err := imagecodec.UnmarshalCell(f.Payload)
+		if err != nil {
+			continue
+		}
+		cells = append(cells, c)
+	}
+	img, missing := imagecodec.DecodeColumns(cells, w, h)
+	lost := 0
+	for _, m := range missing {
+		if m {
+			lost++
+		}
+	}
+	rate := 0.0
+	if len(missing) > 0 {
+		rate = float64(lost) / float64(len(missing))
+	}
+	interp.Interpolate(img, missing)
+	return img, missing, rate
+}
+
+// EncodeCellsAudio modulates a raster's cell frames (§3.3's resilient
+// transport) into one audio burst.
+func (p *Pipeline) EncodeCellsAudio(pageID uint16, img *imagecodec.Raster) ([]float64, error) {
+	frames, err := p.EncodeImageCells(pageID, img)
+	if err != nil {
+		return nil, err
+	}
+	stream, err := p.codec.EncodeStream(frames)
+	if err != nil {
+		return nil, err
+	}
+	return p.modem.Modulate(stream), nil
+}
+
+// DecodeCellsAudio demodulates a cell-transport burst and reconstructs
+// the w×h image, interpolating whatever frames were lost. It returns the
+// healed image, the pixel loss rate, and the frame loss rate.
+func (p *Pipeline) DecodeCellsAudio(audio []float64, w, h int) (*imagecodec.Raster, float64, float64, error) {
+	frames, lost, _, err := p.receiveFrames(audio)
+	if err != nil {
+		return nil, 1, 1, err
+	}
+	img, _, pixelLoss := DecodeImageCells(frames, w, h)
+	frameLoss := 0.0
+	if total := len(frames) + lost; total > 0 {
+		frameLoss = float64(lost) / float64(total)
+	}
+	return img, pixelLoss, frameLoss, nil
+}
+
+// CellAirtimeSeconds returns the on-air time to broadcast img through
+// the cell transport — typically an order of magnitude above
+// AirtimeSeconds of the compressed bitstream (the trade-off DESIGN.md
+// §5a quantifies).
+func (p *Pipeline) CellAirtimeSeconds(img *imagecodec.Raster) (float64, error) {
+	cells, err := imagecodec.EncodeColumnsTol(img, frame.PayloadSize, p.cfg.CellTolerance)
+	if err != nil {
+		return 0, err
+	}
+	coded := len(cells) * p.codec.CodedFrameSize()
+	return p.modem.BurstDuration(coded), nil
+}
+
+// --- channel probes ----------------------------------------------------------
+
+// FrameLossProbe measures the frame loss rate of this pipeline across a
+// Link: it broadcasts nFrames dummy frames and counts survivors. This is
+// the instrument behind Figure 4(a) and the RSSI sweep.
+func (p *Pipeline) FrameLossProbe(link fm.Link, nFrames int) (lossRate float64, err error) {
+	frames := make([]*frame.Frame, nFrames)
+	for i := range frames {
+		payload := make([]byte, frame.PayloadSize)
+		for j := range payload {
+			payload[j] = byte(i + j)
+		}
+		frames[i] = &frame.Frame{
+			PageID:  0xBEEF,
+			Seq:     uint32(i),
+			Total:   uint32(nFrames),
+			Payload: payload,
+		}
+	}
+	stream, err := p.codec.EncodeStream(frames)
+	if err != nil {
+		return 0, err
+	}
+	audio := p.modem.Modulate(stream)
+	rx := link.Transmit(audio, p.cfg.Modem.SampleRate)
+	got, _, _, err := p.receiveFrames(rx)
+	if err != nil {
+		return 1, nil // no sync at all: total loss, not an error
+	}
+	r := frame.NewReassembler(0xBEEF)
+	for _, f := range got {
+		r.Add(f)
+	}
+	return 1 - float64(r.Received())/float64(nFrames), nil
+}

@@ -1,0 +1,90 @@
+package core
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"sonic/internal/fm"
+)
+
+func softPipeline(t *testing.T, soft bool) *Pipeline {
+	t.Helper()
+	cfg := DefaultConfig()
+	cfg.SoftDecision = soft
+	p, err := NewPipeline(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestSoftDecisionCleanRoundTrip(t *testing.T) {
+	p := softPipeline(t, true)
+	rng := rand.New(rand.NewSource(1))
+	img := make([]byte, 1500)
+	rng.Read(img)
+	audio, err := p.EncodePageAudio(2, Bundle{Image: img})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := p.DecodePageAudio(audio)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Complete || !bytes.Equal(res.Bundle.Image, img) {
+		t.Fatal("soft path clean round trip failed")
+	}
+}
+
+func TestSoftBeatsHardNearTheCliff(t *testing.T) {
+	// Soft-decision Viterbi is worth ~2 dB: at an SNR where hard
+	// decoding loses a good share of frames, soft decoding must lose
+	// clearly fewer (aggregated over several seeds).
+	hard := softPipeline(t, false)
+	soft := softPipeline(t, true)
+	const snr = 9.0 // just below the hard-decision cliff (~9.5 dB)
+	var hardLoss, softLoss float64
+	for seed := int64(0); seed < 4; seed++ {
+		hl, err := hard.FrameLossProbe(&fm.AWGNLink{SNRdB: snr,
+			Rng: rand.New(rand.NewSource(seed))}, 12)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sl, err := soft.FrameLossProbe(&fm.AWGNLink{SNRdB: snr,
+			Rng: rand.New(rand.NewSource(seed))}, 12)
+		if err != nil {
+			t.Fatal(err)
+		}
+		hardLoss += hl
+		softLoss += sl
+	}
+	if hardLoss == 0 {
+		t.Skip("channel too clean to discriminate at this SNR")
+	}
+	if softLoss >= hardLoss {
+		t.Errorf("soft loss %.2f not better than hard %.2f", softLoss/4, hardLoss/4)
+	}
+	t.Logf("frame loss at %.0f dB: hard %.2f soft %.2f", snr, hardLoss/4, softLoss/4)
+}
+
+func TestSoftFallsBackWithoutInnerCode(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.SoftDecision = true
+	cfg.InnerCode = nil // soft only helps the inner code; must still work
+	p, err := NewPipeline(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	audio, err := p.EncodePageAudio(1, Bundle{Image: []byte("fallback")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := p.DecodePageAudio(audio)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Complete {
+		t.Fatal("fallback round trip failed")
+	}
+}

@@ -1,0 +1,498 @@
+package dsp
+
+import (
+	"math"
+	"math/cmplx"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func almostEqual(a, b, eps float64) bool { return math.Abs(a-b) <= eps }
+
+func TestIsPowerOfTwo(t *testing.T) {
+	for _, n := range []int{1, 2, 4, 8, 1024, 65536} {
+		if !IsPowerOfTwo(n) {
+			t.Errorf("IsPowerOfTwo(%d) = false, want true", n)
+		}
+	}
+	for _, n := range []int{0, -1, 3, 5, 6, 7, 1000} {
+		if IsPowerOfTwo(n) {
+			t.Errorf("IsPowerOfTwo(%d) = true, want false", n)
+		}
+	}
+}
+
+func TestNextPowerOfTwo(t *testing.T) {
+	cases := map[int]int{1: 1, 2: 2, 3: 4, 5: 8, 1000: 1024, 1024: 1024}
+	for in, want := range cases {
+		if got := NextPowerOfTwo(in); got != want {
+			t.Errorf("NextPowerOfTwo(%d) = %d, want %d", in, got, want)
+		}
+	}
+}
+
+func TestFFTRejectsNonPowerOfTwo(t *testing.T) {
+	if err := FFT(make([]complex128, 3)); err != ErrNotPowerOfTwo {
+		t.Fatalf("FFT(len 3) err = %v, want ErrNotPowerOfTwo", err)
+	}
+	if err := IFFT(make([]complex128, 12)); err != ErrNotPowerOfTwo {
+		t.Fatalf("IFFT(len 12) err = %v, want ErrNotPowerOfTwo", err)
+	}
+}
+
+func TestFFTImpulse(t *testing.T) {
+	// FFT of a unit impulse is flat ones.
+	x := make([]complex128, 8)
+	x[0] = 1
+	if err := FFT(x); err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range x {
+		if cmplx.Abs(v-1) > 1e-12 {
+			t.Errorf("bin %d = %v, want 1", i, v)
+		}
+	}
+}
+
+func TestFFTSingleTone(t *testing.T) {
+	// A complex exponential at bin k concentrates all energy in bin k.
+	const n, k = 64, 5
+	x := make([]complex128, n)
+	for i := range x {
+		x[i] = cmplx.Rect(1, 2*math.Pi*k*float64(i)/n)
+	}
+	if err := FFT(x); err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range x {
+		mag := cmplx.Abs(v)
+		if i == k {
+			if !almostEqual(mag, n, 1e-9) {
+				t.Errorf("bin %d mag = %g, want %d", i, mag, n)
+			}
+		} else if mag > 1e-9 {
+			t.Errorf("bin %d mag = %g, want 0", i, mag)
+		}
+	}
+}
+
+func TestFFTRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, n := range []int{2, 16, 128, 1024} {
+		x := make([]complex128, n)
+		orig := make([]complex128, n)
+		for i := range x {
+			x[i] = complex(rng.NormFloat64(), rng.NormFloat64())
+			orig[i] = x[i]
+		}
+		if err := FFT(x); err != nil {
+			t.Fatal(err)
+		}
+		if err := IFFT(x); err != nil {
+			t.Fatal(err)
+		}
+		for i := range x {
+			if cmplx.Abs(x[i]-orig[i]) > 1e-9 {
+				t.Fatalf("n=%d round trip mismatch at %d: %v vs %v", n, i, x[i], orig[i])
+			}
+		}
+	}
+}
+
+func TestFFTParseval(t *testing.T) {
+	// Parseval: sum |x|^2 == (1/N) sum |X|^2.
+	rng := rand.New(rand.NewSource(2))
+	const n = 256
+	x := make([]complex128, n)
+	var te float64
+	for i := range x {
+		x[i] = complex(rng.NormFloat64(), rng.NormFloat64())
+		te += real(x[i])*real(x[i]) + imag(x[i])*imag(x[i])
+	}
+	if err := FFT(x); err != nil {
+		t.Fatal(err)
+	}
+	var fe float64
+	for _, v := range x {
+		fe += real(v)*real(v) + imag(v)*imag(v)
+	}
+	if !almostEqual(te, fe/n, 1e-6*te) {
+		t.Errorf("Parseval violated: time %g vs freq %g", te, fe/n)
+	}
+}
+
+func TestFFTLinearityProperty(t *testing.T) {
+	// Property: FFT(a*x + y) == a*FFT(x) + FFT(y), checked with testing/quick
+	// over random seeds.
+	f := func(seed int64, scale float64) bool {
+		if math.IsNaN(scale) || math.IsInf(scale, 0) || math.Abs(scale) > 1e6 {
+			scale = 1.5
+		}
+		rng := rand.New(rand.NewSource(seed))
+		const n = 64
+		x := make([]complex128, n)
+		y := make([]complex128, n)
+		comb := make([]complex128, n)
+		for i := range x {
+			x[i] = complex(rng.NormFloat64(), rng.NormFloat64())
+			y[i] = complex(rng.NormFloat64(), rng.NormFloat64())
+			comb[i] = complex(scale, 0)*x[i] + y[i]
+		}
+		FFT(x)
+		FFT(y)
+		FFT(comb)
+		for i := range comb {
+			want := complex(scale, 0)*x[i] + y[i]
+			if cmplx.Abs(comb[i]-want) > 1e-6*(1+cmplx.Abs(want)) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestWindows(t *testing.T) {
+	for name, fn := range map[string]func(int) []float64{
+		"hann": Hann, "hamming": Hamming, "blackman": Blackman,
+	} {
+		w := fn(64)
+		if len(w) != 64 {
+			t.Fatalf("%s: len = %d", name, len(w))
+		}
+		// Symmetric and bounded in [~0, 1].
+		for i := range w {
+			if w[i] < -1e-12 || w[i] > 1+1e-12 {
+				t.Errorf("%s[%d] = %g out of range", name, i, w[i])
+			}
+			if !almostEqual(w[i], w[len(w)-1-i], 1e-12) {
+				t.Errorf("%s not symmetric at %d", name, i)
+			}
+		}
+		if one := fn(1); len(one) != 1 || one[0] != 1 {
+			t.Errorf("%s(1) = %v, want [1]", name, one)
+		}
+	}
+	// Hann endpoints are 0, midpoint ~1.
+	w := Hann(65)
+	if !almostEqual(w[0], 0, 1e-12) || !almostEqual(w[32], 1, 1e-12) {
+		t.Errorf("Hann shape wrong: ends %g mid %g", w[0], w[32])
+	}
+}
+
+func TestSinc(t *testing.T) {
+	if Sinc(0) != 1 {
+		t.Errorf("Sinc(0) = %g", Sinc(0))
+	}
+	for _, k := range []float64{1, 2, 3, -4} {
+		if !almostEqual(Sinc(k), 0, 1e-12) {
+			t.Errorf("Sinc(%g) = %g, want 0", k, Sinc(k))
+		}
+	}
+}
+
+func TestLowpassFIRResponse(t *testing.T) {
+	const sr = 48000.0
+	taps := LowpassFIR(4000, sr, 101)
+	// DC gain should be 1 (sum of taps).
+	var sum float64
+	for _, v := range taps {
+		sum += v
+	}
+	if !almostEqual(sum, 1, 1e-9) {
+		t.Fatalf("DC gain = %g, want 1", sum)
+	}
+	// Passband tone (1 kHz) passes, stopband tone (12 kHz) is attenuated.
+	gain := func(hz float64) float64 {
+		n := 4800
+		f := NewFIRFilter(taps)
+		var peak float64
+		for i := 0; i < n; i++ {
+			y := f.Process(math.Sin(2 * math.Pi * hz * float64(i) / sr))
+			if i > len(taps) && math.Abs(y) > peak {
+				peak = math.Abs(y)
+			}
+		}
+		return peak
+	}
+	if g := gain(1000); g < 0.95 {
+		t.Errorf("passband gain @1kHz = %g, want ~1", g)
+	}
+	if g := gain(12000); g > 0.05 {
+		t.Errorf("stopband gain @12kHz = %g, want ~0", g)
+	}
+}
+
+func TestHighpassFIRResponse(t *testing.T) {
+	const sr = 48000.0
+	taps := HighpassFIR(8000, sr, 101)
+	run := func(hz float64) float64 {
+		f := NewFIRFilter(taps)
+		var peak float64
+		for i := 0; i < 4800; i++ {
+			y := f.Process(math.Sin(2 * math.Pi * hz * float64(i) / sr))
+			if i > len(taps) && math.Abs(y) > peak {
+				peak = math.Abs(y)
+			}
+		}
+		return peak
+	}
+	if g := run(1000); g > 0.05 {
+		t.Errorf("stopband gain @1kHz = %g, want ~0", g)
+	}
+	if g := run(16000); g < 0.8 {
+		t.Errorf("passband gain @16kHz = %g, want ~1", g)
+	}
+}
+
+func TestBandpassFIRResponse(t *testing.T) {
+	const sr = 48000.0
+	taps := BandpassFIR(7000, 11000, sr, 121)
+	run := func(hz float64) float64 {
+		f := NewFIRFilter(taps)
+		var peak float64
+		for i := 0; i < 4800; i++ {
+			y := f.Process(math.Sin(2 * math.Pi * hz * float64(i) / sr))
+			if i > len(taps) && math.Abs(y) > peak {
+				peak = math.Abs(y)
+			}
+		}
+		return peak
+	}
+	if g := run(9200); g < 0.9 {
+		t.Errorf("in-band gain @9.2kHz = %g, want ~1", g)
+	}
+	if g := run(2000); g > 0.05 {
+		t.Errorf("below-band gain @2kHz = %g", g)
+	}
+	if g := run(15000); g > 0.1 {
+		t.Errorf("above-band gain @15kHz = %g", g)
+	}
+}
+
+func TestFIRFilterReset(t *testing.T) {
+	f := NewFIRFilter([]float64{1, 1, 1})
+	f.Process(1)
+	f.Process(1)
+	f.Reset()
+	if y := f.Process(0); y != 0 {
+		t.Errorf("after Reset, Process(0) = %g, want 0", y)
+	}
+}
+
+func TestFIRFilterImpulseResponse(t *testing.T) {
+	taps := []float64{0.25, 0.5, 0.25}
+	f := NewFIRFilter(taps)
+	in := []float64{1, 0, 0, 0}
+	out := f.ProcessBlock(in)
+	want := []float64{0.25, 0.5, 0.25, 0}
+	for i := range want {
+		if !almostEqual(out[i], want[i], 1e-12) {
+			t.Errorf("impulse response[%d] = %g, want %g", i, out[i], want[i])
+		}
+	}
+}
+
+func TestConvolve(t *testing.T) {
+	got := Convolve([]float64{1, 2, 3}, []float64{1, 1})
+	want := []float64{1, 3, 5, 3}
+	if len(got) != len(want) {
+		t.Fatalf("len = %d, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if !almostEqual(got[i], want[i], 1e-12) {
+			t.Errorf("conv[%d] = %g, want %g", i, got[i], want[i])
+		}
+	}
+	if Convolve(nil, []float64{1}) != nil {
+		t.Error("Convolve(nil, x) should be nil")
+	}
+}
+
+func TestCrossCorrelateFindsOffset(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	needle := make([]float64, 64)
+	for i := range needle {
+		needle[i] = rng.NormFloat64()
+	}
+	haystack := make([]float64, 512)
+	for i := range haystack {
+		haystack[i] = 0.1 * rng.NormFloat64()
+	}
+	const offset = 200
+	for i, v := range needle {
+		haystack[offset+i] += v
+	}
+	cc := NormalizedCrossCorrelate(haystack, needle)
+	if got := ArgMax(cc); got != offset {
+		t.Errorf("peak at %d, want %d", got, offset)
+	}
+	if cc[offset] < 0.8 {
+		t.Errorf("peak correlation %g, want > 0.8", cc[offset])
+	}
+}
+
+func TestCrossCorrelateEdgeCases(t *testing.T) {
+	if CrossCorrelate([]float64{1}, []float64{1, 2}) != nil {
+		t.Error("needle longer than haystack should give nil")
+	}
+	if NormalizedCrossCorrelate(nil, nil) != nil {
+		t.Error("empty inputs should give nil")
+	}
+	if ArgMax(nil) != -1 {
+		t.Error("ArgMax(nil) should be -1")
+	}
+}
+
+func TestResampleIdentity(t *testing.T) {
+	x := []float64{1, 2, 3, 4}
+	y := Resample(x, 48000, 48000)
+	if len(y) != len(x) {
+		t.Fatalf("len = %d", len(y))
+	}
+	for i := range x {
+		if y[i] != x[i] {
+			t.Errorf("identity resample changed sample %d", i)
+		}
+	}
+	// Returned slice must be a copy.
+	y[0] = 99
+	if x[0] == 99 {
+		t.Error("Resample returned aliased slice")
+	}
+}
+
+func TestResamplePreservesTone(t *testing.T) {
+	// A 1 kHz tone resampled 48k -> 32k should still be a 1 kHz tone.
+	const src, dst = 48000.0, 32000.0
+	n := 4800
+	x := make([]float64, n)
+	for i := range x {
+		x[i] = math.Sin(2 * math.Pi * 1000 * float64(i) / src)
+	}
+	y := Resample(x, src, dst)
+	wantLen := int(float64(n) * dst / src)
+	if math.Abs(float64(len(y)-wantLen)) > 2 {
+		t.Fatalf("resampled length %d, want ~%d", len(y), wantLen)
+	}
+	// Goertzel at 1 kHz on resampled signal should dominate 3 kHz.
+	g1 := Goertzel(y, 1000, dst)
+	g3 := Goertzel(y, 3000, dst)
+	if g1 < 10*g3 {
+		t.Errorf("tone not preserved: 1kHz=%g 3kHz=%g", g1, g3)
+	}
+}
+
+func TestResampleDegenerate(t *testing.T) {
+	if Resample(nil, 1, 1) != nil {
+		t.Error("nil input should give nil")
+	}
+	if Resample([]float64{1}, 0, 1) != nil {
+		t.Error("zero src rate should give nil")
+	}
+}
+
+func TestGoertzelDetectsTone(t *testing.T) {
+	const sr = 8000.0
+	n := 800
+	x := make([]float64, n)
+	for i := range x {
+		x[i] = math.Sin(2 * math.Pi * 440 * float64(i) / sr)
+	}
+	on := Goertzel(x, 440, sr)
+	off := Goertzel(x, 880, sr)
+	if on < 50*off {
+		t.Errorf("Goertzel on=%g off=%g, want strong separation", on, off)
+	}
+	if Goertzel(nil, 440, sr) != 0 {
+		t.Error("Goertzel(nil) should be 0")
+	}
+}
+
+func TestRMSAndPeak(t *testing.T) {
+	x := []float64{3, -4}
+	if got := RMS(x); !almostEqual(got, math.Sqrt(12.5), 1e-12) {
+		t.Errorf("RMS = %g", got)
+	}
+	if got := Peak(x); got != 4 {
+		t.Errorf("Peak = %g", got)
+	}
+	if RMS(nil) != 0 || Peak(nil) != 0 {
+		t.Error("empty RMS/Peak should be 0")
+	}
+}
+
+func TestScaleNormalizeMix(t *testing.T) {
+	x := []float64{0.5, -0.25}
+	Normalize(x, 1.0)
+	if !almostEqual(Peak(x), 1, 1e-12) {
+		t.Errorf("Normalize peak = %g", Peak(x))
+	}
+	silent := []float64{0, 0}
+	Normalize(silent, 1.0)
+	if silent[0] != 0 {
+		t.Error("Normalize changed silence")
+	}
+
+	dst := make([]float64, 5)
+	n := MixInto(dst, []float64{1, 1, 1}, 3)
+	if n != 2 {
+		t.Errorf("MixInto clamped count = %d, want 2", n)
+	}
+	if dst[3] != 1 || dst[4] != 1 || dst[2] != 0 {
+		t.Errorf("MixInto wrote wrong region: %v", dst)
+	}
+	if MixInto(dst, []float64{1}, -1) != 0 || MixInto(dst, []float64{1}, 5) != 0 {
+		t.Error("out-of-range offset should mix nothing")
+	}
+}
+
+func TestDBConversions(t *testing.T) {
+	if got := LinearToDB(10); !almostEqual(got, 20, 1e-12) {
+		t.Errorf("LinearToDB(10) = %g", got)
+	}
+	if got := DBToLinear(-20); !almostEqual(got, 0.1, 1e-12) {
+		t.Errorf("DBToLinear(-20) = %g", got)
+	}
+	if LinearToDB(0) != -300 {
+		t.Error("LinearToDB(0) should clamp")
+	}
+	// Round-trip property.
+	f := func(db float64) bool {
+		if math.IsNaN(db) || math.Abs(db) > 100 {
+			db = math.Mod(db, 100)
+			if math.IsNaN(db) {
+				db = 0
+			}
+		}
+		return almostEqual(LinearToDB(DBToLinear(db)), db, 1e-9)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkFFT1024(b *testing.B) {
+	x := make([]complex128, 1024)
+	rng := rand.New(rand.NewSource(1))
+	for i := range x {
+		x[i] = complex(rng.NormFloat64(), 0)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		FFT(x)
+	}
+}
+
+func BenchmarkFIRFilter101Taps(b *testing.B) {
+	f := NewFIRFilter(LowpassFIR(4000, 48000, 101))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f.Process(1.0)
+	}
+}

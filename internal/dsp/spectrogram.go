@@ -1,0 +1,118 @@
+package dsp
+
+import (
+	"errors"
+	"math"
+)
+
+// Spectrogram computes a magnitude spectrogram of x: Hann-windowed FFT
+// frames of fftSize samples every hop samples. Row [t][k] is the linear
+// magnitude of bin k (0..fftSize/2) in frame t. It is the debugging lens
+// for the modem's occupied band (the paper's Figure 2 view of the FM
+// baseband) and drives the SpectrogramASCII rendering in sonic-modem.
+func Spectrogram(x []float64, fftSize, hop int) ([][]float64, error) {
+	if !IsPowerOfTwo(fftSize) {
+		return nil, ErrNotPowerOfTwo
+	}
+	if hop < 1 || len(x) < fftSize {
+		return nil, errors.New("dsp: signal shorter than one frame")
+	}
+	win := Hann(fftSize)
+	nFrames := (len(x)-fftSize)/hop + 1
+	out := make([][]float64, nFrames)
+	buf := make([]complex128, fftSize)
+	for t := 0; t < nFrames; t++ {
+		off := t * hop
+		for i := 0; i < fftSize; i++ {
+			buf[i] = complex(x[off+i]*win[i], 0)
+		}
+		if err := FFT(buf); err != nil {
+			return nil, err
+		}
+		row := make([]float64, fftSize/2+1)
+		for k := range row {
+			row[k] = math.Hypot(real(buf[k]), imag(buf[k]))
+		}
+		out[t] = row
+	}
+	return out, nil
+}
+
+// BandEnergy sums spectrogram energy between loHz and hiHz across all
+// frames, given the sample rate the signal was captured at.
+func BandEnergy(spec [][]float64, fftSize int, sampleRate float64, loHz, hiHz float64) float64 {
+	if len(spec) == 0 {
+		return 0
+	}
+	binHz := sampleRate / float64(fftSize)
+	var acc float64
+	for _, row := range spec {
+		for k, v := range row {
+			hz := float64(k) * binHz
+			if hz >= loHz && hz <= hiHz {
+				acc += v * v
+			}
+		}
+	}
+	return acc
+}
+
+// SpectrogramASCII renders the spectrogram as rows x cols characters
+// (time on x, frequency on y, low frequencies at the bottom), using a
+// density ramp. Useful for eyeballing a burst in a terminal.
+func SpectrogramASCII(spec [][]float64, rows, cols int) []string {
+	if len(spec) == 0 || rows < 1 || cols < 1 {
+		return nil
+	}
+	ramp := []byte(" .:-=+*#%@")
+	nBins := len(spec[0])
+	// Find the max for normalization.
+	var peak float64
+	for _, row := range spec {
+		for _, v := range row {
+			if v > peak {
+				peak = v
+			}
+		}
+	}
+	if peak <= 0 {
+		peak = 1
+	}
+	out := make([]string, rows)
+	for r := 0; r < rows; r++ {
+		line := make([]byte, cols)
+		// Row 0 is the highest frequency band.
+		b0 := (rows - 1 - r) * nBins / rows
+		b1 := (rows - r) * nBins / rows
+		for c := 0; c < cols; c++ {
+			t0 := c * len(spec) / cols
+			t1 := (c + 1) * len(spec) / cols
+			if t1 <= t0 {
+				t1 = t0 + 1
+			}
+			var acc float64
+			n := 0
+			for t := t0; t < t1 && t < len(spec); t++ {
+				for b := b0; b < b1 && b < nBins; b++ {
+					acc += spec[t][b]
+					n++
+				}
+			}
+			if n > 0 {
+				acc /= float64(n)
+			}
+			// Log compression.
+			db := LinearToDB(acc / peak)
+			idx := int((db + 60) / 60 * float64(len(ramp)-1))
+			if idx < 0 {
+				idx = 0
+			}
+			if idx >= len(ramp) {
+				idx = len(ramp) - 1
+			}
+			line[c] = ramp[idx]
+		}
+		out[r] = string(line)
+	}
+	return out
+}

@@ -1,0 +1,76 @@
+package dsp
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestSpectrogramToneLocalization(t *testing.T) {
+	const sr = 48000.0
+	n := 48000
+	x := make([]float64, n)
+	for i := range x {
+		x[i] = math.Sin(2 * math.Pi * 9200 * float64(i) / sr)
+	}
+	spec, err := Spectrogram(x, 1024, 512)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(spec) < 10 {
+		t.Fatalf("only %d frames", len(spec))
+	}
+	inBand := BandEnergy(spec, 1024, sr, 9000, 9400)
+	total := BandEnergy(spec, 1024, sr, 0, sr/2)
+	if inBand/total < 0.95 {
+		t.Errorf("tone energy share = %.3f, want ~1", inBand/total)
+	}
+}
+
+func TestSpectrogramValidation(t *testing.T) {
+	if _, err := Spectrogram(make([]float64, 4096), 1000, 512); err == nil {
+		t.Error("non-power-of-two fft should fail")
+	}
+	if _, err := Spectrogram(make([]float64, 100), 1024, 512); err == nil {
+		t.Error("short signal should fail")
+	}
+	if _, err := Spectrogram(make([]float64, 4096), 1024, 0); err == nil {
+		t.Error("zero hop should fail")
+	}
+}
+
+func TestSpectrogramASCII(t *testing.T) {
+	const sr = 48000.0
+	n := 24000
+	x := make([]float64, n)
+	for i := range x {
+		x[i] = math.Sin(2 * math.Pi * 12000 * float64(i) / sr)
+	}
+	spec, err := Spectrogram(x, 512, 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	art := SpectrogramASCII(spec, 8, 40)
+	if len(art) != 8 || len(art[0]) != 40 {
+		t.Fatalf("dims %dx%d", len(art), len(art[0]))
+	}
+	// The 12 kHz tone is at half of Nyquist: the middle rows should be
+	// darker (denser glyphs) than the top and bottom rows.
+	dense := func(s string) int {
+		n := 0
+		for _, c := range s {
+			if c != ' ' && c != '.' {
+				n++
+			}
+		}
+		return n
+	}
+	mid := dense(art[3]) + dense(art[4])
+	edge := dense(art[0]) + dense(art[7])
+	if mid <= edge {
+		t.Errorf("tone row not visible: mid=%d edge=%d\n%s", mid, edge, strings.Join(art, "\n"))
+	}
+	if SpectrogramASCII(nil, 8, 40) != nil {
+		t.Error("empty spec should render nil")
+	}
+}

@@ -1,0 +1,306 @@
+package fec
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// ConvCode is a rate-1/2 binary convolutional code with constraint length
+// K and two generator polynomials, decoded with hard-decision Viterbi.
+//
+// The SONIC paper names its inner code "v29": the classic rate-1/2, K=9
+// code (generators 753/561 octal, as in IS-95 and the libfec v29 codec).
+// "v27" (K=7, generators 171/133 octal, the Voyager/NASA standard code)
+// is provided as the ablation baseline.
+type ConvCode struct {
+	k     int    // constraint length
+	polyA uint32 // generator A (lowest bit = newest input)
+	polyB uint32
+}
+
+// NewV29 returns the paper's inner code: rate 1/2, K=9, polys 753/561 (octal).
+func NewV29() *ConvCode { return &ConvCode{k: 9, polyA: 0o753, polyB: 0o561} }
+
+// NewV27 returns the classic rate 1/2, K=7, polys 171/133 (octal) code.
+func NewV27() *ConvCode { return &ConvCode{k: 7, polyA: 0o171, polyB: 0o133} }
+
+// ConstraintLength returns K.
+func (c *ConvCode) ConstraintLength() int { return c.k }
+
+// Rate returns the code rate (always 1/2 for this family).
+func (c *ConvCode) Rate() float64 { return 0.5 }
+
+// parity returns the parity (XOR of bits) of x.
+func parity(x uint32) byte {
+	x ^= x >> 16
+	x ^= x >> 8
+	x ^= x >> 4
+	x ^= x >> 2
+	x ^= x >> 1
+	return byte(x & 1)
+}
+
+// EncodeBits encodes a bit slice (values 0/1) and returns 2*(len(bits)+K-1)
+// output bits: the encoder is flushed with K-1 zero tail bits so the
+// decoder terminates in the zero state.
+func (c *ConvCode) EncodeBits(bits []byte) []byte {
+	out := make([]byte, 0, 2*(len(bits)+c.k-1))
+	var sr uint32 // shift register, newest bit in LSB
+	mask := uint32(1<<uint(c.k)) - 1
+	emit := func(b byte) {
+		sr = ((sr << 1) | uint32(b&1)) & mask
+		out = append(out, parity(sr&c.polyA), parity(sr&c.polyB))
+	}
+	for _, b := range bits {
+		emit(b)
+	}
+	for i := 0; i < c.k-1; i++ { // tail flush
+		emit(0)
+	}
+	return out
+}
+
+// ErrBadCodeLength is returned by DecodeBits for streams whose length is
+// not consistent with the encoder output format.
+var ErrBadCodeLength = errors.New("fec: convolutional stream length invalid")
+
+// DecodeBits runs hard-decision Viterbi over a coded bit stream produced
+// by EncodeBits (possibly with bit errors) and returns the decoded message
+// bits. The stream length must be even and at least 2*(K-1).
+func (c *ConvCode) DecodeBits(coded []byte) ([]byte, error) {
+	if len(coded)%2 != 0 || len(coded) < 2*(c.k-1) {
+		return nil, ErrBadCodeLength
+	}
+	nSteps := len(coded) / 2
+	msgLen := nSteps - (c.k - 1)
+	if msgLen < 0 {
+		return nil, ErrBadCodeLength
+	}
+	nStates := 1 << uint(c.k-1)
+	stateMask := uint32(nStates - 1)
+
+	// Precompute per-(state,input) output pairs.
+	// Transition: full register = (state << 1 | input) relative to our
+	// encoder where state holds the K-1 most recent bits *after* shifting.
+	type trans struct {
+		next uint32
+		out0 byte // polyA output
+		out1 byte // polyB output
+	}
+	tr := make([][2]trans, nStates)
+	for s := 0; s < nStates; s++ {
+		for in := 0; in < 2; in++ {
+			full := (uint32(s)<<1 | uint32(in)) & ((1 << uint(c.k)) - 1)
+			tr[s][in] = trans{
+				next: full & stateMask,
+				out0: parity(full & c.polyA),
+				out1: parity(full & c.polyB),
+			}
+		}
+	}
+
+	const inf = math.MaxInt32 / 2
+	metric := make([]int32, nStates)
+	next := make([]int32, nStates)
+	for i := range metric {
+		metric[i] = inf
+	}
+	metric[0] = 0 // encoder starts in the zero state
+
+	// Survivor storage: one bit (the input) per state per step, plus the
+	// predecessor state implied by the transition structure. We store the
+	// predecessor explicitly for simplicity.
+	prevState := make([][]uint32, nSteps)
+	prevInput := make([][]byte, nSteps)
+
+	for step := 0; step < nSteps; step++ {
+		r0, r1 := coded[2*step]&1, coded[2*step+1]&1
+		ps := make([]uint32, nStates)
+		pi := make([]byte, nStates)
+		for i := range next {
+			next[i] = inf
+		}
+		for s := 0; s < nStates; s++ {
+			m := metric[s]
+			if m >= inf {
+				continue
+			}
+			for in := 0; in < 2; in++ {
+				t := tr[s][in]
+				var branch int32
+				if t.out0 != r0 {
+					branch++
+				}
+				if t.out1 != r1 {
+					branch++
+				}
+				nm := m + branch
+				if nm < next[t.next] {
+					next[t.next] = nm
+					ps[t.next] = uint32(s)
+					pi[t.next] = byte(in)
+				}
+			}
+		}
+		metric, next = next, metric
+		prevState[step] = ps
+		prevInput[step] = pi
+	}
+
+	// Traceback from the zero state (tail flush guarantees it).
+	bits := make([]byte, nSteps)
+	state := uint32(0)
+	for step := nSteps - 1; step >= 0; step-- {
+		bits[step] = prevInput[step][state]
+		state = prevState[step][state]
+	}
+	return bits[:msgLen], nil
+}
+
+// DecodeSoft runs soft-decision Viterbi over per-bit soft metrics
+// (positive value = bit 1, magnitude = reliability, as produced by the
+// modem's DemapSoft). It returns the decoded message bits. Soft decoding
+// buys roughly 2 dB over hard decisions on Gaussian channels, which is
+// why data-over-sound modems like Quiet feed their decoders soft values.
+func (c *ConvCode) DecodeSoft(soft []float64) ([]byte, error) {
+	if len(soft)%2 != 0 || len(soft) < 2*(c.k-1) {
+		return nil, ErrBadCodeLength
+	}
+	nSteps := len(soft) / 2
+	msgLen := nSteps - (c.k - 1)
+	nStates := 1 << uint(c.k-1)
+	stateMask := uint32(nStates - 1)
+
+	type trans struct {
+		next       uint32
+		out0, out1 float64 // expected soft signs: +1 for bit 1, -1 for bit 0
+	}
+	tr := make([][2]trans, nStates)
+	for s := 0; s < nStates; s++ {
+		for in := 0; in < 2; in++ {
+			full := (uint32(s)<<1 | uint32(in)) & ((1 << uint(c.k)) - 1)
+			e0, e1 := -1.0, -1.0
+			if parity(full&c.polyA) == 1 {
+				e0 = 1
+			}
+			if parity(full&c.polyB) == 1 {
+				e1 = 1
+			}
+			tr[s][in] = trans{next: full & stateMask, out0: e0, out1: e1}
+		}
+	}
+
+	const ninf = -1e18
+	metric := make([]float64, nStates)
+	next := make([]float64, nStates)
+	for i := range metric {
+		metric[i] = ninf
+	}
+	metric[0] = 0
+
+	prevState := make([][]uint32, nSteps)
+	prevInput := make([][]byte, nSteps)
+	for step := 0; step < nSteps; step++ {
+		r0, r1 := soft[2*step], soft[2*step+1]
+		ps := make([]uint32, nStates)
+		pi := make([]byte, nStates)
+		for i := range next {
+			next[i] = ninf
+		}
+		for s := 0; s < nStates; s++ {
+			m := metric[s]
+			if m <= ninf {
+				continue
+			}
+			for in := 0; in < 2; in++ {
+				t := tr[s][in]
+				// Correlation metric: reward agreement with confident
+				// soft values, maximize.
+				nm := m + t.out0*r0 + t.out1*r1
+				if nm > next[t.next] {
+					next[t.next] = nm
+					ps[t.next] = uint32(s)
+					pi[t.next] = byte(in)
+				}
+			}
+		}
+		metric, next = next, metric
+		prevState[step] = ps
+		prevInput[step] = pi
+	}
+
+	bits := make([]byte, nSteps)
+	state := uint32(0)
+	for step := nSteps - 1; step >= 0; step-- {
+		bits[step] = prevInput[step][state]
+		state = prevState[step][state]
+	}
+	return bits[:msgLen], nil
+}
+
+// DecodeSoftBytes is DecodeSoft with byte packing: soft covers codedBits
+// metrics and the decoded message must be byte aligned.
+func (c *ConvCode) DecodeSoftBytes(soft []float64) ([]byte, error) {
+	msgBits, err := c.DecodeSoft(soft)
+	if err != nil {
+		return nil, err
+	}
+	if len(msgBits)%8 != 0 {
+		return nil, fmt.Errorf("fec: decoded %d bits, not byte aligned", len(msgBits))
+	}
+	return BitsToBytes(msgBits), nil
+}
+
+// Encode packs bytes to bits (MSB first), encodes, and returns the coded
+// bit stream packed back into bytes (padded with zero bits to a byte
+// boundary) along with the number of valid coded bits.
+func (c *ConvCode) Encode(data []byte) (coded []byte, codedBits int) {
+	bits := BytesToBits(data)
+	cb := c.EncodeBits(bits)
+	return BitsToBytes(cb), len(cb)
+}
+
+// Decode reverses Encode given the original coded bit count.
+func (c *ConvCode) Decode(coded []byte, codedBits int) ([]byte, error) {
+	if codedBits < 0 || codedBits > len(coded)*8 {
+		return nil, ErrBadCodeLength
+	}
+	bits := BytesToBits(coded)[:codedBits]
+	msgBits, err := c.DecodeBits(bits)
+	if err != nil {
+		return nil, err
+	}
+	if len(msgBits)%8 != 0 {
+		return nil, fmt.Errorf("fec: decoded %d bits, not byte aligned", len(msgBits))
+	}
+	return BitsToBytes(msgBits), nil
+}
+
+// EncodedBits returns the number of coded bits for msgLen message bytes.
+func (c *ConvCode) EncodedBits(msgLen int) int {
+	return 2 * (msgLen*8 + c.k - 1)
+}
+
+// BytesToBits unpacks bytes into bits, MSB first.
+func BytesToBits(data []byte) []byte {
+	bits := make([]byte, len(data)*8)
+	for i, b := range data {
+		for j := 0; j < 8; j++ {
+			bits[i*8+j] = (b >> uint(7-j)) & 1
+		}
+	}
+	return bits
+}
+
+// BitsToBytes packs bits (MSB first) into bytes, zero-padding the final
+// partial byte.
+func BitsToBytes(bits []byte) []byte {
+	out := make([]byte, (len(bits)+7)/8)
+	for i, b := range bits {
+		if b&1 != 0 {
+			out[i/8] |= 1 << uint(7-i%8)
+		}
+	}
+	return out
+}

@@ -1,0 +1,71 @@
+package fec
+
+import "fmt"
+
+// Interleaver is a byte block interleaver: bytes are written into a
+// rows×cols matrix row by row and read out column by column, spreading a
+// burst of up to rows consecutive corrupted bytes across rows distinct
+// positions. It operates on exact multiples of rows*cols; Pad can be used
+// to round a message up.
+type Interleaver struct {
+	rows, cols int
+}
+
+// NewInterleaver returns a rows×cols block interleaver.
+func NewInterleaver(rows, cols int) (*Interleaver, error) {
+	if rows < 1 || cols < 1 {
+		return nil, fmt.Errorf("fec: invalid interleaver geometry %dx%d", rows, cols)
+	}
+	return &Interleaver{rows: rows, cols: cols}, nil
+}
+
+// BlockSize returns rows*cols, the unit the interleaver operates on.
+func (il *Interleaver) BlockSize() int { return il.rows * il.cols }
+
+// Pad appends zero bytes so len(data) is a multiple of BlockSize, and
+// returns the padded slice plus the original length.
+func (il *Interleaver) Pad(data []byte) (padded []byte, origLen int) {
+	bs := il.BlockSize()
+	rem := len(data) % bs
+	if rem == 0 {
+		return data, len(data)
+	}
+	out := make([]byte, len(data)+bs-rem)
+	copy(out, data)
+	return out, len(data)
+}
+
+// Interleave permutes data (whose length must be a multiple of BlockSize)
+// and returns a new slice.
+func (il *Interleaver) Interleave(data []byte) ([]byte, error) {
+	bs := il.BlockSize()
+	if len(data)%bs != 0 {
+		return nil, fmt.Errorf("fec: interleave length %d not a multiple of %d", len(data), bs)
+	}
+	out := make([]byte, len(data))
+	for blk := 0; blk+bs <= len(data); blk += bs {
+		for r := 0; r < il.rows; r++ {
+			for c := 0; c < il.cols; c++ {
+				out[blk+c*il.rows+r] = data[blk+r*il.cols+c]
+			}
+		}
+	}
+	return out, nil
+}
+
+// Deinterleave inverts Interleave.
+func (il *Interleaver) Deinterleave(data []byte) ([]byte, error) {
+	bs := il.BlockSize()
+	if len(data)%bs != 0 {
+		return nil, fmt.Errorf("fec: deinterleave length %d not a multiple of %d", len(data), bs)
+	}
+	out := make([]byte, len(data))
+	for blk := 0; blk+bs <= len(data); blk += bs {
+		for r := 0; r < il.rows; r++ {
+			for c := 0; c < il.cols; c++ {
+				out[blk+r*il.cols+c] = data[blk+c*il.rows+r]
+			}
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,136 @@
+package fec
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewInterleaverValidation(t *testing.T) {
+	if _, err := NewInterleaver(0, 5); err == nil {
+		t.Error("zero rows should fail")
+	}
+	if _, err := NewInterleaver(5, -1); err == nil {
+		t.Error("negative cols should fail")
+	}
+	il, err := NewInterleaver(4, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if il.BlockSize() != 32 {
+		t.Errorf("BlockSize = %d", il.BlockSize())
+	}
+}
+
+func TestInterleaveRoundTrip(t *testing.T) {
+	il, _ := NewInterleaver(8, 16)
+	rng := rand.New(rand.NewSource(1))
+	data := make([]byte, 8*16*3)
+	rng.Read(data)
+	inter, err := il.Interleave(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	deinter, err := il.Deinterleave(inter)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(deinter, data) {
+		t.Fatal("round trip mismatch")
+	}
+}
+
+func TestInterleaveRejectsBadLength(t *testing.T) {
+	il, _ := NewInterleaver(4, 4)
+	if _, err := il.Interleave(make([]byte, 15)); err == nil {
+		t.Error("non-multiple length should fail")
+	}
+	if _, err := il.Deinterleave(make([]byte, 17)); err == nil {
+		t.Error("non-multiple length should fail")
+	}
+}
+
+func TestInterleavePad(t *testing.T) {
+	il, _ := NewInterleaver(4, 4)
+	padded, orig := il.Pad([]byte{1, 2, 3})
+	if orig != 3 || len(padded) != 16 {
+		t.Errorf("Pad: len=%d orig=%d", len(padded), orig)
+	}
+	exact := make([]byte, 16)
+	padded, orig = il.Pad(exact)
+	if len(padded) != 16 || orig != 16 {
+		t.Errorf("Pad of exact multiple: len=%d orig=%d", len(padded), orig)
+	}
+}
+
+func TestInterleaveSpreadsBursts(t *testing.T) {
+	// A burst of `rows` consecutive corrupted bytes in the interleaved
+	// stream must land in `rows` different rows after deinterleaving,
+	// i.e. no two corrupted bytes within cols of each other.
+	il, _ := NewInterleaver(8, 32)
+	n := il.BlockSize()
+	data := make([]byte, n)
+	inter, _ := il.Interleave(data)
+	// Corrupt an 8-byte burst.
+	start := 40
+	for i := start; i < start+8; i++ {
+		inter[i] = 0xFF
+	}
+	deinter, _ := il.Deinterleave(inter)
+	var positions []int
+	for i, v := range deinter {
+		if v == 0xFF {
+			positions = append(positions, i)
+		}
+	}
+	if len(positions) != 8 {
+		t.Fatalf("found %d corrupted bytes, want 8", len(positions))
+	}
+	for i := 1; i < len(positions); i++ {
+		if positions[i]-positions[i-1] < 8 {
+			t.Errorf("corrupted bytes too close after deinterleave: %v", positions)
+		}
+	}
+}
+
+func TestInterleaveQuickProperty(t *testing.T) {
+	il, _ := NewInterleaver(5, 7)
+	f := func(data []byte) bool {
+		padded, _ := il.Pad(data)
+		inter, err := il.Interleave(padded)
+		if err != nil {
+			return false
+		}
+		deinter, err := il.Deinterleave(inter)
+		if err != nil {
+			return false
+		}
+		return bytes.Equal(deinter, padded)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCRCHelpers(t *testing.T) {
+	data := []byte("sonic")
+	sum := Checksum32(data)
+	if !Verify32(data, sum) {
+		t.Error("Verify32 failed on matching sum")
+	}
+	if Verify32([]byte("sonik"), sum) {
+		t.Error("Verify32 passed on corrupted data")
+	}
+	s16 := Checksum16(data)
+	if !Verify16(data, s16) {
+		t.Error("Verify16 failed")
+	}
+	if Verify16([]byte("sonik"), s16) {
+		t.Error("Verify16 passed on corrupted data")
+	}
+	// CRC-16/CCITT-FALSE known answer for "123456789".
+	if got := Checksum16([]byte("123456789")); got != 0x29B1 {
+		t.Errorf("CRC16(123456789) = %#x, want 0x29B1", got)
+	}
+}

@@ -1,0 +1,305 @@
+package fec
+
+import (
+	"errors"
+	"fmt"
+)
+
+// RS is a Reed-Solomon codec over GF(2^8) with N=255 total symbols and
+// K data symbols per codeword; it corrects up to (255-K)/2 symbol errors.
+// Shortened codewords (fewer than K data bytes) are handled transparently
+// by zero-padding on encode and stripping on decode.
+//
+// The paper's "rs8" outer code corresponds to NewRS8().
+type RS struct {
+	k      int    // data symbols per codeword
+	nroots int    // parity symbols per codeword
+	gen    []byte // generator polynomial, highest degree first
+	fcr    int    // first consecutive root exponent
+}
+
+// Standard rs8 geometry: RS(255,223), 16 parity roots.
+const (
+	rsN       = 255
+	rs8K      = 223
+	rs8Parity = rsN - rs8K
+	rs8FCR    = 1
+)
+
+// ErrTooManyErrors is returned when a codeword is uncorrectable.
+var ErrTooManyErrors = errors.New("fec: reed-solomon codeword uncorrectable")
+
+// NewRS returns an RS(255, k) codec. k must be in [1, 254].
+func NewRS(k int) (*RS, error) {
+	if k < 1 || k > rsN-1 {
+		return nil, fmt.Errorf("fec: invalid RS k=%d", k)
+	}
+	r := &RS{k: k, nroots: rsN - k, fcr: rs8FCR}
+	// Generator polynomial: product of (x - alpha^(fcr+i)).
+	g := []byte{1}
+	for i := 0; i < r.nroots; i++ {
+		g = polyMul(g, []byte{1, gfPow(r.fcr + i)})
+	}
+	r.gen = g
+	return r, nil
+}
+
+// NewRS8 returns the paper's outer code, RS(255,223).
+func NewRS8() *RS {
+	r, err := NewRS(rs8K)
+	if err != nil {
+		panic(err) // unreachable: constant k is valid
+	}
+	return r
+}
+
+// DataLen returns the number of data symbols per codeword.
+func (r *RS) DataLen() int { return r.k }
+
+// ParityLen returns the number of parity symbols per codeword.
+func (r *RS) ParityLen() int { return r.nroots }
+
+// MaxErrors returns the number of symbol errors correctable per codeword.
+func (r *RS) MaxErrors() int { return r.nroots / 2 }
+
+// EncodeBlock appends the parity symbols for one codeword of data
+// (len(data) <= k; shorter input is treated as a shortened code) and
+// returns data||parity as a new slice.
+func (r *RS) EncodeBlock(data []byte) ([]byte, error) {
+	if len(data) > r.k {
+		return nil, fmt.Errorf("fec: block of %d exceeds RS k=%d", len(data), r.k)
+	}
+	// Systematic encoding: parity = (msg * x^nroots) mod gen, computed over
+	// the virtual full-length (zero-prefixed) message. Leading zeros do not
+	// change the remainder, so shortened messages need no explicit padding.
+	parity := make([]byte, r.nroots)
+	for _, d := range data {
+		fb := d ^ parity[0]
+		copy(parity, parity[1:])
+		parity[r.nroots-1] = 0
+		if fb != 0 {
+			for i := 0; i < r.nroots; i++ {
+				// gen[0] is always 1, so feedback taps start at gen[1].
+				parity[i] ^= gfMul(fb, r.gen[i+1])
+			}
+		}
+	}
+	out := make([]byte, 0, len(data)+r.nroots)
+	out = append(out, data...)
+	out = append(out, parity...)
+	return out, nil
+}
+
+// DecodeBlock corrects a codeword in place (data||parity as produced by
+// EncodeBlock, possibly shortened) and returns the corrected data portion
+// along with the number of symbol errors fixed. It returns
+// ErrTooManyErrors when the codeword cannot be corrected.
+func (r *RS) DecodeBlock(block []byte) (data []byte, corrected int, err error) {
+	if len(block) < r.nroots+1 || len(block) > rsN {
+		return nil, 0, fmt.Errorf("fec: RS block length %d out of range", len(block))
+	}
+	pad := rsN - len(block) // virtual leading zeros of the shortened code
+
+	// Syndromes.
+	synd := make([]byte, r.nroots)
+	allZero := true
+	for i := 0; i < r.nroots; i++ {
+		s := polyEval(block, gfPow(r.fcr+i))
+		synd[i] = s
+		if s != 0 {
+			allZero = false
+		}
+	}
+	if allZero {
+		return block[:len(block)-r.nroots], 0, nil
+	}
+
+	// Berlekamp-Massey: find the error locator polynomial sigma
+	// (lowest degree first here for convenience).
+	sigma := []byte{1}
+	prev := []byte{1}
+	var l, m int = 0, 1
+	b := byte(1)
+	for n := 0; n < r.nroots; n++ {
+		var d byte = synd[n]
+		for i := 1; i <= l; i++ {
+			if i < len(sigma) {
+				d ^= gfMul(sigma[i], synd[n-i])
+			}
+		}
+		if d == 0 {
+			m++
+			continue
+		}
+		if 2*l <= n {
+			tmp := make([]byte, len(sigma))
+			copy(tmp, sigma)
+			coef := gfDiv(d, b)
+			sigma = polyAddShift(sigma, prev, coef, m)
+			prev = tmp
+			l = n + 1 - l
+			b = d
+			m = 1
+		} else {
+			coef := gfDiv(d, b)
+			sigma = polyAddShift(sigma, prev, coef, m)
+			m++
+		}
+	}
+	if l > r.nroots/2 {
+		return nil, 0, ErrTooManyErrors
+	}
+
+	// Chien search over valid positions of the (possibly shortened) code.
+	// Position p (0-based from the start of the full-length codeword)
+	// corresponds to root alpha^{-(254-p)}... we use the standard form:
+	// error at codeword index i (from the end, i.e. x^i term) iff
+	// sigma(alpha^{-i}) == 0.
+	var errPos []int // indexes into block
+	for i := 0; i < rsN-pad; i++ {
+		xinv := gfPow(-(rsN - 1 - pad - i)) // exponent of x for block[i]
+		if polyEvalLow(sigma, xinv) == 0 {
+			errPos = append(errPos, i)
+		}
+	}
+	if len(errPos) != l {
+		return nil, 0, ErrTooManyErrors
+	}
+
+	// Forney algorithm: error evaluator omega = (synd * sigma) mod x^nroots.
+	omega := make([]byte, r.nroots)
+	for i := 0; i < r.nroots; i++ {
+		var acc byte
+		for j := 0; j <= i && j < len(sigma); j++ {
+			acc ^= gfMul(sigma[j], synd[i-j])
+		}
+		omega[i] = acc
+	}
+	// Formal derivative of sigma (terms with odd powers).
+	for _, pos := range errPos {
+		xPow := rsN - 1 - pad - pos // exponent: block[pos] is coefficient of x^xPow
+		xinv := gfPow(-xPow)
+		// omega(xinv)
+		var num byte
+		xp := byte(1)
+		for i := 0; i < len(omega); i++ {
+			num ^= gfMul(omega[i], xp)
+			xp = gfMul(xp, xinv)
+		}
+		// sigma'(xinv): sum over odd i of sigma[i]*x^(i-1)
+		var den byte
+		for i := 1; i < len(sigma); i += 2 {
+			p := byte(1)
+			for j := 0; j < i-1; j++ {
+				p = gfMul(p, xinv)
+			}
+			den ^= gfMul(sigma[i], p)
+		}
+		if den == 0 {
+			return nil, 0, ErrTooManyErrors
+		}
+		// Error magnitude, adjusted for fcr: e = x^(1-fcr) * omega(xinv)/sigma'(xinv).
+		mag := gfDiv(num, den)
+		if r.fcr != 1 {
+			mag = gfMul(mag, gfPow((1-r.fcr)*xPow))
+		}
+		block[pos] ^= mag
+	}
+
+	// Verify by recomputing syndromes.
+	for i := 0; i < r.nroots; i++ {
+		if polyEval(block, gfPow(r.fcr+i)) != 0 {
+			return nil, 0, ErrTooManyErrors
+		}
+	}
+	return block[:len(block)-r.nroots], len(errPos), nil
+}
+
+// polyAddShift returns a + coef * b * x^shift for low-order-first polys.
+func polyAddShift(a, b []byte, coef byte, shift int) []byte {
+	n := len(a)
+	if len(b)+shift > n {
+		n = len(b) + shift
+	}
+	out := make([]byte, n)
+	copy(out, a)
+	for i, bv := range b {
+		out[i+shift] ^= gfMul(bv, coef)
+	}
+	return out
+}
+
+// polyEvalLow evaluates a low-order-first polynomial at x.
+func polyEvalLow(p []byte, x byte) byte {
+	var y byte
+	for i := len(p) - 1; i >= 0; i-- {
+		y = gfMul(y, x) ^ p[i]
+	}
+	return y
+}
+
+// Encode splits msg into codewords of up to DataLen() bytes each, RS
+// encodes every codeword, and concatenates the results. The output layout
+// is [cw0 data||parity][cw1 data||parity]... with only the last codeword
+// possibly shortened.
+func (r *RS) Encode(msg []byte) []byte {
+	var out []byte
+	for len(msg) > 0 {
+		n := r.k
+		if len(msg) < n {
+			n = len(msg)
+		}
+		cw, _ := r.EncodeBlock(msg[:n]) // n <= k, cannot fail
+		out = append(out, cw...)
+		msg = msg[n:]
+	}
+	return out
+}
+
+// Decode reverses Encode: it consumes full codewords (the last possibly
+// shortened), corrects each, and returns the concatenated data plus the
+// total number of corrected symbol errors.
+func (r *RS) Decode(stream []byte) ([]byte, int, error) {
+	full := r.k + r.nroots
+	var out []byte
+	total := 0
+	for len(stream) > 0 {
+		n := full
+		if len(stream) < n {
+			n = len(stream)
+		}
+		if n <= r.nroots {
+			return nil, total, fmt.Errorf("fec: trailing RS fragment of %d bytes", n)
+		}
+		block := make([]byte, n)
+		copy(block, stream[:n])
+		data, c, err := r.DecodeBlock(block)
+		if err != nil {
+			return nil, total, err
+		}
+		total += c
+		out = append(out, data...)
+		stream = stream[n:]
+	}
+	return out, total, nil
+}
+
+// EncodedLen returns the encoded size of a message of msgLen bytes.
+func (r *RS) EncodedLen(msgLen int) int {
+	if msgLen == 0 {
+		return 0
+	}
+	fullCW := msgLen / r.k
+	rem := msgLen % r.k
+	n := fullCW * (r.k + r.nroots)
+	if rem > 0 {
+		n += rem + r.nroots
+	}
+	return n
+}
+
+// Overhead returns the code rate overhead factor (encoded/plain) for large
+// messages, e.g. 255/223 for rs8.
+func (r *RS) Overhead() float64 {
+	return float64(r.k+r.nroots) / float64(r.k)
+}

@@ -1,0 +1,254 @@
+package fm
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"sonic/internal/dsp"
+)
+
+func tone(hz float64, n int, rate float64) []float64 {
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = math.Sin(2 * math.Pi * hz * float64(i) / rate)
+	}
+	return out
+}
+
+func TestFMModDemodRoundTrip(t *testing.T) {
+	// A composite-rate tone should survive modulation and discrimination.
+	x := tone(5000, 19200, CompositeRate)
+	for i := range x {
+		x[i] *= 0.5
+	}
+	mod := (&Modulator{}).Modulate(x)
+	for i, s := range mod {
+		if math.Abs(real(s)*real(s)+imag(s)*imag(s)-1) > 1e-9 {
+			t.Fatalf("envelope magnitude not 1 at %d", i)
+		}
+	}
+	rx := (&Demodulator{}).Demodulate(mod)
+	// Skip the first samples (discriminator warmup), compare the rest.
+	var errSum, sigSum float64
+	for i := 100; i < len(x); i++ {
+		d := rx[i] - x[i]
+		errSum += d * d
+		sigSum += x[i] * x[i]
+	}
+	if snr := 10 * math.Log10(sigSum/errSum); snr < 60 {
+		t.Errorf("clean FM round trip SNR = %.1f dB, want > 60", snr)
+	}
+}
+
+func TestFMHighCNRIsClean(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	x := tone(1000, 9600, 48000)
+	rx := Broadcast(x, 48000, 50, rng)
+	// Compare steady-state region via correlation-based gain estimate.
+	if len(rx) < len(x)-200 {
+		t.Fatalf("output too short: %d vs %d", len(rx), len(x))
+	}
+	g1 := dsp.Goertzel(rx[200:len(rx)-200], 1000, 48000)
+	g3 := dsp.Goertzel(rx[200:len(rx)-200], 3300, 48000)
+	if g1 < 20*g3 {
+		t.Errorf("tone not dominant after broadcast: 1k=%g 3.3k=%g", g1, g3)
+	}
+}
+
+func TestFMThresholdEffect(t *testing.T) {
+	// Below ~10 dB CNR the FM discriminator output collapses; audio SNR
+	// should be dramatically worse at 5 dB CNR than at 30 dB CNR.
+	audioSNR := func(cnr float64) float64 {
+		rng := rand.New(rand.NewSource(2))
+		x := tone(1000, 19200, 48000)
+		for i := range x {
+			x[i] *= 0.5
+		}
+		rx := Broadcast(x, 48000, cnr, rng)
+		n := len(rx)
+		sig := dsp.Goertzel(rx[500:n-500], 1000, 48000)
+		noise := dsp.Goertzel(rx[500:n-500], 4321, 48000) +
+			dsp.Goertzel(rx[500:n-500], 7777, 48000)
+		return 20 * math.Log10(sig/(noise/2+1e-12))
+	}
+	hi := audioSNR(30)
+	lo := audioSNR(5)
+	if hi-lo < 15 {
+		t.Errorf("no threshold effect: 30dB CNR -> %.1f, 5dB CNR -> %.1f", hi, lo)
+	}
+}
+
+func TestBuildSplitComposite(t *testing.T) {
+	x := tone(2000, 9600, 48000)
+	comp := BuildComposite(x, 48000, nil)
+	if len(comp) != len(x)*CompositeRate/48000 {
+		t.Fatalf("composite length %d", len(comp))
+	}
+	// Pilot present at 19 kHz.
+	if p := dsp.Goertzel(comp, PilotHz, CompositeRate); p < 10 {
+		t.Errorf("pilot missing: %g", p)
+	}
+	audio, _ := SplitComposite(comp, 48000)
+	g2 := dsp.Goertzel(audio[200:], 2000, 48000)
+	gp := dsp.Goertzel(audio[200:], PilotHz-1000, 48000)
+	if g2 < 10*gp {
+		t.Errorf("mono extraction poor: 2k=%g 18k=%g", g2, gp)
+	}
+}
+
+func TestCompositeCarriesRDS(t *testing.T) {
+	// An RDS band injected at 57 kHz must come back out of SplitComposite.
+	rds := tone(RDSCarrierHz, 19200, CompositeRate)
+	comp := BuildComposite(make([]float64, 4800), 48000, rds)
+	_, band := SplitComposite(comp, 48000)
+	on := dsp.Goertzel(band[500:], RDSCarrierHz, CompositeRate)
+	off := dsp.Goertzel(band[500:], RDSCarrierHz-8000, CompositeRate)
+	if on < 10*off {
+		t.Errorf("RDS band not recovered: on=%g off=%g", on, off)
+	}
+}
+
+func TestRSSIModel(t *testing.T) {
+	m := DefaultRSSIModel()
+	// Monotone decreasing with distance.
+	prev := math.Inf(1)
+	for _, d := range []float64{10, 50, 100, 500, 1000} {
+		r := m.RSSIAtDistance(d)
+		if r >= prev {
+			t.Errorf("RSSI not decreasing at %gm: %g >= %g", d, r, prev)
+		}
+		prev = r
+	}
+	// The paper's operating range (-65..-90 dB) maps to plausible distances.
+	d65 := m.DistanceForRSSI(-65)
+	d90 := m.DistanceForRSSI(-90)
+	if d65 >= d90 {
+		t.Errorf("distance inversion: %g !< %g", d65, d90)
+	}
+	if d90 > 5000 {
+		t.Errorf("-90 dB at %gm: beyond the TR508's km class", d90)
+	}
+	// Round trip.
+	for _, rssi := range []float64{-65, -75, -85} {
+		back := m.RSSIAtDistance(m.DistanceForRSSI(rssi))
+		if math.Abs(back-rssi) > 1e-6 {
+			t.Errorf("RSSI round trip %g -> %g", rssi, back)
+		}
+	}
+	// CNR at the paper's total-loss boundary (-90 dB) should be near the
+	// FM threshold (~11 dB).
+	cnr := m.CNRForRSSI(-90)
+	if cnr < 8 || cnr > 14 {
+		t.Errorf("CNR at -90 dB RSSI = %g, want near FM threshold", cnr)
+	}
+	// Clamping below reference distance.
+	if m.RSSIAtDistance(1) != m.RSSIAtDistance(m.RefDistanceM) {
+		t.Error("distances under reference should clamp")
+	}
+}
+
+func TestAcousticModelShape(t *testing.T) {
+	a := DefaultAcousticModel()
+	if !math.IsInf(a.MeanSNRAt(0), 1) {
+		t.Error("cable should be infinite SNR")
+	}
+	// Monotone decreasing.
+	prev := math.Inf(1)
+	for _, d := range []float64{0.1, 0.2, 0.5, 1.0, 1.1, 1.5} {
+		s := a.MeanSNRAt(d)
+		if s >= prev {
+			t.Errorf("SNR not decreasing at %gm", d)
+		}
+		prev = s
+	}
+	// Near field strong, far field collapsed.
+	if a.MeanSNRAt(0.1) < 35 {
+		t.Errorf("10cm SNR = %g, want strong", a.MeanSNRAt(0.1))
+	}
+	if a.MeanSNRAt(1.3) > 10 {
+		t.Errorf("1.3m SNR = %g, want collapsed", a.MeanSNRAt(1.3))
+	}
+}
+
+func TestAcousticTransmitCable(t *testing.T) {
+	a := DefaultAcousticModel()
+	rng := rand.New(rand.NewSource(3))
+	in := tone(1000, 4800, 48000)
+	out := a.Transmit(in, 48000, 0, rng)
+	for i := range in {
+		if out[i] != in[i] {
+			t.Fatal("cable transmit must be lossless")
+		}
+	}
+	out[0] = 99
+	if in[0] == 99 {
+		t.Error("cable transmit aliases input")
+	}
+}
+
+func TestAcousticTransmitAddsDistanceNoise(t *testing.T) {
+	a := DefaultAcousticModel()
+	// Disable the filter and echo so the comparison below measures noise
+	// rather than FIR group delay.
+	a.SpeakerCutoffHz = 0
+	a.EchoGain = 0
+	in := tone(9200, 9600, 48000)
+	snrOf := func(d float64, seed int64) float64 {
+		rng := rand.New(rand.NewSource(seed))
+		out := a.Transmit(in, 48000, d, rng)
+		var sig, errp float64
+		for i := 200; i < len(in); i++ {
+			sig += in[i] * in[i]
+			dlt := out[i] - in[i]
+			errp += dlt * dlt
+		}
+		return 10 * math.Log10(sig/errp)
+	}
+	near := snrOf(0.1, 4)
+	far := snrOf(1.0, 4)
+	if near-far < 10 {
+		t.Errorf("distance should cost SNR: 0.1m=%.1f 1m=%.1f", near, far)
+	}
+}
+
+func TestChainAndLinks(t *testing.T) {
+	in := tone(1000, 4800, 48000)
+	chain := Chain{CableLink{}, &AWGNLink{SNRdB: math.Inf(1)}}
+	out := chain.Transmit(in, 48000)
+	for i := range in {
+		if math.Abs(out[i]-in[i]) > 1e-12 {
+			t.Fatal("lossless chain altered signal")
+		}
+	}
+	noisy := (&AWGNLink{SNRdB: 10, Rng: rand.New(rand.NewSource(5))}).Transmit(in, 48000)
+	var diff float64
+	for i := range in {
+		diff += math.Abs(noisy[i] - in[i])
+	}
+	if diff == 0 {
+		t.Error("AWGN link added no noise")
+	}
+}
+
+func TestFMLinkRSSISelection(t *testing.T) {
+	l := &FMLink{Model: DefaultRSSIModel(), DistanceM: 100}
+	fromDistance := l.RSSI()
+	l.RSSIOverride = -70
+	if l.RSSI() != -70 {
+		t.Errorf("override ignored: %g", l.RSSI())
+	}
+	if fromDistance == -70 {
+		t.Error("distance-derived RSSI suspiciously equal to override")
+	}
+}
+
+func BenchmarkFMBroadcast100ms(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	x := tone(9200, 4800, 48000)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Broadcast(x, 48000, 30, rng)
+	}
+}

@@ -1,0 +1,353 @@
+// Package frame implements SONIC's link-layer framing (§3.3): content is
+// divided into fixed 100-byte frames, each carrying a page id, a sequence
+// number used to reassemble the image at the receiver, a payload, and a
+// CRC32 checksum. Each frame is then protected by the outer Reed-Solomon
+// code (rs8) and the inner convolutional code (v29) before hitting the
+// modem, so the on-air unit is a fixed-size coded frame and a receiver
+// can resynchronize on every frame boundary.
+package frame
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"sonic/internal/fec"
+)
+
+// Wire geometry. A frame is exactly FrameSize bytes before FEC:
+//
+//	pageID(2) seq(4) total(4) payloadLen(1) payload(85) crc32(4) = 100
+const (
+	FrameSize   = 100
+	PayloadSize = 85
+	headerSize  = 11 // pageID + seq + total + payloadLen
+)
+
+// Frame is one SONIC link-layer frame.
+type Frame struct {
+	PageID  uint16
+	Seq     uint32
+	Total   uint32 // frames in this page's transmission
+	Payload []byte // <= PayloadSize bytes
+}
+
+// Errors surfaced by the codec.
+var (
+	ErrPayloadTooBig = errors.New("frame: payload exceeds 85 bytes")
+	ErrBadCRC        = errors.New("frame: CRC32 mismatch")
+	ErrBadLength     = errors.New("frame: wrong frame length")
+)
+
+// Marshal serializes the frame into its fixed 100-byte wire form.
+func (f *Frame) Marshal() ([]byte, error) {
+	if len(f.Payload) > PayloadSize {
+		return nil, ErrPayloadTooBig
+	}
+	out := make([]byte, FrameSize)
+	binary.BigEndian.PutUint16(out[0:2], f.PageID)
+	binary.BigEndian.PutUint32(out[2:6], f.Seq)
+	binary.BigEndian.PutUint32(out[6:10], f.Total)
+	out[10] = byte(len(f.Payload))
+	copy(out[headerSize:], f.Payload)
+	crc := fec.Checksum32(out[:FrameSize-4])
+	binary.BigEndian.PutUint32(out[FrameSize-4:], crc)
+	return out, nil
+}
+
+// Unmarshal parses and validates a 100-byte frame.
+func Unmarshal(b []byte) (*Frame, error) {
+	if len(b) != FrameSize {
+		return nil, ErrBadLength
+	}
+	crc := binary.BigEndian.Uint32(b[FrameSize-4:])
+	if !fec.Verify32(b[:FrameSize-4], crc) {
+		return nil, ErrBadCRC
+	}
+	plen := int(b[10])
+	if plen > PayloadSize {
+		return nil, fmt.Errorf("frame: invalid payload length %d", plen)
+	}
+	f := &Frame{
+		PageID:  binary.BigEndian.Uint16(b[0:2]),
+		Seq:     binary.BigEndian.Uint32(b[2:6]),
+		Total:   binary.BigEndian.Uint32(b[6:10]),
+		Payload: append([]byte(nil), b[headerSize:headerSize+plen]...),
+	}
+	return f, nil
+}
+
+// Codec applies the paper's FEC stack to frames: outer rs8 then inner
+// v29, producing fixed-size coded frames the modem broadcasts.
+type Codec struct {
+	rs   *fec.RS
+	conv *fec.ConvCode
+	// codedLen is the on-air bytes per frame.
+	codedLen  int
+	codedBits int
+	rsLen     int
+}
+
+// NewCodec builds the default paper stack (rs8 + v29).
+func NewCodec() *Codec {
+	return NewCodecWith(fec.NewRS8(), fec.NewV29())
+}
+
+// NewCodecWith builds a codec with explicit component codes, enabling the
+// ablation benches (v27 vs v29, RS on/off). Either code may be nil to
+// disable that stage.
+func NewCodecWith(rs *fec.RS, conv *fec.ConvCode) *Codec {
+	c := &Codec{rs: rs, conv: conv}
+	c.rsLen = FrameSize
+	if rs != nil {
+		c.rsLen = rs.EncodedLen(FrameSize)
+	}
+	if conv != nil {
+		c.codedBits = conv.EncodedBits(c.rsLen)
+		c.codedLen = (c.codedBits + 7) / 8
+	} else {
+		c.codedBits = c.rsLen * 8
+		c.codedLen = c.rsLen
+	}
+	return c
+}
+
+// CodedFrameSize returns the on-air bytes per frame after FEC.
+func (c *Codec) CodedFrameSize() int { return c.codedLen }
+
+// Overhead returns on-air bytes divided by payload bytes.
+func (c *Codec) Overhead() float64 {
+	return float64(c.codedLen) / float64(PayloadSize)
+}
+
+// EncodeFrame converts a frame to its on-air coded form.
+func (c *Codec) EncodeFrame(f *Frame) ([]byte, error) {
+	plain, err := f.Marshal()
+	if err != nil {
+		return nil, err
+	}
+	buf := plain
+	if c.rs != nil {
+		buf = c.rs.Encode(buf)
+	}
+	if c.conv != nil {
+		coded, bits := c.conv.Encode(buf)
+		if bits != c.codedBits {
+			return nil, fmt.Errorf("frame: coded %d bits, expected %d", bits, c.codedBits)
+		}
+		buf = coded
+	}
+	if len(buf) != c.codedLen {
+		return nil, fmt.Errorf("frame: coded frame %d bytes, expected %d", len(buf), c.codedLen)
+	}
+	return buf, nil
+}
+
+// DecodeFrame reverses EncodeFrame, correcting channel errors where the
+// FEC stack allows. A non-nil error means the frame is lost.
+func (c *Codec) DecodeFrame(coded []byte) (*Frame, error) {
+	if len(coded) != c.codedLen {
+		return nil, ErrBadLength
+	}
+	buf := coded
+	if c.conv != nil {
+		dec, err := c.conv.Decode(coded, c.codedBits)
+		if err != nil {
+			return nil, err
+		}
+		buf = dec[:c.rsLen]
+	}
+	if c.rs != nil {
+		dec, _, err := c.rs.Decode(buf)
+		if err != nil {
+			return nil, err
+		}
+		buf = dec
+	}
+	return Unmarshal(buf[:FrameSize])
+}
+
+// DecodeFrameSoft is DecodeFrame on per-bit soft metrics (positive =
+// bit 1), len(soft) == CodedFrameSize()*8. The inner code decodes with
+// soft-decision Viterbi; the outer RS stage and CRC remain hard. Without
+// an inner code it falls back to hard slicing.
+func (c *Codec) DecodeFrameSoft(soft []float64) (*Frame, error) {
+	if len(soft) != c.codedLen*8 {
+		return nil, ErrBadLength
+	}
+	var buf []byte
+	if c.conv != nil {
+		dec, err := c.conv.DecodeSoftBytes(soft[:c.codedBits])
+		if err != nil {
+			return nil, err
+		}
+		buf = dec[:c.rsLen]
+	} else {
+		bits := make([]byte, len(soft))
+		for i, s := range soft {
+			if s > 0 {
+				bits[i] = 1
+			}
+		}
+		buf = fec.BitsToBytes(bits)[:c.rsLen]
+	}
+	if c.rs != nil {
+		dec, _, err := c.rs.Decode(buf)
+		if err != nil {
+			return nil, err
+		}
+		buf = dec
+	}
+	return Unmarshal(buf[:FrameSize])
+}
+
+// DecodeStreamSoft splits a soft-metric stream (8 metrics per coded
+// byte) into frames, decoding each with the soft path.
+func (c *Codec) DecodeStreamSoft(soft []float64) (frames []*Frame, lost int) {
+	chunk := c.codedLen * 8
+	for off := 0; off+chunk <= len(soft); off += chunk {
+		f, err := c.DecodeFrameSoft(soft[off : off+chunk])
+		if err != nil {
+			lost++
+			continue
+		}
+		frames = append(frames, f)
+	}
+	return frames, lost
+}
+
+// EncodeStream packs many frames into one contiguous coded byte stream
+// (the payload of a single modem burst).
+func (c *Codec) EncodeStream(frames []*Frame) ([]byte, error) {
+	out := make([]byte, 0, len(frames)*c.codedLen)
+	for _, f := range frames {
+		cf, err := c.EncodeFrame(f)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, cf...)
+	}
+	return out, nil
+}
+
+// DecodeStream splits a coded stream back into frames. Frames that fail
+// FEC or CRC are counted as lost and omitted. Trailing partial data is
+// ignored (a truncated burst loses its tail frames).
+func (c *Codec) DecodeStream(stream []byte) (frames []*Frame, lost int) {
+	for off := 0; off+c.codedLen <= len(stream); off += c.codedLen {
+		f, err := c.DecodeFrame(stream[off : off+c.codedLen])
+		if err != nil {
+			lost++
+			continue
+		}
+		frames = append(frames, f)
+	}
+	return frames, lost
+}
+
+// Chunk splits a blob into frames for the given page id.
+func Chunk(pageID uint16, blob []byte) []*Frame {
+	total := (len(blob) + PayloadSize - 1) / PayloadSize
+	if total == 0 {
+		total = 1
+	}
+	frames := make([]*Frame, 0, total)
+	for i := 0; i < total; i++ {
+		lo := i * PayloadSize
+		hi := lo + PayloadSize
+		if hi > len(blob) {
+			hi = len(blob)
+		}
+		frames = append(frames, &Frame{
+			PageID:  pageID,
+			Seq:     uint32(i),
+			Total:   uint32(total),
+			Payload: append([]byte(nil), blob[lo:hi]...),
+		})
+	}
+	return frames
+}
+
+// Reassembler collects frames for one page and reports completeness.
+type Reassembler struct {
+	PageID   uint16
+	total    uint32
+	payloads map[uint32][]byte
+}
+
+// NewReassembler creates a reassembler for a page.
+func NewReassembler(pageID uint16) *Reassembler {
+	return &Reassembler{PageID: pageID, payloads: make(map[uint32][]byte)}
+}
+
+// Add ingests a frame; duplicates and frames for other pages are ignored.
+// It reports whether the frame was accepted.
+func (r *Reassembler) Add(f *Frame) bool {
+	if f.PageID != r.PageID {
+		return false
+	}
+	if r.total == 0 {
+		r.total = f.Total
+	}
+	if f.Total != r.total || f.Seq >= r.total {
+		return false
+	}
+	if _, dup := r.payloads[f.Seq]; dup {
+		return false
+	}
+	r.payloads[f.Seq] = f.Payload
+	return true
+}
+
+// Total returns the expected frame count (0 until the first frame).
+func (r *Reassembler) Total() int { return int(r.total) }
+
+// Received returns how many distinct frames arrived.
+func (r *Reassembler) Received() int { return len(r.payloads) }
+
+// Complete reports whether every frame arrived.
+func (r *Reassembler) Complete() bool {
+	return r.total > 0 && len(r.payloads) == int(r.total)
+}
+
+// LossRate returns the fraction of frames still missing (0 when total is
+// unknown).
+func (r *Reassembler) LossRate() float64 {
+	if r.total == 0 {
+		return 0
+	}
+	return 1 - float64(len(r.payloads))/float64(r.total)
+}
+
+// MissingSeqs lists the sequence numbers not yet received.
+func (r *Reassembler) MissingSeqs() []uint32 {
+	var miss []uint32
+	for s := uint32(0); s < r.total; s++ {
+		if _, ok := r.payloads[s]; !ok {
+			miss = append(miss, s)
+		}
+	}
+	return miss
+}
+
+// Bytes concatenates the received payloads in sequence order. ok is false
+// if any frame is missing — callers that can tolerate holes (the cell
+// transport) should use Payloads instead.
+func (r *Reassembler) Bytes() (blob []byte, ok bool) {
+	if !r.Complete() {
+		return nil, false
+	}
+	for s := uint32(0); s < r.total; s++ {
+		blob = append(blob, r.payloads[s]...)
+	}
+	return blob, true
+}
+
+// Payloads returns the received (seq, payload) pairs in order.
+func (r *Reassembler) Payloads() map[uint32][]byte {
+	out := make(map[uint32][]byte, len(r.payloads))
+	for k, v := range r.payloads {
+		out[k] = v
+	}
+	return out
+}

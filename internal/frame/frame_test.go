@@ -1,0 +1,295 @@
+package frame
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"sonic/internal/fec"
+)
+
+func TestFrameMarshalRoundTrip(t *testing.T) {
+	f := &Frame{PageID: 7, Seq: 12345, Total: 99999, Payload: []byte("hello sonic")}
+	b, err := f.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(b) != FrameSize {
+		t.Fatalf("marshaled %d bytes, want %d", len(b), FrameSize)
+	}
+	got, err := Unmarshal(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.PageID != 7 || got.Seq != 12345 || got.Total != 99999 ||
+		!bytes.Equal(got.Payload, f.Payload) {
+		t.Errorf("round trip mismatch: %+v", got)
+	}
+}
+
+func TestFrameValidation(t *testing.T) {
+	f := &Frame{Payload: make([]byte, PayloadSize+1)}
+	if _, err := f.Marshal(); err != ErrPayloadTooBig {
+		t.Errorf("oversized payload err = %v", err)
+	}
+	if _, err := Unmarshal(make([]byte, 99)); err != ErrBadLength {
+		t.Errorf("short frame err = %v", err)
+	}
+	good, _ := (&Frame{Payload: []byte("x")}).Marshal()
+	good[5] ^= 0xFF
+	if _, err := Unmarshal(good); err != ErrBadCRC {
+		t.Errorf("corrupted frame err = %v", err)
+	}
+}
+
+func TestCodecGeometry(t *testing.T) {
+	c := NewCodec()
+	// 100 -> RS(132) -> conv 2*(132*8+8) bits = 266 bytes.
+	if c.CodedFrameSize() != 266 {
+		t.Errorf("coded frame = %d bytes, want 266", c.CodedFrameSize())
+	}
+	if o := c.Overhead(); o < 3.0 || o > 3.3 {
+		t.Errorf("overhead = %g", o)
+	}
+	// Net goodput with the Sonic92 profile: raw 23 kbps * 100/266 * 85/100.
+	plain := NewCodecWith(nil, nil)
+	if plain.CodedFrameSize() != FrameSize {
+		t.Errorf("no-FEC coded size = %d", plain.CodedFrameSize())
+	}
+}
+
+func TestCodecCleanRoundTrip(t *testing.T) {
+	c := NewCodec()
+	f := &Frame{PageID: 1, Seq: 2, Total: 3, Payload: []byte("payload")}
+	coded, err := c.EncodeFrame(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := c.DecodeFrame(coded)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Seq != 2 || !bytes.Equal(got.Payload, f.Payload) {
+		t.Error("round trip mismatch")
+	}
+}
+
+func TestCodecCorrectsBitErrors(t *testing.T) {
+	c := NewCodec()
+	f := &Frame{PageID: 1, Seq: 0, Total: 1, Payload: bytes.Repeat([]byte{0xAB}, PayloadSize)}
+	coded, _ := c.EncodeFrame(f)
+	rng := rand.New(rand.NewSource(1))
+	// 1% random bit errors: v29 alone should fix nearly all, RS the rest.
+	corrupted := make([]byte, len(coded))
+	copy(corrupted, coded)
+	flips := 0
+	for i := range corrupted {
+		for b := 0; b < 8; b++ {
+			if rng.Float64() < 0.01 {
+				corrupted[i] ^= 1 << uint(b)
+				flips++
+			}
+		}
+	}
+	if flips == 0 {
+		t.Skip("no flips")
+	}
+	got, err := c.DecodeFrame(corrupted)
+	if err != nil {
+		t.Fatalf("decode after %d bit flips: %v", flips, err)
+	}
+	if !bytes.Equal(got.Payload, f.Payload) {
+		t.Error("payload corrupted")
+	}
+}
+
+func TestCodecDetectsHeavyCorruption(t *testing.T) {
+	c := NewCodec()
+	f := &Frame{PageID: 1, Seq: 0, Total: 1, Payload: []byte("x")}
+	coded, _ := c.EncodeFrame(f)
+	rng := rand.New(rand.NewSource(2))
+	lostOrWrong := 0
+	const trials = 10
+	for trial := 0; trial < trials; trial++ {
+		corrupted := make([]byte, len(coded))
+		copy(corrupted, coded)
+		for i := range corrupted {
+			if rng.Float64() < 0.5 {
+				corrupted[i] = byte(rng.Intn(256))
+			}
+		}
+		got, err := c.DecodeFrame(corrupted)
+		if err != nil || !bytes.Equal(got.Payload, f.Payload) {
+			lostOrWrong++
+		}
+	}
+	if lostOrWrong != trials {
+		t.Errorf("%d/%d heavily corrupted frames decoded 'successfully'", trials-lostOrWrong, trials)
+	}
+}
+
+func TestChunkAndReassemble(t *testing.T) {
+	blob := make([]byte, 1000)
+	rand.New(rand.NewSource(3)).Read(blob)
+	frames := Chunk(42, blob)
+	wantFrames := (1000 + PayloadSize - 1) / PayloadSize
+	if len(frames) != wantFrames {
+		t.Fatalf("chunked into %d frames, want %d", len(frames), wantFrames)
+	}
+	r := NewReassembler(42)
+	for _, f := range frames {
+		if !r.Add(f) {
+			t.Fatalf("frame %d rejected", f.Seq)
+		}
+	}
+	if !r.Complete() || r.LossRate() != 0 {
+		t.Fatal("should be complete")
+	}
+	got, ok := r.Bytes()
+	if !ok || !bytes.Equal(got, blob) {
+		t.Fatal("reassembly mismatch")
+	}
+}
+
+func TestChunkEmptyBlob(t *testing.T) {
+	frames := Chunk(1, nil)
+	if len(frames) != 1 || len(frames[0].Payload) != 0 {
+		t.Errorf("empty blob should produce one empty frame, got %d", len(frames))
+	}
+}
+
+func TestReassemblerRejects(t *testing.T) {
+	r := NewReassembler(5)
+	f0 := &Frame{PageID: 5, Seq: 0, Total: 2, Payload: []byte("a")}
+	if !r.Add(f0) {
+		t.Fatal("valid frame rejected")
+	}
+	if r.Add(f0) {
+		t.Error("duplicate accepted")
+	}
+	if r.Add(&Frame{PageID: 6, Seq: 1, Total: 2}) {
+		t.Error("wrong page accepted")
+	}
+	if r.Add(&Frame{PageID: 5, Seq: 9, Total: 2}) {
+		t.Error("out-of-range seq accepted")
+	}
+	if r.Add(&Frame{PageID: 5, Seq: 1, Total: 7}) {
+		t.Error("inconsistent total accepted")
+	}
+	if r.Complete() {
+		t.Error("incomplete reported complete")
+	}
+	if got := r.MissingSeqs(); len(got) != 1 || got[0] != 1 {
+		t.Errorf("MissingSeqs = %v", got)
+	}
+	if _, ok := r.Bytes(); ok {
+		t.Error("Bytes should fail while incomplete")
+	}
+	if r.LossRate() != 0.5 {
+		t.Errorf("LossRate = %g", r.LossRate())
+	}
+}
+
+func TestStreamRoundTripWithLostFrames(t *testing.T) {
+	c := NewCodec()
+	blob := make([]byte, 850)
+	rand.New(rand.NewSource(4)).Read(blob)
+	frames := Chunk(9, blob)
+	stream, err := c.EncodeStream(frames)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Obliterate the third coded frame.
+	off := 2 * c.CodedFrameSize()
+	for i := off; i < off+c.CodedFrameSize(); i++ {
+		stream[i] = 0
+	}
+	got, lost := c.DecodeStream(stream)
+	if lost != 1 {
+		t.Errorf("lost = %d, want 1", lost)
+	}
+	if len(got) != len(frames)-1 {
+		t.Errorf("recovered %d frames, want %d", len(got), len(frames)-1)
+	}
+	r := NewReassembler(9)
+	for _, f := range got {
+		r.Add(f)
+	}
+	miss := r.MissingSeqs()
+	if len(miss) != 1 || miss[0] != 2 {
+		t.Errorf("missing = %v, want [2]", miss)
+	}
+}
+
+func TestCodecAblationVariants(t *testing.T) {
+	// All four FEC combinations must round-trip cleanly.
+	for _, c := range []*Codec{
+		NewCodecWith(nil, nil),
+		NewCodecWith(fec.NewRS8(), nil),
+		NewCodecWith(nil, fec.NewV29()),
+		NewCodecWith(fec.NewRS8(), fec.NewV27()),
+	} {
+		f := &Frame{PageID: 3, Seq: 1, Total: 2, Payload: []byte("ablation")}
+		coded, err := c.EncodeFrame(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := c.DecodeFrame(coded)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got.Payload, f.Payload) {
+			t.Error("ablation variant round trip failed")
+		}
+	}
+}
+
+func TestChunkReassembleQuick(t *testing.T) {
+	f := func(blob []byte, pageID uint16) bool {
+		frames := Chunk(pageID, blob)
+		r := NewReassembler(pageID)
+		// Shuffle-ish delivery order.
+		for i := len(frames) - 1; i >= 0; i-- {
+			r.Add(frames[i])
+		}
+		got, ok := r.Bytes()
+		if !ok {
+			return false
+		}
+		if len(blob) == 0 {
+			return len(got) == 0
+		}
+		return bytes.Equal(got, blob)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkCodecEncodeFrame(b *testing.B) {
+	c := NewCodec()
+	f := &Frame{PageID: 1, Seq: 1, Total: 10, Payload: make([]byte, PayloadSize)}
+	b.SetBytes(PayloadSize)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.EncodeFrame(f); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkCodecDecodeFrame(b *testing.B) {
+	c := NewCodec()
+	f := &Frame{PageID: 1, Seq: 1, Total: 10, Payload: make([]byte, PayloadSize)}
+	coded, _ := c.EncodeFrame(f)
+	b.SetBytes(PayloadSize)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.DecodeFrame(coded); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,234 @@
+package imagecodec
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// The paper's transmission scheme (§3.3) divides the rendered image
+// vertically into partitions one pixel wide and packs each partition into
+// fixed-size frames; a lost frame therefore damages only a bounded run of
+// pixels in one column, which the receiver repairs with nearest-neighbor
+// interpolation. Cell is that unit: an independently decodable,
+// RLE-compressed run of pixels from a single column. One cell rides in
+// one SONIC frame payload.
+type Cell struct {
+	Col  uint16 // column index (0-based partition number)
+	Y0   uint16 // first row covered
+	N    uint16 // number of pixels covered
+	Data []byte // RLE token stream
+}
+
+// CellHeaderSize is the marshaled header length.
+const CellHeaderSize = 6
+
+// RLE token types inside Cell.Data.
+const (
+	tokRun     = 0x00 // tokRun, count, r, g, b    -> count copies of (r,g,b)
+	tokLiteral = 0x01 // tokLiteral, count, count*3 bytes
+)
+
+// Marshal serializes the cell.
+func (c *Cell) Marshal() []byte {
+	out := make([]byte, CellHeaderSize+len(c.Data))
+	binary.BigEndian.PutUint16(out[0:2], c.Col)
+	binary.BigEndian.PutUint16(out[2:4], c.Y0)
+	binary.BigEndian.PutUint16(out[4:6], c.N)
+	copy(out[CellHeaderSize:], c.Data)
+	return out
+}
+
+// UnmarshalCell parses a marshaled cell.
+func UnmarshalCell(b []byte) (Cell, error) {
+	if len(b) < CellHeaderSize {
+		return Cell{}, errors.New("imagecodec: cell too short")
+	}
+	c := Cell{
+		Col:  binary.BigEndian.Uint16(b[0:2]),
+		Y0:   binary.BigEndian.Uint16(b[2:4]),
+		N:    binary.BigEndian.Uint16(b[4:6]),
+		Data: append([]byte(nil), b[CellHeaderSize:]...),
+	}
+	return c, nil
+}
+
+// EncodeColumns compresses the raster losslessly into cells whose
+// marshaled size never exceeds maxCellBytes (header included).
+// maxCellBytes must leave room for at least one literal pixel token.
+func EncodeColumns(r *Raster, maxCellBytes int) ([]Cell, error) {
+	return EncodeColumnsTol(r, maxCellBytes, 0)
+}
+
+// EncodeColumnsTol is EncodeColumns with a per-channel tolerance: a run
+// absorbs following pixels whose channels all sit within tol of the run's
+// first pixel. tol > 0 makes the codec slightly lossy but lets smooth
+// gradients (photos) collapse into runs — the 1-D analogue of SIC's
+// quantizer. tol=0 is lossless.
+func EncodeColumnsTol(r *Raster, maxCellBytes, tol int) ([]Cell, error) {
+	if r == nil || r.W < 1 || r.H < 1 {
+		return nil, ErrEmptyRaster
+	}
+	if r.W > 0xFFFF || r.H > 0xFFFF {
+		return nil, fmt.Errorf("imagecodec: raster %dx%d exceeds cell addressing", r.W, r.H)
+	}
+	maxData := maxCellBytes - CellHeaderSize
+	if maxData < 6 {
+		return nil, fmt.Errorf("imagecodec: maxCellBytes %d too small", maxCellBytes)
+	}
+	var cells []Cell
+	for x := 0; x < r.W; x++ {
+		cells = appendColumnCells(cells, r, x, maxData, tol)
+	}
+	return cells, nil
+}
+
+// near reports whether two pixels agree within tol per channel.
+func near(a, b RGB, tol int) bool {
+	d := func(p, q uint8) int {
+		if p > q {
+			return int(p - q)
+		}
+		return int(q - p)
+	}
+	return d(a.R, b.R) <= tol && d(a.G, b.G) <= tol && d(a.B, b.B) <= tol
+}
+
+// appendColumnCells encodes column x into one or more cells.
+func appendColumnCells(cells []Cell, r *Raster, x, maxData, tol int) []Cell {
+	y := 0
+	for y < r.H {
+		cell := Cell{Col: uint16(x), Y0: uint16(y)}
+		data := make([]byte, 0, maxData)
+		count := 0
+		for y < r.H {
+			// Measure the run starting at y.
+			c := r.At(x, y)
+			run := 1
+			for y+run < r.H && run < 255 && near(r.At(x, y+run), c, tol) {
+				run++
+			}
+			if run >= 3 {
+				if len(data)+5 > maxData {
+					break
+				}
+				data = append(data, tokRun, byte(run), c.R, c.G, c.B)
+				y += run
+				count += run
+				continue
+			}
+			// Literal stretch: gather pixels until a long run starts or
+			// the cell fills.
+			lit := make([]byte, 0, 3*16)
+			ly := y
+			for ly < r.H && len(lit) < 255*3 {
+				cc := r.At(x, ly)
+				// Stop literals when a 3+ run begins.
+				if ly+2 < r.H && near(r.At(x, ly+1), cc, tol) && near(r.At(x, ly+2), cc, tol) {
+					break
+				}
+				lit = append(lit, cc.R, cc.G, cc.B)
+				ly++
+			}
+			if len(lit) == 0 { // next pixels form a run; loop around
+				continue
+			}
+			avail := maxData - len(data) - 2
+			if avail < 3 {
+				break
+			}
+			maxPix := avail / 3
+			if maxPix > len(lit)/3 {
+				maxPix = len(lit) / 3
+			}
+			data = append(data, tokLiteral, byte(maxPix))
+			data = append(data, lit[:maxPix*3]...)
+			y += maxPix
+			count += maxPix
+			if maxPix < len(lit)/3 { // cell full mid-literal
+				break
+			}
+		}
+		cell.N = uint16(count)
+		cell.Data = data
+		if count > 0 {
+			cells = append(cells, cell)
+		} else {
+			// Defensive: no progress (cannot happen with maxData >= 6).
+			break
+		}
+	}
+	return cells
+}
+
+// DecodeColumns reconstructs a raster of the given dimensions from
+// (possibly incomplete) cells. Missing pixels are left black and flagged
+// in the returned mask (true = missing), which is what the interpolation
+// stage consumes. Malformed cells are skipped — a corrupt frame must
+// never poison neighbouring regions.
+func DecodeColumns(cells []Cell, w, h int) (*Raster, []bool) {
+	r := NewBlackRaster(w, h)
+	missing := make([]bool, w*h)
+	for i := range missing {
+		missing[i] = true
+	}
+	for _, c := range cells {
+		decodeCell(r, missing, c)
+	}
+	return r, missing
+}
+
+func decodeCell(r *Raster, missing []bool, c Cell) {
+	x := int(c.Col)
+	if x < 0 || x >= r.W {
+		return
+	}
+	y := int(c.Y0)
+	remaining := int(c.N)
+	d := c.Data
+	for remaining > 0 && len(d) >= 2 {
+		switch d[0] {
+		case tokRun:
+			n := int(d[1])
+			if len(d) < 5 || n == 0 {
+				return
+			}
+			px := RGB{d[2], d[3], d[4]}
+			for i := 0; i < n && remaining > 0; i++ {
+				if y < r.H {
+					r.Set(x, y, px)
+					missing[y*r.W+x] = false
+				}
+				y++
+				remaining--
+			}
+			d = d[5:]
+		case tokLiteral:
+			n := int(d[1])
+			if n == 0 || len(d) < 2+3*n {
+				return
+			}
+			for i := 0; i < n && remaining > 0; i++ {
+				if y < r.H {
+					r.Set(x, y, RGB{d[2+3*i], d[3+3*i], d[4+3*i]})
+					missing[y*r.W+x] = false
+				}
+				y++
+				remaining--
+			}
+			d = d[2+3*n:]
+		default:
+			return // corrupt token stream; abandon the cell
+		}
+	}
+}
+
+// CellsSize returns the total marshaled size of the cells — the number of
+// payload bytes SONIC must broadcast for this image.
+func CellsSize(cells []Cell) int {
+	n := 0
+	for _, c := range cells {
+		n += CellHeaderSize + len(c.Data)
+	}
+	return n
+}

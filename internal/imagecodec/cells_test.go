@@ -1,0 +1,190 @@
+package imagecodec
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestCellMarshalRoundTrip(t *testing.T) {
+	c := Cell{Col: 513, Y0: 9000, N: 77, Data: []byte{1, 2, 3}}
+	got, err := UnmarshalCell(c.Marshal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Col != c.Col || got.Y0 != c.Y0 || got.N != c.N || string(got.Data) != string(c.Data) {
+		t.Errorf("round trip mismatch: %+v", got)
+	}
+	if _, err := UnmarshalCell([]byte{1, 2}); err == nil {
+		t.Error("short cell should fail")
+	}
+}
+
+func TestEncodeColumnsValidation(t *testing.T) {
+	if _, err := EncodeColumns(nil, 100); err == nil {
+		t.Error("nil raster should fail")
+	}
+	if _, err := EncodeColumns(NewRaster(4, 4), 8); err == nil {
+		t.Error("tiny cell budget should fail")
+	}
+	if _, err := EncodeColumns(&Raster{W: 70000, H: 1, Pix: make([]byte, 3*70000)}, 100); err == nil {
+		t.Error("oversized raster should fail")
+	}
+}
+
+func TestColumnsLosslessRoundTrip(t *testing.T) {
+	src := testPage(64, 120, 10)
+	cells, err := EncodeColumns(src, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range cells {
+		if CellHeaderSize+len(c.Data) > 100 {
+			t.Fatalf("cell exceeds budget: %d bytes", CellHeaderSize+len(c.Data))
+		}
+	}
+	dec, missing := DecodeColumns(cells, src.W, src.H)
+	for _, m := range missing {
+		if m {
+			t.Fatal("complete cell set left missing pixels")
+		}
+	}
+	if !dec.Equal(src) {
+		t.Fatal("column codec must be lossless")
+	}
+}
+
+func TestColumnsCompressFlatPages(t *testing.T) {
+	// Flat/white pages (most of a webpage) must compress well below raw.
+	src := NewRaster(100, 1000)
+	src.FillRect(0, 0, 100, 100, RGB{0, 0, 180})
+	cells, err := EncodeColumns(src, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw := 3 * 100 * 1000
+	if CellsSize(cells)*10 > raw {
+		t.Errorf("flat page cells = %d bytes, want <10%% of %d", CellsSize(cells), raw)
+	}
+}
+
+func TestLostCellsDamageIsBounded(t *testing.T) {
+	src := testPage(64, 200, 11)
+	cells, _ := EncodeColumns(src, 100)
+	// Drop 10% of cells.
+	rng := rand.New(rand.NewSource(12))
+	var kept []Cell
+	dropped := 0
+	for _, c := range cells {
+		if rng.Float64() < 0.10 {
+			dropped++
+			continue
+		}
+		kept = append(kept, c)
+	}
+	if dropped == 0 {
+		t.Skip("rng dropped nothing")
+	}
+	dec, missing := DecodeColumns(kept, src.W, src.H)
+	// Missing pixels exist, but only in the dropped cells' columns.
+	missCols := map[int]bool{}
+	nMissing := 0
+	for i, m := range missing {
+		if m {
+			nMissing++
+			missCols[i%src.W] = true
+		}
+	}
+	if nMissing == 0 {
+		t.Fatal("dropped cells should leave missing pixels")
+	}
+	// Every received pixel must be exact.
+	for y := 0; y < src.H; y++ {
+		for x := 0; x < src.W; x++ {
+			if !missing[y*src.W+x] && dec.At(x, y) != src.At(x, y) {
+				t.Fatalf("received pixel (%d,%d) corrupted", x, y)
+			}
+		}
+	}
+	droppedCols := map[int]bool{}
+	for _, c := range cells {
+		found := false
+		for _, k := range kept {
+			if k.Col == c.Col && k.Y0 == c.Y0 {
+				found = true
+				break
+			}
+		}
+		if !found {
+			droppedCols[int(c.Col)] = true
+		}
+	}
+	for col := range missCols {
+		if !droppedCols[col] {
+			t.Errorf("column %d has missing pixels but no dropped cell", col)
+		}
+	}
+}
+
+func TestDecodeColumnsIgnoresCorruptCells(t *testing.T) {
+	src := testPage(16, 32, 13)
+	cells, _ := EncodeColumns(src, 100)
+	// Corrupt one cell's token stream and add an out-of-range cell.
+	if len(cells[0].Data) > 0 {
+		cells[0].Data[0] = 0x7F // unknown token
+	}
+	cells = append(cells, Cell{Col: 9999, Y0: 0, N: 5, Data: []byte{0, 5, 1, 1, 1}})
+	dec, missing := DecodeColumns(cells, src.W, src.H)
+	_ = dec
+	// Corrupt cell's pixels remain missing; everything else decodes.
+	if !missing[0] { // column 0 row 0 was in the corrupted cell
+		t.Error("corrupt cell should leave its pixels missing")
+	}
+}
+
+func TestCellQuickProperty(t *testing.T) {
+	// Property: encode/decode of random small rasters is lossless with no
+	// missing pixels, for any cell budget >= 16.
+	f := func(seed int64, budget uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		w, h := 1+rng.Intn(12), 1+rng.Intn(30)
+		r := NewBlackRaster(w, h)
+		for i := range r.Pix {
+			// Mix of flat and noisy regions.
+			if rng.Float64() < 0.5 {
+				r.Pix[i] = byte(rng.Intn(256))
+			}
+		}
+		b := 16 + int(budget)
+		cells, err := EncodeColumns(r, b)
+		if err != nil {
+			return false
+		}
+		for _, c := range cells {
+			if CellHeaderSize+len(c.Data) > b {
+				return false
+			}
+		}
+		dec, missing := DecodeColumns(cells, w, h)
+		for _, m := range missing {
+			if m {
+				return false
+			}
+		}
+		return dec.Equal(r)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkEncodeColumnsPageWidth(b *testing.B) {
+	src := testPage(PageWidth, 500, 1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := EncodeColumns(src, 100); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

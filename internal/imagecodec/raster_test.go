@@ -1,0 +1,131 @@
+package imagecodec
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestRasterBasics(t *testing.T) {
+	r := NewRaster(10, 5)
+	if r.At(0, 0) != (RGB{255, 255, 255}) {
+		t.Error("new raster should be white")
+	}
+	r.Set(3, 2, RGB{1, 2, 3})
+	if r.At(3, 2) != (RGB{1, 2, 3}) {
+		t.Error("Set/At mismatch")
+	}
+	// Out of bounds is safe.
+	r.Set(-1, 0, RGB{9, 9, 9})
+	r.Set(10, 0, RGB{9, 9, 9})
+	if r.At(-1, 0) != (RGB{}) || r.At(0, 99) != (RGB{}) {
+		t.Error("out-of-bounds At should be black")
+	}
+	if !r.In(9, 4) || r.In(10, 4) || r.In(0, -1) {
+		t.Error("In() wrong")
+	}
+}
+
+func TestRasterFillAndRect(t *testing.T) {
+	r := NewRaster(8, 8)
+	r.Fill(RGB{10, 20, 30})
+	if r.At(7, 7) != (RGB{10, 20, 30}) {
+		t.Error("Fill failed")
+	}
+	r.FillRect(2, 2, 3, 3, RGB{200, 0, 0})
+	if r.At(2, 2) != (RGB{200, 0, 0}) || r.At(4, 4) != (RGB{200, 0, 0}) {
+		t.Error("FillRect interior wrong")
+	}
+	if r.At(5, 5) != (RGB{10, 20, 30}) {
+		t.Error("FillRect overflowed")
+	}
+	// Clipped rect must not panic.
+	r.FillRect(-5, -5, 100, 100, RGB{1, 1, 1})
+	if r.At(0, 0) != (RGB{1, 1, 1}) {
+		t.Error("clipped FillRect missed in-bounds region")
+	}
+}
+
+func TestRasterCloneEqualCrop(t *testing.T) {
+	r := NewRaster(4, 6)
+	r.Set(1, 5, RGB{5, 5, 5})
+	c := r.Clone()
+	if !r.Equal(c) {
+		t.Error("clone not equal")
+	}
+	c.Set(0, 0, RGB{1, 1, 1})
+	if r.Equal(c) {
+		t.Error("Equal missed difference")
+	}
+	cropped := r.Crop(3)
+	if cropped.W != 4 || cropped.H != 3 {
+		t.Errorf("crop dims %dx%d", cropped.W, cropped.H)
+	}
+	if !r.Crop(100).Equal(r) {
+		t.Error("crop beyond height should be identity")
+	}
+	if r.Crop(-1).H != 0 {
+		t.Error("negative crop should be empty")
+	}
+}
+
+func TestResizeNearest(t *testing.T) {
+	r := NewRaster(4, 4)
+	r.FillRect(0, 0, 2, 2, RGB{100, 0, 0})
+	half := r.ResizeNearest(0.5)
+	if half.W != 2 || half.H != 2 {
+		t.Fatalf("dims %dx%d", half.W, half.H)
+	}
+	if half.At(0, 0) != (RGB{100, 0, 0}) {
+		t.Error("top-left quadrant color lost")
+	}
+	if half.At(1, 1) != (RGB{255, 255, 255}) {
+		t.Error("bottom-right quadrant color lost")
+	}
+	dbl := r.ResizeNearest(2.0)
+	if dbl.W != 8 || dbl.H != 8 {
+		t.Fatalf("dims %dx%d", dbl.W, dbl.H)
+	}
+	if dbl.At(3, 3) != (RGB{100, 0, 0}) || dbl.At(4, 4) != (RGB{255, 255, 255}) {
+		t.Error("upscale wrong")
+	}
+	if r.ResizeNearest(0).W != 0 {
+		t.Error("zero factor should be empty")
+	}
+	// The paper's scaling factor: phone width / 1080.
+	page := NewRaster(PageWidth, 100)
+	phone := page.ResizeNearest(720.0 / PageWidth)
+	if phone.W != 720 {
+		t.Errorf("scaled width = %d, want 720", phone.W)
+	}
+}
+
+func TestPNGRoundTrip(t *testing.T) {
+	r := NewRaster(20, 10)
+	r.FillRect(5, 2, 10, 6, RGB{12, 200, 99})
+	var buf bytes.Buffer
+	if err := r.WritePNG(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadPNG(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Equal(r) {
+		t.Error("PNG round trip mismatch")
+	}
+	if _, err := ReadPNG(bytes.NewReader([]byte("nope"))); err == nil {
+		t.Error("garbage PNG should fail")
+	}
+}
+
+func TestLuma(t *testing.T) {
+	r := NewRaster(1, 1)
+	r.Set(0, 0, RGB{255, 255, 255})
+	if l := r.Luma(0, 0); l < 254 || l > 256 {
+		t.Errorf("white luma = %g", l)
+	}
+	r.Set(0, 0, RGB{})
+	if l := r.Luma(0, 0); l != 0 {
+		t.Errorf("black luma = %g", l)
+	}
+}

@@ -1,0 +1,91 @@
+package imagecodec
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// Decoders are fed hostile bytes by design (they sit behind a lossy
+// radio); they must reject garbage with errors, never panic or hang.
+
+func TestDecodeSICFuzz(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	valid, err := EncodeSIC(testPage(48, 48, 1), 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for trial := 0; trial < 300; trial++ {
+		buf := make([]byte, len(valid))
+		copy(buf, valid)
+		// Corrupt a random window.
+		n := 1 + rng.Intn(40)
+		start := rng.Intn(len(buf))
+		for i := 0; i < n && start+i < len(buf); i++ {
+			buf[start+i] = byte(rng.Intn(256))
+		}
+		// Must not panic; error or (rarely) a decoded image are both fine.
+		img, err := DecodeSIC(buf)
+		if err == nil && img != nil {
+			if img.W != 48 && img.W < 1 {
+				t.Fatalf("implausible decode: %dx%d", img.W, img.H)
+			}
+		}
+	}
+	// Pure random blobs.
+	for trial := 0; trial < 200; trial++ {
+		blob := make([]byte, rng.Intn(300))
+		rng.Read(blob)
+		_, _ = DecodeSIC(blob)
+	}
+}
+
+func TestDecodeSICTruncationSweep(t *testing.T) {
+	valid, err := EncodeSIC(testPage(32, 32, 2), 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for cut := 0; cut < len(valid); cut += 7 {
+		if _, err := DecodeSIC(valid[:cut]); err == nil && cut < len(valid)-1 {
+			// Only the full stream should decode cleanly; a prefix that
+			// happens to decode would indicate missing length checks.
+			// (flate may succeed on some prefixes, so only assert no
+			// panic and plausible output sizes — handled implicitly.)
+			continue
+		}
+	}
+}
+
+func TestUnmarshalCellFuzz(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 500; trial++ {
+		blob := make([]byte, rng.Intn(120))
+		rng.Read(blob)
+		c, err := UnmarshalCell(blob)
+		if err != nil {
+			continue
+		}
+		// Whatever parsed must decode without panicking or writing out
+		// of bounds.
+		r := NewBlackRaster(16, 16)
+		missing := make([]bool, 16*16)
+		for i := range missing {
+			missing[i] = true
+		}
+		decodeCell(r, missing, c)
+	}
+}
+
+func TestDecodeColumnsHostileCells(t *testing.T) {
+	hostile := []Cell{
+		{Col: 0, Y0: 60000, N: 65535, Data: []byte{tokRun, 255, 1, 2, 3}},
+		{Col: 65535, Y0: 0, N: 10, Data: []byte{tokRun, 10, 1, 2, 3}},
+		{Col: 1, Y0: 0, N: 65535, Data: []byte{tokLiteral, 255}}, // truncated literal
+		{Col: 2, Y0: 0, N: 5, Data: []byte{0xEE, 1, 2}},          // unknown token
+		{Col: 3, Y0: 0, N: 5, Data: []byte{tokRun, 0, 1, 2, 3}},  // zero-length run
+		{Col: 4, Y0: 0, N: 0, Data: nil},
+	}
+	r, missing := DecodeColumns(hostile, 8, 8)
+	if r.W != 8 || len(missing) != 64 {
+		t.Fatal("dimensions corrupted by hostile cells")
+	}
+}

@@ -1,0 +1,507 @@
+package imagecodec
+
+import (
+	"bytes"
+	"compress/flate"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+)
+
+// SIC (Sonic Image Codec) is the WebP substitute: a lossy block-transform
+// codec with WebP's quality scale (0 worst .. 95 best). The pipeline is
+// RGB -> YCbCr 4:2:0 -> 8x8 DCT -> quality-scaled quantization -> zigzag
+// run-length tokens -> DEFLATE. Quality drives the quantizer exactly the
+// way the paper drives WebP's -q flag for Figure 4(b).
+
+const sicMagic = "SIC1"
+
+// Quality bounds from the paper: "WebP image quality is defined on a
+// scale from 0 (worst) to 95 (best)".
+const (
+	MinQuality = 0
+	MaxQuality = 95
+)
+
+// Standard JPEG base quantization tables (Annex K), reused as SIC's rate
+// control surface.
+var lumaQBase = [64]int{
+	16, 11, 10, 16, 24, 40, 51, 61,
+	12, 12, 14, 19, 26, 58, 60, 55,
+	14, 13, 16, 24, 40, 57, 69, 56,
+	14, 17, 22, 29, 51, 87, 80, 62,
+	18, 22, 37, 56, 68, 109, 103, 77,
+	24, 35, 55, 64, 81, 104, 113, 92,
+	49, 64, 78, 87, 103, 121, 120, 101,
+	72, 92, 95, 98, 112, 100, 103, 99,
+}
+
+var chromaQBase = [64]int{
+	17, 18, 24, 47, 99, 99, 99, 99,
+	18, 21, 26, 66, 99, 99, 99, 99,
+	24, 26, 56, 99, 99, 99, 99, 99,
+	47, 66, 99, 99, 99, 99, 99, 99,
+	99, 99, 99, 99, 99, 99, 99, 99,
+	99, 99, 99, 99, 99, 99, 99, 99,
+	99, 99, 99, 99, 99, 99, 99, 99,
+	99, 99, 99, 99, 99, 99, 99, 99,
+}
+
+// zigzag maps scan order to block position.
+var zigzag = [64]int{
+	0, 1, 8, 16, 9, 2, 3, 10,
+	17, 24, 32, 25, 18, 11, 4, 5,
+	12, 19, 26, 33, 40, 48, 41, 34,
+	27, 20, 13, 6, 7, 14, 21, 28,
+	35, 42, 49, 56, 57, 50, 43, 36,
+	29, 22, 15, 23, 30, 37, 44, 51,
+	58, 59, 52, 45, 38, 31, 39, 46,
+	53, 60, 61, 54, 47, 55, 62, 63,
+}
+
+// quantTable scales a base table by the JPEG quality mapping.
+func quantTable(base [64]int, quality int) [64]int {
+	if quality < 1 {
+		quality = 1
+	}
+	if quality > MaxQuality {
+		quality = MaxQuality
+	}
+	var scale int
+	if quality < 50 {
+		scale = 5000 / quality
+	} else {
+		scale = 200 - 2*quality
+	}
+	var out [64]int
+	for i, b := range base {
+		v := (b*scale + 50) / 100
+		if v < 1 {
+			v = 1
+		}
+		if v > 255 {
+			v = 255
+		}
+		out[i] = v
+	}
+	return out
+}
+
+// dctCos is the 8-point DCT-II basis.
+var dctCos [8][8]float64
+
+func init() {
+	for k := 0; k < 8; k++ {
+		for n := 0; n < 8; n++ {
+			dctCos[k][n] = math.Cos(math.Pi * float64(k) * (2*float64(n) + 1) / 16)
+		}
+	}
+}
+
+// fdct8 performs an in-place 1-D forward DCT-II on 8 values, orthonormal:
+// X_k = c_k * sum_n x_n cos(..), with c_0 = sqrt(1/8) and c_k = sqrt(2/8).
+func fdct8(v *[8]float64) {
+	var out [8]float64
+	for k := 0; k < 8; k++ {
+		var s float64
+		for n := 0; n < 8; n++ {
+			s += v[n] * dctCos[k][n]
+		}
+		if k == 0 {
+			out[k] = s * math.Sqrt(1.0/8)
+		} else {
+			out[k] = s * math.Sqrt(2.0/8)
+		}
+	}
+	*v = out
+}
+
+// idct8 performs the inverse of fdct8.
+func idct8(v *[8]float64) {
+	var out [8]float64
+	for n := 0; n < 8; n++ {
+		var s float64
+		for k := 0; k < 8; k++ {
+			c := math.Sqrt(2.0 / 8)
+			if k == 0 {
+				c = math.Sqrt(1.0 / 8)
+			}
+			s += c * v[k] * dctCos[k][n]
+		}
+		out[n] = s
+	}
+	*v = out
+}
+
+// fdctBlock applies the separable 2-D DCT to an 8x8 block.
+func fdctBlock(b *[64]float64) {
+	var row [8]float64
+	for y := 0; y < 8; y++ {
+		copy(row[:], b[y*8:y*8+8])
+		fdct8(&row)
+		copy(b[y*8:y*8+8], row[:])
+	}
+	for x := 0; x < 8; x++ {
+		for y := 0; y < 8; y++ {
+			row[y] = b[y*8+x]
+		}
+		fdct8(&row)
+		for y := 0; y < 8; y++ {
+			b[y*8+x] = row[y]
+		}
+	}
+}
+
+// idctBlock inverts fdctBlock.
+func idctBlock(b *[64]float64) {
+	var row [8]float64
+	for x := 0; x < 8; x++ {
+		for y := 0; y < 8; y++ {
+			row[y] = b[y*8+x]
+		}
+		idct8(&row)
+		for y := 0; y < 8; y++ {
+			b[y*8+x] = row[y]
+		}
+	}
+	for y := 0; y < 8; y++ {
+		copy(row[:], b[y*8:y*8+8])
+		idct8(&row)
+		copy(b[y*8:y*8+8], row[:])
+	}
+}
+
+// plane is one color component.
+type plane struct {
+	w, h int
+	pix  []float64
+}
+
+func newPlane(w, h int) *plane {
+	return &plane{w: w, h: h, pix: make([]float64, w*h)}
+}
+
+func (p *plane) at(x, y int) float64 {
+	if x >= p.w {
+		x = p.w - 1
+	}
+	if y >= p.h {
+		y = p.h - 1
+	}
+	return p.pix[y*p.w+x]
+}
+
+// toYCbCr splits a raster into full-res Y and half-res Cb/Cr planes.
+// This is the per-pixel hot path of EncodeSIC, so it indexes Pix
+// directly instead of going through At().
+func toYCbCr(r *Raster) (yp, cb, cr *plane) {
+	yp = newPlane(r.W, r.H)
+	cw, ch := (r.W+1)/2, (r.H+1)/2
+	cb = newPlane(cw, ch)
+	cr = newPlane(cw, ch)
+	pix := r.Pix
+	for y := 0; y < r.H; y++ {
+		row := pix[3*y*r.W : 3*(y+1)*r.W]
+		out := yp.pix[y*r.W : (y+1)*r.W]
+		for x := 0; x < r.W; x++ {
+			out[x] = 0.299*float64(row[3*x]) + 0.587*float64(row[3*x+1]) + 0.114*float64(row[3*x+2])
+		}
+	}
+	for y := 0; y < ch; y++ {
+		for x := 0; x < cw; x++ {
+			// Average the 2x2 neighborhood.
+			var sr, sg, sb, n float64
+			for dy := 0; dy < 2; dy++ {
+				py := 2*y + dy
+				if py >= r.H {
+					continue
+				}
+				for dx := 0; dx < 2; dx++ {
+					px := 2*x + dx
+					if px >= r.W {
+						continue
+					}
+					i := 3 * (py*r.W + px)
+					sr += float64(pix[i])
+					sg += float64(pix[i+1])
+					sb += float64(pix[i+2])
+					n++
+				}
+			}
+			sr, sg, sb = sr/n, sg/n, sb/n
+			cb.pix[y*cw+x] = -0.168736*sr - 0.331264*sg + 0.5*sb + 128
+			cr.pix[y*cw+x] = 0.5*sr - 0.418688*sg - 0.081312*sb + 128
+		}
+	}
+	return yp, cb, cr
+}
+
+// fromYCbCr reassembles a raster from planes.
+func fromYCbCr(yp, cb, cr *plane) *Raster {
+	out := NewBlackRaster(yp.w, yp.h)
+	for y := 0; y < yp.h; y++ {
+		for x := 0; x < yp.w; x++ {
+			yy := yp.pix[y*yp.w+x]
+			cbb := cb.at(x/2, y/2) - 128
+			crr := cr.at(x/2, y/2) - 128
+			out.Set(x, y, RGB{
+				clamp8(yy + 1.402*crr),
+				clamp8(yy - 0.344136*cbb - 0.714136*crr),
+				clamp8(yy + 1.772*cbb),
+			})
+		}
+	}
+	return out
+}
+
+func clamp8(v float64) uint8 {
+	if v < 0 {
+		return 0
+	}
+	if v > 255 {
+		return 255
+	}
+	return uint8(v + 0.5)
+}
+
+// writeVarint writes a zigzag-encoded signed varint.
+func writeVarint(buf *bytes.Buffer, v int) {
+	u := uint64(v) << 1
+	if v < 0 {
+		u = ^u
+	}
+	var tmp [10]byte
+	n := binary.PutUvarint(tmp[:], u)
+	buf.Write(tmp[:n])
+}
+
+func readVarint(r *bytes.Reader) (int, error) {
+	u, err := binary.ReadUvarint(r)
+	if err != nil {
+		return 0, err
+	}
+	v := int(u >> 1)
+	if u&1 != 0 {
+		v = ^v
+	}
+	return v, nil
+}
+
+// encodePlane DCT-encodes one plane into the token buffer.
+func encodePlane(buf *bytes.Buffer, p *plane, qt [64]int) {
+	bw := (p.w + 7) / 8
+	bh := (p.h + 7) / 8
+	prevDC := 0
+	var blk [64]float64
+	for by := 0; by < bh; by++ {
+		for bx := 0; bx < bw; bx++ {
+			flat := true
+			first := p.at(bx*8, by*8)
+			if bx*8+8 <= p.w && by*8+8 <= p.h {
+				// Interior block: direct row slices, no edge clamping.
+				for y := 0; y < 8; y++ {
+					row := p.pix[(by*8+y)*p.w+bx*8:]
+					for x := 0; x < 8; x++ {
+						v := row[x]
+						blk[y*8+x] = v - 128
+						if v != first {
+							flat = false
+						}
+					}
+				}
+			} else {
+				for y := 0; y < 8; y++ {
+					for x := 0; x < 8; x++ {
+						v := p.at(bx*8+x, by*8+y)
+						blk[y*8+x] = v - 128
+						if v != first {
+							flat = false
+						}
+					}
+				}
+			}
+			if flat {
+				// Constant block: only DC survives the DCT (value*8), so
+				// skip the transform — webpage rasters are mostly flat.
+				dc := int(math.Round((first - 128) * 8 / float64(qt[0])))
+				writeVarint(buf, dc-prevDC)
+				prevDC = dc
+				buf.WriteByte(0xFF)
+				continue
+			}
+			fdctBlock(&blk)
+			var q [64]int
+			for i := 0; i < 64; i++ {
+				q[i] = int(math.Round(blk[zigzag[i]] / float64(qt[zigzag[i]])))
+			}
+			// DC delta.
+			writeVarint(buf, q[0]-prevDC)
+			prevDC = q[0]
+			// AC run-length: (run, value) pairs, 0xFF-terminated run byte.
+			run := 0
+			for i := 1; i < 64; i++ {
+				if q[i] == 0 {
+					run++
+					continue
+				}
+				for run > 62 {
+					buf.WriteByte(62)
+					writeVarint(buf, 0)
+					run -= 63
+				}
+				buf.WriteByte(byte(run))
+				writeVarint(buf, q[i])
+				run = 0
+			}
+			buf.WriteByte(0xFF) // end of block
+		}
+	}
+}
+
+// decodePlane reverses encodePlane.
+func decodePlane(r *bytes.Reader, w, h int, qt [64]int) (*plane, error) {
+	p := newPlane(w, h)
+	bw := (w + 7) / 8
+	bh := (h + 7) / 8
+	prevDC := 0
+	var q [64]int
+	var blk [64]float64
+	for by := 0; by < bh; by++ {
+		for bx := 0; bx < bw; bx++ {
+			for i := range q {
+				q[i] = 0
+			}
+			d, err := readVarint(r)
+			if err != nil {
+				return nil, fmt.Errorf("imagecodec: truncated DC: %w", err)
+			}
+			q[0] = prevDC + d
+			prevDC = q[0]
+			idx := 1
+			for {
+				rb, err := r.ReadByte()
+				if err != nil {
+					return nil, fmt.Errorf("imagecodec: truncated AC: %w", err)
+				}
+				if rb == 0xFF {
+					break
+				}
+				v, err := readVarint(r)
+				if err != nil {
+					return nil, fmt.Errorf("imagecodec: truncated AC value: %w", err)
+				}
+				idx += int(rb)
+				if idx > 63 {
+					return nil, errors.New("imagecodec: AC index overflow")
+				}
+				q[idx] = v
+				idx++
+				if idx > 64 {
+					return nil, errors.New("imagecodec: AC index overflow")
+				}
+			}
+			acZero := true
+			for i := 1; i < 64; i++ {
+				if q[i] != 0 {
+					acZero = false
+					break
+				}
+			}
+			if acZero {
+				// DC-only block: constant value, no inverse transform.
+				v := float64(q[0]*qt[0]) / 8
+				for i := range blk {
+					blk[i] = v
+				}
+			} else {
+				for i := 0; i < 64; i++ {
+					blk[zigzag[i]] = float64(q[i] * qt[zigzag[i]])
+				}
+				idctBlock(&blk)
+			}
+			for y := 0; y < 8; y++ {
+				py := by*8 + y
+				if py >= h {
+					break
+				}
+				for x := 0; x < 8; x++ {
+					px := bx*8 + x
+					if px >= w {
+						continue
+					}
+					p.pix[py*w+px] = blk[y*8+x] + 128
+				}
+			}
+		}
+	}
+	return p, nil
+}
+
+// EncodeSIC compresses the raster at the given quality (0-95).
+func EncodeSIC(r *Raster, quality int) ([]byte, error) {
+	if r == nil || r.W < 1 || r.H < 1 {
+		return nil, ErrEmptyRaster
+	}
+	if quality < MinQuality || quality > MaxQuality {
+		return nil, fmt.Errorf("imagecodec: quality %d out of [%d,%d]", quality, MinQuality, MaxQuality)
+	}
+	yp, cb, cr := toYCbCr(r)
+	var tokens bytes.Buffer
+	encodePlane(&tokens, yp, quantTable(lumaQBase, quality))
+	encodePlane(&tokens, cb, quantTable(chromaQBase, quality))
+	encodePlane(&tokens, cr, quantTable(chromaQBase, quality))
+
+	var out bytes.Buffer
+	out.WriteString(sicMagic)
+	var hdr [9]byte
+	binary.BigEndian.PutUint32(hdr[0:4], uint32(r.W))
+	binary.BigEndian.PutUint32(hdr[4:8], uint32(r.H))
+	hdr[8] = byte(quality)
+	out.Write(hdr[:])
+	fw, err := flate.NewWriter(&out, flate.DefaultCompression)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := fw.Write(tokens.Bytes()); err != nil {
+		return nil, err
+	}
+	if err := fw.Close(); err != nil {
+		return nil, err
+	}
+	return out.Bytes(), nil
+}
+
+// DecodeSIC decompresses a SIC bitstream.
+func DecodeSIC(data []byte) (*Raster, error) {
+	if len(data) < 13 || string(data[0:4]) != sicMagic {
+		return nil, errors.New("imagecodec: not a SIC stream")
+	}
+	w := int(binary.BigEndian.Uint32(data[4:8]))
+	h := int(binary.BigEndian.Uint32(data[8:12]))
+	quality := int(data[12])
+	if w < 1 || h < 1 || w > 1<<15 || h > 1<<20 {
+		return nil, errors.New("imagecodec: implausible SIC dimensions")
+	}
+	fr := flate.NewReader(bytes.NewReader(data[13:]))
+	tokens, err := io.ReadAll(fr)
+	if err != nil {
+		return nil, fmt.Errorf("imagecodec: flate: %w", err)
+	}
+	br := bytes.NewReader(tokens)
+	yp, err := decodePlane(br, w, h, quantTable(lumaQBase, quality))
+	if err != nil {
+		return nil, err
+	}
+	cw, ch := (w+1)/2, (h+1)/2
+	cb, err := decodePlane(br, cw, ch, quantTable(chromaQBase, quality))
+	if err != nil {
+		return nil, err
+	}
+	cr, err := decodePlane(br, cw, ch, quantTable(chromaQBase, quality))
+	if err != nil {
+		return nil, err
+	}
+	return fromYCbCr(yp, cb, cr), nil
+}

@@ -1,0 +1,20 @@
+package modem
+
+// Cable64k returns a profile for the audio-jack path: Quiet's README
+// claims "up to 64kbps in cases where two devices are connected over an
+// audio jack cable" (§2). Without FM's mono-band limit the profile can
+// occupy most of the audio bandwidth and run 1024-QAM, which only a
+// noiseless cable supports.
+func Cable64k() Profile {
+	return Profile{
+		Name:          "cable-64k",
+		SampleRate:    48000,
+		FFTSize:       1024,
+		CyclicPrefix:  64,
+		CenterHz:      10000,
+		DataCarriers:  160,
+		PilotCarriers: 16,
+		Constellation: QAM1024,
+		Amplitude:     0.7,
+	}
+}

@@ -1,0 +1,255 @@
+package modem
+
+import (
+	"errors"
+	"math"
+
+	"sonic/internal/dsp"
+	"sonic/internal/fec"
+)
+
+// GMSK is a Gaussian minimum-shift-keying modem — the other modulation
+// the Quiet library offers (§2 cites "different modulations such as
+// 1024-QAM and gmsk"). MSK is binary FSK with modulation index 0.5 and
+// continuous phase; the Gaussian pre-filter (BT = bandwidth·bit-time)
+// narrows the spectrum at the cost of controlled inter-symbol
+// interference. SONIC uses OFDM; GMSK is provided as the
+// constant-envelope alternative for very nonlinear audio paths.
+type GMSK struct {
+	SampleRate int
+	BitRate    float64
+	CenterHz   float64
+	BT         float64 // Gaussian filter bandwidth-time product (0.3 typical)
+	Amplitude  float64
+}
+
+// NewGMSK returns a 2400 bps profile centered in the FM mono band.
+// BT=0.5 (GSM uses 0.3 with an MLSE receiver; a simple sample-at-center
+// receiver needs the milder ISI of 0.5).
+func NewGMSK() *GMSK {
+	return &GMSK{
+		SampleRate: 48000,
+		BitRate:    2400,
+		CenterHz:   9200,
+		BT:         0.5,
+		Amplitude:  0.7,
+	}
+}
+
+// gmskPreamble: clock run-in plus start flag. The run-in uses two-bit
+// alternation (0xCC) rather than 0xAA: single-bit alternation is the
+// highest-frequency pattern and the BT=0.3 Gaussian nearly cancels it,
+// while two-bit runs survive the ISI with full amplitude.
+var gmskPreamble = []byte{0xCC, 0xCC, 0xCC, 0x7E}
+
+func (g *GMSK) samplesPerBit() int {
+	return int(float64(g.SampleRate) / g.BitRate)
+}
+
+// gaussianTaps builds the Gaussian pulse-shaping filter spanning three
+// bit periods.
+func (g *GMSK) gaussianTaps() []float64 {
+	spb := g.samplesPerBit()
+	span := 3 * spb
+	taps := make([]float64, span)
+	// Standard GMSK Gaussian: sigma = sqrt(ln2)/(2*pi*BT) in bit times.
+	sigma := math.Sqrt(math.Ln2) / (2 * math.Pi * g.BT)
+	var sum float64
+	for i := range taps {
+		t := (float64(i) - float64(span-1)/2) / float64(spb) // bit times
+		taps[i] = math.Exp(-t * t / (2 * sigma * sigma))
+		sum += taps[i]
+	}
+	for i := range taps {
+		taps[i] /= sum
+	}
+	return taps
+}
+
+// Modulate encodes [preamble][len:2][payload][crc16:2] with continuous
+// phase: the NRZ bit stream is Gaussian-filtered and integrated into
+// phase with modulation index 0.5.
+func (g *GMSK) Modulate(payload []byte) []float64 {
+	frame := make([]byte, 0, len(gmskPreamble)+4+len(payload))
+	frame = append(frame, gmskPreamble...)
+	frame = append(frame, byte(len(payload)>>8), byte(len(payload)))
+	frame = append(frame, payload...)
+	crc := fec.Checksum16(payload)
+	frame = append(frame, byte(crc>>8), byte(crc))
+
+	bits := fec.BytesToBits(frame)
+	spb := g.samplesPerBit()
+	// NRZ at sample rate, with three pad bits on each side so the
+	// Gaussian shaping and the receiver's filter group delay never push
+	// edge bits past the burst boundary.
+	nrz := make([]float64, (len(bits)+6)*spb)
+	for i, b := range bits {
+		v := -1.0
+		if b&1 == 1 {
+			v = 1
+		}
+		for j := 0; j < spb; j++ {
+			nrz[(i+3)*spb+j] = v
+		}
+	}
+	shaped := dsp.NewFIRFilter(g.gaussianTaps()).ProcessBlock(nrz)
+
+	// Phase integration: deviation = bitrate/4 (modulation index 0.5).
+	out := make([]float64, len(shaped))
+	var phase float64
+	k := 2 * math.Pi * (g.BitRate / 4) / float64(g.SampleRate)
+	wc := 2 * math.Pi * g.CenterHz / float64(g.SampleRate)
+	for i, v := range shaped {
+		phase += k * v
+		out[i] = g.Amplitude * math.Sin(wc*float64(i)+phase)
+	}
+	return out
+}
+
+// Errors from GMSK demodulation.
+var (
+	ErrGMSKNoSync = errors.New("modem: gmsk sync not found")
+	ErrGMSKCRC    = errors.New("modem: gmsk payload CRC mismatch")
+)
+
+// Demodulate recovers a payload: quadrature down-conversion, FM
+// discrimination of the complex baseband, bit-center sampling after
+// preamble correlation.
+func (g *GMSK) Demodulate(samples []float64) ([]byte, error) {
+	spb := g.samplesPerBit()
+	if len(samples) < spb*len(gmskPreamble)*8 {
+		return nil, ErrGMSKNoSync
+	}
+	// Quadrature mix to baseband and low-pass.
+	wc := 2 * math.Pi * g.CenterHz / float64(g.SampleRate)
+	ii := make([]float64, len(samples))
+	qq := make([]float64, len(samples))
+	for i, s := range samples {
+		ii[i] = s * math.Cos(wc*float64(i))
+		qq[i] = -s * math.Sin(wc*float64(i))
+	}
+	lp := dsp.LowpassFIR(g.BitRate*1.2, float64(g.SampleRate), 63)
+	ii = dsp.NewFIRFilter(lp).ProcessBlock(ii)
+	qq = dsp.NewFIRFilter(lp).ProcessBlock(qq)
+	// Discriminator: instantaneous frequency.
+	freq := make([]float64, len(samples))
+	for i := 1; i < len(samples); i++ {
+		re := ii[i]*ii[i-1] + qq[i]*qq[i-1]
+		im := qq[i]*ii[i-1] - ii[i]*qq[i-1]
+		freq[i] = math.Atan2(im, re)
+	}
+	// Decide each bit from the middle half of its period, where the
+	// Gaussian ISI from neighbours is smallest.
+	bitAt := func(off, idx int) byte {
+		start := off + idx*spb + spb/4
+		end := off + idx*spb + 3*spb/4
+		if end > len(freq) {
+			end = len(freq)
+		}
+		var acc float64
+		for j := start; j < end && j >= 0; j++ {
+			acc += freq[j]
+		}
+		if acc > 0 {
+			return 1
+		}
+		return 0
+	}
+	preBits := fec.BytesToBits(gmskPreamble)
+	score := func(off int) int {
+		match := 0
+		for i, pb := range preBits {
+			if bitAt(off, i) == pb {
+				match++
+			}
+		}
+		return match
+	}
+	sawCRCFail := false
+	step := spb / 4
+	if step < 1 {
+		step = 1
+	}
+	for off := 0; off+len(preBits)*spb+spb <= len(freq); off += step {
+		if score(off) < len(preBits)-3 {
+			continue
+		}
+		// Refine to the best-scoring alignment within half a bit.
+		best, bestOff := -1, off
+		for o := off - spb/2; o <= off+spb/2; o++ {
+			if o < 0 || o+len(preBits)*spb+spb > len(freq) {
+				continue
+			}
+			if s := score(o); s > best {
+				best, bestOff = s, o
+			}
+		}
+		if best < len(preBits)-1 { // tolerate one blurred run-in bit
+			continue
+		}
+		// Try to read the frame from the refined alignment. On failure,
+		// resume the scan past this preamble (never move the scan
+		// backward — the refinement may sit earlier than off).
+		pos := bestOff + len(preBits)*spb
+		resume := bestOff + len(preBits)*spb
+		if resume < off {
+			resume = off
+		}
+		off = resume
+		readByte := func() (byte, bool) {
+			if pos+8*spb > len(freq) {
+				return 0, false
+			}
+			var b byte
+			for i := 0; i < 8; i++ {
+				b = b<<1 | bitAt(pos, 0)
+				pos += spb
+			}
+			return b, true
+		}
+		hi, ok1 := readByte()
+		lo, ok2 := readByte()
+		if !ok1 || !ok2 {
+			continue
+		}
+		n := int(hi)<<8 | int(lo)
+		if n > 1<<16 {
+			continue
+		}
+		payload := make([]byte, 0, n)
+		ok := true
+		for i := 0; i < n; i++ {
+			b, o := readByte()
+			if !o {
+				ok = false
+				break
+			}
+			payload = append(payload, b)
+		}
+		if !ok {
+			continue
+		}
+		c1, ok1 := readByte()
+		c2, ok2 := readByte()
+		if !ok1 || !ok2 {
+			continue
+		}
+		if fec.Verify16(payload, uint16(c1)<<8|uint16(c2)) {
+			return payload, nil
+		}
+		sawCRCFail = true // try later alignments before giving up
+	}
+	if sawCRCFail {
+		return nil, ErrGMSKCRC
+	}
+	return nil, ErrGMSKNoSync
+}
+
+// RawBitRate returns the line rate.
+func (g *GMSK) RawBitRate() float64 { return g.BitRate }
+
+// BurstDuration returns the on-air seconds for n payload bytes.
+func (g *GMSK) BurstDuration(n int) float64 {
+	bits := (len(gmskPreamble) + 4 + n) * 8
+	return float64(bits+2)/g.BitRate + 0.0
+}

@@ -1,0 +1,127 @@
+package modem
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"testing"
+
+	"sonic/internal/dsp"
+)
+
+func TestGMSKCleanRoundTrip(t *testing.T) {
+	g := NewGMSK()
+	for _, payload := range [][]byte{
+		[]byte("gmsk"),
+		[]byte("a longer constant-envelope payload for the gmsk path"),
+		{0x00, 0xFF, 0x55},
+	} {
+		audio := g.Modulate(payload)
+		got, err := g.Demodulate(audio)
+		if err != nil {
+			t.Fatalf("payload %q: %v", payload, err)
+		}
+		if !bytes.Equal(got, payload) {
+			t.Fatalf("payload %q: got %q", payload, got)
+		}
+	}
+}
+
+func TestGMSKConstantEnvelope(t *testing.T) {
+	// The point of GMSK: near-constant envelope (no amplitude
+	// modulation), so nonlinear speakers do not distort it.
+	g := NewGMSK()
+	audio := g.Modulate([]byte("envelope check"))
+	// Envelope via Hilbert-ish proxy: RMS over short windows should be
+	// stable in the middle of the burst.
+	spb := g.samplesPerBit()
+	var rmss []float64
+	for off := 10 * spb; off+spb < len(audio)-10*spb; off += spb {
+		rmss = append(rmss, dsp.RMS(audio[off:off+spb]))
+	}
+	if len(rmss) < 10 {
+		t.Skip("burst too short")
+	}
+	minV, maxV := rmss[0], rmss[0]
+	for _, v := range rmss {
+		minV = math.Min(minV, v)
+		maxV = math.Max(maxV, v)
+	}
+	if maxV/minV > 1.25 {
+		t.Errorf("envelope ripple %.2fx, want near-constant", maxV/minV)
+	}
+}
+
+func TestGMSKWithNoiseAndOffset(t *testing.T) {
+	g := NewGMSK()
+	payload := []byte("noisy gmsk")
+	audio := g.Modulate(payload)
+	rng := rand.New(rand.NewSource(1))
+	pre := make([]float64, 3000)
+	for i := range pre {
+		pre[i] = 0.01 * rng.NormFloat64()
+	}
+	stream := append(pre, addAWGN(audio, 18, 2)...)
+	got, err := g.Demodulate(stream)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, payload) {
+		t.Fatalf("got %q", got)
+	}
+}
+
+func TestGMSKRejectsSilence(t *testing.T) {
+	g := NewGMSK()
+	if _, err := g.Demodulate(make([]float64, 96000)); err == nil {
+		t.Error("silence should not decode")
+	}
+	if _, err := g.Demodulate(nil); err == nil {
+		t.Error("empty input should not decode")
+	}
+}
+
+func TestGMSKBandwidthBetweenFSKAndOFDM(t *testing.T) {
+	// Rate positioning: faster than the GGwave-class FSK, slower than
+	// the OFDM profile.
+	g := NewGMSK()
+	f := NewFSK128()
+	m, _ := NewOFDM(Sonic92())
+	n := 200
+	if g.BurstDuration(n) >= f.BurstDuration(n) {
+		t.Error("GMSK should beat FSK-128")
+	}
+	if g.BurstDuration(n) <= m.BurstDuration(n) {
+		t.Error("OFDM should beat GMSK")
+	}
+}
+
+func TestGMSKSpectrumCentered(t *testing.T) {
+	// Energy should concentrate near CenterHz, inside the mono band.
+	g := NewGMSK()
+	audio := g.Modulate(bytes.Repeat([]byte{0xA7}, 32))
+	n := 8192
+	if len(audio) < n {
+		t.Skip("short burst")
+	}
+	spec := make([]complex128, n)
+	for i := 0; i < n; i++ {
+		spec[i] = complex(audio[len(audio)/2-n/2+i], 0)
+	}
+	if err := dsp.FFT(spec); err != nil {
+		t.Fatal(err)
+	}
+	binHz := 48000.0 / float64(n)
+	var inBand, total float64
+	for k := 1; k < n/2; k++ {
+		p := real(spec[k])*real(spec[k]) + imag(spec[k])*imag(spec[k])
+		total += p
+		hz := float64(k) * binHz
+		if hz > g.CenterHz-2*g.BitRate && hz < g.CenterHz+2*g.BitRate {
+			inBand += p
+		}
+	}
+	if inBand/total < 0.9 {
+		t.Errorf("only %.0f%% of energy within +-2R of center", inBand/total*100)
+	}
+}

@@ -1,0 +1,112 @@
+package rds
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"time"
+)
+
+// Catalog announcements ride the RDS subcarrier alongside the page
+// broadcasts in the mono band: a compact schedule of the next page
+// transmissions, so a SONIC client can show "coming up" entries and
+// decide whether to keep listening — without spending any mono-band
+// airtime. This is the concrete use of the RevCast-style channel (§2)
+// inside SONIC.
+
+// Announcement is one upcoming transmission.
+type Announcement struct {
+	URL string
+	// ETA is when the page transmission starts, as an offset from the
+	// announcement.
+	ETA time.Duration
+	// Bytes is the broadcast size (airtime hint).
+	Bytes int
+}
+
+// Catalog is a batch of announcements.
+type Catalog struct {
+	Entries []Announcement
+}
+
+// Wire format: count(1) then per entry: etaSec(2) kbytes(2) urlLen(1)
+// url. URLs longer than 255 bytes are rejected; ETAs clamp at ~18 hours.
+const maxCatalogEntries = 50
+
+// MarshalCatalog serializes a catalog for Modulate.
+func MarshalCatalog(c Catalog) ([]byte, error) {
+	if len(c.Entries) == 0 || len(c.Entries) > maxCatalogEntries {
+		return nil, fmt.Errorf("rds: catalog must have 1..%d entries", maxCatalogEntries)
+	}
+	var buf bytes.Buffer
+	buf.WriteByte(byte(len(c.Entries)))
+	for _, e := range c.Entries {
+		if len(e.URL) == 0 || len(e.URL) > 255 {
+			return nil, fmt.Errorf("rds: bad URL length %d", len(e.URL))
+		}
+		etaSec := int64(e.ETA / time.Second)
+		if etaSec < 0 || etaSec > 0xFFFF {
+			return nil, fmt.Errorf("rds: ETA %v out of range", e.ETA)
+		}
+		kb := e.Bytes / 1024
+		if kb > 0xFFFF {
+			kb = 0xFFFF
+		}
+		var hdr [5]byte
+		binary.BigEndian.PutUint16(hdr[0:2], uint16(etaSec))
+		binary.BigEndian.PutUint16(hdr[2:4], uint16(kb))
+		hdr[4] = byte(len(e.URL))
+		buf.Write(hdr[:])
+		buf.WriteString(e.URL)
+	}
+	return buf.Bytes(), nil
+}
+
+// ErrBadCatalog is returned for malformed catalog payloads.
+var ErrBadCatalog = errors.New("rds: malformed catalog")
+
+// UnmarshalCatalog parses a catalog payload.
+func UnmarshalCatalog(b []byte) (Catalog, error) {
+	var c Catalog
+	if len(b) < 1 {
+		return c, ErrBadCatalog
+	}
+	n := int(b[0])
+	if n == 0 || n > maxCatalogEntries {
+		return c, ErrBadCatalog
+	}
+	off := 1
+	for i := 0; i < n; i++ {
+		if off+5 > len(b) {
+			return c, ErrBadCatalog
+		}
+		etaSec := binary.BigEndian.Uint16(b[off : off+2])
+		kb := binary.BigEndian.Uint16(b[off+2 : off+4])
+		ul := int(b[off+4])
+		off += 5
+		if ul == 0 || off+ul > len(b) {
+			return c, ErrBadCatalog
+		}
+		c.Entries = append(c.Entries, Announcement{
+			URL:   string(b[off : off+ul]),
+			ETA:   time.Duration(etaSec) * time.Second,
+			Bytes: int(kb) * 1024,
+		})
+		off += ul
+	}
+	return c, nil
+}
+
+// AnnounceDuration returns the on-air seconds the catalog costs on the
+// RDS subcarrier (for scheduling: announcements should amortize well
+// under the page airtime they describe).
+func AnnounceDuration(c Catalog) (time.Duration, error) {
+	payload, err := MarshalCatalog(c)
+	if err != nil {
+		return 0, err
+	}
+	groups := 1 + (len(payload)+GroupBytes-1)/GroupBytes
+	bits := float64(groups*GroupBytes*8 + 8)
+	return time.Duration(bits / BitRate * float64(time.Second)), nil
+}

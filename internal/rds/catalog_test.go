@@ -1,0 +1,103 @@
+package rds
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"sonic/internal/fm"
+)
+
+func sampleCatalog() Catalog {
+	return Catalog{Entries: []Announcement{
+		{URL: "khabar.pk/", ETA: 30 * time.Second, Bytes: 126 * 1024},
+		{URL: "dunya-news.pk/story/0042", ETA: 3 * time.Minute, Bytes: 98 * 1024},
+		{URL: "cricfeed.pk/", ETA: 10 * time.Minute, Bytes: 140 * 1024},
+	}}
+}
+
+func TestCatalogMarshalRoundTrip(t *testing.T) {
+	c := sampleCatalog()
+	raw, err := MarshalCatalog(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := UnmarshalCatalog(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Entries) != 3 {
+		t.Fatalf("%d entries", len(got.Entries))
+	}
+	for i, e := range got.Entries {
+		w := c.Entries[i]
+		if e.URL != w.URL || e.ETA != w.ETA {
+			t.Errorf("entry %d: %+v vs %+v", i, e, w)
+		}
+		// Bytes round to KiB.
+		if e.Bytes != w.Bytes/1024*1024 {
+			t.Errorf("entry %d bytes %d", i, e.Bytes)
+		}
+	}
+}
+
+func TestCatalogValidation(t *testing.T) {
+	if _, err := MarshalCatalog(Catalog{}); err == nil {
+		t.Error("empty catalog should fail")
+	}
+	long := Catalog{Entries: []Announcement{{URL: strings.Repeat("a", 256), ETA: time.Second}}}
+	if _, err := MarshalCatalog(long); err == nil {
+		t.Error("oversized URL should fail")
+	}
+	neg := Catalog{Entries: []Announcement{{URL: "a.pk/", ETA: -time.Second}}}
+	if _, err := MarshalCatalog(neg); err == nil {
+		t.Error("negative ETA should fail")
+	}
+	far := Catalog{Entries: []Announcement{{URL: "a.pk/", ETA: 48 * time.Hour}}}
+	if _, err := MarshalCatalog(far); err == nil {
+		t.Error("out-of-range ETA should fail")
+	}
+	for _, bad := range [][]byte{nil, {0}, {200}, {1, 0, 1}, {1, 0, 9, 0, 5, 3, 'a'}} {
+		if _, err := UnmarshalCatalog(bad); err == nil {
+			t.Errorf("garbage %v parsed", bad)
+		}
+	}
+}
+
+func TestCatalogOverRDSSubcarrier(t *testing.T) {
+	// The real path: catalog -> RDS BPSK -> composite -> FM -> composite
+	// -> RDS band -> catalog, with program audio in the mono band.
+	payload, err := MarshalCatalog(sampleCatalog())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rdsSig := Modulate(payload)
+	audio := make([]float64, len(rdsSig)*48000/fm.CompositeRate)
+	comp := fm.BuildComposite(audio, 48000, rdsSig)
+	env := (&fm.Modulator{}).Modulate(comp)
+	rx := (&fm.Demodulator{}).Demodulate(env)
+	_, band := fm.SplitComposite(rx, 48000)
+	got, err := Demodulate(band)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cat, err := UnmarshalCatalog(got)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cat.Entries) != 3 || cat.Entries[0].URL != "khabar.pk/" {
+		t.Errorf("catalog over RDS: %+v", cat)
+	}
+}
+
+func TestAnnounceDurationAmortizes(t *testing.T) {
+	d, err := AnnounceDuration(sampleCatalog())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// ~70 bytes at 1187.5 bps: under a second — trivially amortized
+	// against minutes of page airtime.
+	if d <= 0 || d > 2*time.Second {
+		t.Errorf("announce duration %v", d)
+	}
+}

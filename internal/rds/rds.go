@@ -1,0 +1,147 @@
+// Package rds implements a Radio Data System-style data subcarrier — the
+// 57 kHz, 1187.5 bit/s channel the paper's related work (RevCast, §2)
+// uses and that SONIC's Figure 2 shows alongside the mono band. SONIC
+// proper sends pages in the mono channel; this package is the extension
+// path for low-rate side metadata (catalog announcements, page expiry
+// updates) without consuming program-audio bandwidth.
+//
+// The physical layer is BPSK on the 57 kHz subcarrier (phase-locked to
+// the 3rd harmonic of the 19 kHz pilot, as in real RDS); the link layer
+// is a simplified RDS group: 4 blocks of 16 data bits, with a CRC-16
+// over the message payload rather than RDS's 10-bit checkwords.
+package rds
+
+import (
+	"errors"
+	"math"
+
+	"sonic/internal/fec"
+	"sonic/internal/fm"
+)
+
+// Physical constants.
+const (
+	BitRate = 1187.5 // bits per second, the RDS standard rate
+	// GroupBytes is the payload of one group (4 blocks x 2 bytes).
+	GroupBytes = 8
+)
+
+// samplesPerBit at the FM composite rate.
+func samplesPerBit() float64 { return fm.CompositeRate / BitRate }
+
+// Modulate encodes payload bytes as a BPSK RDS band signal at the FM
+// composite rate, padded to whole groups and prefixed with a 2-byte
+// length + CRC-16 header group.
+func Modulate(payload []byte) []float64 {
+	// Header group: len(2) crc(2) + 4 padding bytes.
+	hdr := make([]byte, GroupBytes)
+	hdr[0] = byte(len(payload) >> 8)
+	hdr[1] = byte(len(payload))
+	crc := fec.Checksum16(payload)
+	hdr[2] = byte(crc >> 8)
+	hdr[3] = byte(crc)
+	blob := append(hdr, payload...)
+	for len(blob)%GroupBytes != 0 {
+		blob = append(blob, 0)
+	}
+	bits := fec.BytesToBits(blob)
+	// Differential encoding so the receiver needs no absolute phase.
+	diff := make([]byte, len(bits)+1)
+	for i, b := range bits {
+		diff[i+1] = diff[i] ^ b
+	}
+	spb := samplesPerBit()
+	n := int(float64(len(diff)) * spb)
+	out := make([]float64, n)
+	for i := range out {
+		bit := diff[int(float64(i)/spb)]
+		ph := 2 * math.Pi * fm.RDSCarrierHz * float64(i) / fm.CompositeRate
+		s := math.Sin(ph)
+		if bit == 1 {
+			s = -s
+		}
+		out[i] = s
+	}
+	return out
+}
+
+// ErrNoData is returned when demodulation finds no coherent payload.
+var ErrNoData = errors.New("rds: no decodable payload")
+
+// Demodulate recovers the payload from an RDS band signal (as returned
+// by fm.SplitComposite). Each bit period is complex-correlated against
+// the 57 kHz carrier; differential detection (the sign of
+// Re(c_i * conj(c_{i-1}))) makes the decoder immune to the constant
+// phase/group delay the composite filters introduce. Bit timing is
+// recovered by searching sub-bit offsets until the header CRC validates.
+func Demodulate(band []float64) ([]byte, error) {
+	spb := samplesPerBit()
+	if int(float64(len(band))/spb) < (GroupBytes+1)*8 {
+		return nil, ErrNoData
+	}
+	step := int(spb / 16)
+	if step < 1 {
+		step = 1
+	}
+	for off := 0; off < int(spb); off += step {
+		if payload, err := demodAt(band, off, spb); err == nil {
+			return payload, nil
+		}
+	}
+	return nil, ErrNoData
+}
+
+// demodAt decodes assuming the first bit starts at sample offset off.
+func demodAt(band []float64, off int, spb float64) ([]byte, error) {
+	nbits := int(float64(len(band)-off) / spb)
+	if nbits < (GroupBytes+1)*8 {
+		return nil, ErrNoData
+	}
+	// Complex correlation per bit window.
+	cre := make([]float64, nbits)
+	cim := make([]float64, nbits)
+	w := 2 * math.Pi * fm.RDSCarrierHz / fm.CompositeRate
+	for i := 0; i < nbits; i++ {
+		start := off + int(float64(i)*spb)
+		end := off + int(float64(i+1)*spb)
+		if end > len(band) {
+			end = len(band)
+		}
+		var re, im float64
+		for j := start; j < end; j++ {
+			ph := w * float64(j)
+			re += band[j] * math.Sin(ph)
+			im += band[j] * math.Cos(ph)
+		}
+		cre[i], cim[i] = re, im
+	}
+	// Differential detection.
+	bits := make([]byte, nbits-1)
+	for i := 1; i < nbits; i++ {
+		dot := cre[i]*cre[i-1] + cim[i]*cim[i-1]
+		if dot < 0 {
+			bits[i-1] = 1
+		}
+	}
+	blob := fec.BitsToBytes(bits)
+	if len(blob) < GroupBytes {
+		return nil, ErrNoData
+	}
+	n := int(blob[0])<<8 | int(blob[1])
+	crc := uint16(blob[2])<<8 | uint16(blob[3])
+	if n < 0 || GroupBytes+n > len(blob) {
+		return nil, ErrNoData
+	}
+	payload := blob[GroupBytes : GroupBytes+n]
+	if !fec.Verify16(payload, crc) {
+		return nil, ErrNoData
+	}
+	return payload, nil
+}
+
+// Throughput returns the effective payload rate in bits/second given the
+// per-message header group.
+func Throughput(payloadBytes int) float64 {
+	groups := 1 + (payloadBytes+GroupBytes-1)/GroupBytes
+	return float64(payloadBytes*8) / (float64(groups*GroupBytes*8+8) / BitRate)
+}

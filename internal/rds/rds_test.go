@@ -1,0 +1,81 @@
+package rds
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"sonic/internal/fm"
+)
+
+func TestRDSCleanRoundTrip(t *testing.T) {
+	for _, payload := range [][]byte{
+		[]byte("CATALOG khabar.pk/ 1430"),
+		[]byte("x"),
+		bytes.Repeat([]byte{0x5A}, 64),
+	} {
+		band := Modulate(payload)
+		got, err := Demodulate(band)
+		if err != nil {
+			t.Fatalf("payload %q: %v", payload, err)
+		}
+		if !bytes.Equal(got, payload) {
+			t.Fatalf("payload %q: got %q", payload, got)
+		}
+	}
+}
+
+func TestRDSThroughStereoComposite(t *testing.T) {
+	// The real deal: RDS injected into the composite baseband, FM
+	// modulated, demodulated, band-extracted, decoded — with program
+	// audio present in the mono channel at the same time.
+	payload := []byte("EXPIRE dunya-news.pk/ 7200")
+	rdsSig := Modulate(payload)
+	// Program audio underneath.
+	audio := make([]float64, len(rdsSig)*48000/fm.CompositeRate)
+	for i := range audio {
+		audio[i] = 0.4 * float64(i%97) / 97
+	}
+	comp := fm.BuildComposite(audio, 48000, rdsSig)
+	env := (&fm.Modulator{}).Modulate(comp)
+	env = fm.AddRFNoise(env, 35, rand.New(rand.NewSource(1)))
+	rx := (&fm.Demodulator{}).Demodulate(env)
+	_, band := fm.SplitComposite(rx, 48000)
+	got, err := Demodulate(band)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, payload) {
+		t.Fatalf("got %q", got)
+	}
+}
+
+func TestRDSRejectsNoise(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	noise := make([]float64, 192000)
+	for i := range noise {
+		noise[i] = rng.NormFloat64()
+	}
+	if _, err := Demodulate(noise); err == nil {
+		t.Error("noise should not decode")
+	}
+	if _, err := Demodulate(nil); err != ErrNoData {
+		t.Errorf("empty input err = %v", err)
+	}
+}
+
+func TestRDSThroughputScale(t *testing.T) {
+	// Effective rate must stay below the 1187.5 bps line rate and
+	// approach it for long payloads.
+	small := Throughput(8)
+	big := Throughput(1024)
+	if small >= BitRate || big >= BitRate {
+		t.Errorf("throughput exceeds line rate: %g, %g", small, big)
+	}
+	if big <= small {
+		t.Errorf("long payloads should amortize the header: %g <= %g", big, small)
+	}
+	if big < 1000 {
+		t.Errorf("1KB payload throughput = %g bps, want near line rate", big)
+	}
+}

@@ -1,0 +1,110 @@
+package server
+
+import (
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"sonic/internal/core"
+	"sonic/internal/corpus"
+)
+
+func TestFrequencyCount(t *testing.T) {
+	single := Transmitter{FreqMHz: 93.7}
+	if single.FrequencyCount() != 1 {
+		t.Errorf("single = %d", single.FrequencyCount())
+	}
+	multi := Transmitter{FreqMHz: 93.7, ExtraFreqsMHz: []float64{95.1, 99.3, 101.5}}
+	if multi.FrequencyCount() != 4 {
+		t.Errorf("multi = %d", multi.FrequencyCount())
+	}
+}
+
+func TestMultiFrequencyHalvesETA(t *testing.T) {
+	p, err := core.NewPipeline(core.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	mk := func(extra []float64) *Server {
+		s := New(DefaultConfig(), p)
+		s.AddTransmitter(Transmitter{
+			ID: "tx", FreqMHz: 93.7, ExtraFreqsMHz: extra,
+			Lat: 24.86, Lon: 67.0, RadiusKm: 40,
+		})
+		return s
+	}
+	now := time.Unix(0, 0)
+	url := corpus.Pages()[0].URL
+	eta1, err := mk(nil).EnqueuePage(url, 24.87, 67.0, now)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eta2, err := mk([]float64{95.1}).EnqueuePage(url, 24.87, 67.0, now)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ratio := float64(eta1) / float64(eta2)
+	if ratio < 1.9 || ratio > 2.1 {
+		t.Errorf("two frequencies should halve the ETA: %v vs %v", eta1, eta2)
+	}
+}
+
+func TestParallelFrequencyPollersDrainDistinctPages(t *testing.T) {
+	// Two frequencies of the same station poll the same queue over the
+	// control link concurrently: every queued page goes out exactly once.
+	s := testServer(t)
+	now := time.Unix(0, 0)
+	if err := s.PushPopular(6, now); err != nil {
+		t.Fatal(err)
+	}
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		_ = s.Serve(l)
+	}()
+
+	var mu sync.Mutex
+	seen := map[string]int{}
+	var wg sync.WaitGroup
+	for f := 0; f < 2; f++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c, err := DialTransmitter(l.Addr().String(), "khi-1")
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			defer c.Close()
+			for {
+				url, _, _, ok, err := c.Poll()
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if !ok {
+					return
+				}
+				mu.Lock()
+				seen[url]++
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	l.Close()
+	<-done
+	if len(seen) != 6 {
+		t.Fatalf("drained %d distinct pages, want 6", len(seen))
+	}
+	for url, n := range seen {
+		if n != 1 {
+			t.Errorf("%s broadcast %d times", url, n)
+		}
+	}
+}

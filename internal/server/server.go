@@ -1,0 +1,346 @@
+// Package server implements the SONIC server (§3.1): it accepts webpage
+// requests over the SMS uplink, renders and encodes simplified webpages
+// (caching them), picks the FM transmitter that covers the requesting
+// user's location, schedules broadcasts, and preemptively pushes the most
+// popular pages of the region. Transmitters are remote machines: the
+// server feeds them page bundles over a TCP control link (see
+// transport.go), mirroring the paper's "central SONIC server ... informs
+// the respective transmitters".
+package server
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+	"time"
+
+	"sonic/internal/core"
+	"sonic/internal/corpus"
+	"sonic/internal/imagecodec"
+	"sonic/internal/sms"
+	"sonic/internal/webrender"
+)
+
+// Transmitter describes one FM station the server can feed.
+type Transmitter struct {
+	ID      string
+	FreqMHz float64
+	// ExtraFreqsMHz lists additional frequencies the station broadcasts
+	// on simultaneously — the paper's multi-frequency mode ("Multiple
+	// frequencies can be used to increase the rate", §1/§4: 20 and
+	// 40 kbps). Each frequency drains the same queue in parallel, so
+	// aggregate throughput scales with FrequencyCount.
+	ExtraFreqsMHz []float64
+	Lat, Lon      float64
+	RadiusKm      float64
+}
+
+// FrequencyCount returns how many parallel broadcast channels the
+// station runs (at least 1).
+func (t Transmitter) FrequencyCount() int {
+	return 1 + len(t.ExtraFreqsMHz)
+}
+
+// Covers reports whether the transmitter reaches the coordinates.
+func (t Transmitter) Covers(lat, lon float64) bool {
+	return haversineKm(t.Lat, t.Lon, lat, lon) <= t.RadiusKm
+}
+
+// haversineKm returns the great-circle distance between two points.
+func haversineKm(lat1, lon1, lat2, lon2 float64) float64 {
+	const r = 6371.0
+	toRad := func(d float64) float64 { return d * math.Pi / 180 }
+	dLat := toRad(lat2 - lat1)
+	dLon := toRad(lon2 - lon1)
+	a := math.Sin(dLat/2)*math.Sin(dLat/2) +
+		math.Cos(toRad(lat1))*math.Cos(toRad(lat2))*math.Sin(dLon/2)*math.Sin(dLon/2)
+	return 2 * r * math.Asin(math.Min(1, math.Sqrt(a)))
+}
+
+// queuedPage is one pending broadcast.
+type queuedPage struct {
+	URL      string
+	PageID   uint16
+	Bundle   core.Bundle
+	Bytes    int
+	Enqueued time.Time
+}
+
+// renderedPage is a server-side cache entry.
+type renderedPage struct {
+	bundle        core.Bundle
+	effectiveHour int
+	width, height int
+}
+
+// Config tunes the server.
+type Config struct {
+	Number  string // the SONIC SMS number users text
+	Quality int    // SIC quality for rendered pages (paper: 10)
+	// PageTTL is the expiry the server stamps on broadcast pages (§3.1).
+	PageTTL time.Duration
+	// Epoch anchors simulation time to corpus hour 0.
+	Epoch time.Time
+}
+
+// DefaultConfig returns the paper's settings.
+func DefaultConfig() Config {
+	return Config{
+		Number:  "+92300SONIC",
+		Quality: 10,
+		PageTTL: 24 * time.Hour,
+		Epoch:   time.Unix(0, 0),
+	}
+}
+
+// Server is the central SONIC server.
+type Server struct {
+	cfg      Config
+	pipeline *core.Pipeline
+
+	mu           sync.Mutex
+	transmitters []Transmitter
+	queues       map[string][]queuedPage // transmitter ID -> FIFO
+	rendered     map[string]renderedPage // URL -> cache
+	nextPageID   uint16
+	pageIDs      map[string]uint16
+	requests     int
+	cacheHits    int
+}
+
+// New builds a server with the given transmission pipeline.
+func New(cfg Config, pipeline *core.Pipeline) *Server {
+	return &Server{
+		cfg:      cfg,
+		pipeline: pipeline,
+		queues:   make(map[string][]queuedPage),
+		rendered: make(map[string]renderedPage),
+		pageIDs:  make(map[string]uint16),
+	}
+}
+
+// AddTransmitter registers a station.
+func (s *Server) AddTransmitter(t Transmitter) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.transmitters = append(s.transmitters, t)
+	if _, ok := s.queues[t.ID]; !ok {
+		s.queues[t.ID] = nil
+	}
+}
+
+// Transmitters returns the registered stations.
+func (s *Server) Transmitters() []Transmitter {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]Transmitter(nil), s.transmitters...)
+}
+
+// transmitterFor picks the first station covering the location.
+func (s *Server) transmitterFor(lat, lon float64) (Transmitter, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, t := range s.transmitters {
+		if t.Covers(lat, lon) {
+			return t, true
+		}
+	}
+	return Transmitter{}, false
+}
+
+// hourAt converts simulation time to a corpus hour.
+func (s *Server) hourAt(now time.Time) int {
+	return int(now.Sub(s.cfg.Epoch) / time.Hour)
+}
+
+// pageIDFor assigns a stable 16-bit id per URL.
+func (s *Server) pageIDFor(url string) uint16 {
+	if id, ok := s.pageIDs[url]; ok {
+		return id
+	}
+	s.nextPageID++
+	s.pageIDs[url] = s.nextPageID
+	return s.nextPageID
+}
+
+// RenderPage produces (or returns cached) the encoded bundle for a URL at
+// the current simulation time. It mirrors §3.1: "either from its cache,
+// e.g., if recently requested by another user, or by directly accessing
+// it".
+func (s *Server) RenderPage(url string, now time.Time) (core.Bundle, error) {
+	hour := s.hourAt(now)
+	ref := refForURL(url)
+	eff := corpus.EffectiveHour(ref, hour)
+
+	s.mu.Lock()
+	if rp, ok := s.rendered[url]; ok && rp.effectiveHour == eff {
+		s.cacheHits++
+		s.mu.Unlock()
+		return rp.bundle, nil
+	}
+	s.mu.Unlock()
+
+	page := corpus.Generate(ref, hour)
+	rendered := webrender.Render(page)
+	img := rendered.Image.Crop(imagecodec.MaxPageHeight)
+	enc, err := imagecodec.EncodeSIC(img, s.cfg.Quality)
+	if err != nil {
+		return core.Bundle{}, fmt.Errorf("server: encode %s: %w", url, err)
+	}
+	cm, err := rendered.Clicks.MarshalJSON()
+	if err != nil {
+		return core.Bundle{}, err
+	}
+	b := core.Bundle{Image: enc, ClickMap: cm}
+	s.mu.Lock()
+	s.rendered[url] = renderedPage{bundle: b, effectiveHour: eff, width: img.W, height: img.H}
+	s.mu.Unlock()
+	return b, nil
+}
+
+// refForURL maps any URL onto a corpus PageRef (known corpus pages keep
+// their rank; unknown URLs become ad-hoc unranked pages).
+func refForURL(url string) corpus.PageRef {
+	for _, ref := range corpus.Pages() {
+		if ref.URL == url {
+			return ref
+		}
+	}
+	return corpus.PageRef{URL: url, Site: url, Rank: corpus.NumSites, Internal: true}
+}
+
+// Errors from request handling.
+var (
+	ErrNoCoverage = errors.New("server: no transmitter covers the location")
+)
+
+// EnqueuePage renders a URL and appends it to the covering transmitter's
+// broadcast queue. It returns the estimated time until the page has been
+// fully broadcast (the ETA included in the SMS ack).
+func (s *Server) EnqueuePage(url string, lat, lon float64, now time.Time) (time.Duration, error) {
+	tx, ok := s.transmitterFor(lat, lon)
+	if !ok {
+		return 0, ErrNoCoverage
+	}
+	b, err := s.RenderPage(url, now)
+	if err != nil {
+		return 0, err
+	}
+	blobLen := len(core.MarshalBundle(b))
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	// Queue delay = airtime of everything ahead plus this page, divided
+	// across the station's parallel frequencies.
+	pending := 0
+	for _, q := range s.queues[tx.ID] {
+		pending += q.Bytes
+	}
+	s.queues[tx.ID] = append(s.queues[tx.ID], queuedPage{
+		URL:      url,
+		PageID:   s.pageIDFor(url),
+		Bundle:   b,
+		Bytes:    blobLen,
+		Enqueued: now,
+	})
+	eta := s.pipeline.AirtimeSeconds(pending+blobLen) / float64(tx.FrequencyCount())
+	return time.Duration(eta * float64(time.Second)), nil
+}
+
+// DequeuePage pops the next page to broadcast on a transmitter.
+func (s *Server) DequeuePage(transmitterID string) (url string, pageID uint16, b core.Bundle, ok bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	q := s.queues[transmitterID]
+	if len(q) == 0 {
+		return "", 0, core.Bundle{}, false
+	}
+	head := q[0]
+	s.queues[transmitterID] = q[1:]
+	return head.URL, head.PageID, head.Bundle, true
+}
+
+// QueueDepth returns (pages, bytes) pending for a transmitter.
+func (s *Server) QueueDepth(transmitterID string) (int, int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	pages, bytes := 0, 0
+	for _, q := range s.queues[transmitterID] {
+		pages++
+		bytes += q.Bytes
+	}
+	return pages, bytes
+}
+
+// PushPopular preemptively enqueues the top-n corpus pages on every
+// transmitter (§3.1: "popular news sites can be pushed early in the
+// morning"). Pages already queued on a transmitter are skipped.
+func (s *Server) PushPopular(n int, now time.Time) error {
+	refs := corpus.Pages()
+	sort.SliceStable(refs, func(i, j int) bool {
+		return corpus.PopularityWeight(refs[i]) > corpus.PopularityWeight(refs[j])
+	})
+	if n > len(refs) {
+		n = len(refs)
+	}
+	for _, tx := range s.Transmitters() {
+		queued := map[string]bool{}
+		s.mu.Lock()
+		for _, q := range s.queues[tx.ID] {
+			queued[q.URL] = true
+		}
+		s.mu.Unlock()
+		for _, ref := range refs[:n] {
+			if queued[ref.URL] {
+				continue
+			}
+			b, err := s.RenderPage(ref.URL, now)
+			if err != nil {
+				return err
+			}
+			s.mu.Lock()
+			s.queues[tx.ID] = append(s.queues[tx.ID], queuedPage{
+				URL:      ref.URL,
+				PageID:   s.pageIDFor(ref.URL),
+				Bundle:   b,
+				Bytes:    len(core.MarshalBundle(b)),
+				Enqueued: now,
+			})
+			s.mu.Unlock()
+		}
+	}
+	return nil
+}
+
+// HandleSMS is the uplink entry point: parse the request, enqueue the
+// page, and reply with an ack (or error) through the SMSC.
+func (s *Server) HandleSMS(smsc *sms.SMSC) sms.Handler {
+	return func(m sms.Message) {
+		s.mu.Lock()
+		s.requests++
+		s.mu.Unlock()
+		req, err := sms.ParseRequest(m.Body)
+		if err != nil {
+			_ = smsc.Submit(m.DeliverAt, s.cfg.Number, m.From, "ERR bad request")
+			return
+		}
+		eta, err := s.EnqueuePage(req.URL, req.Lat, req.Lon, m.DeliverAt)
+		if err != nil {
+			_ = smsc.Submit(m.DeliverAt, s.cfg.Number, m.From, "ERR no coverage")
+			return
+		}
+		_ = smsc.Submit(m.DeliverAt, s.cfg.Number, m.From, sms.FormatAck(req.URL, eta))
+	}
+}
+
+// Stats returns lifetime counters.
+func (s *Server) Stats() (requests, cacheHits int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.requests, s.cacheHits
+}
+
+// PageTTL exposes the configured expiry for broadcast metadata.
+func (s *Server) PageTTL() time.Duration { return s.cfg.PageTTL }

@@ -1,0 +1,213 @@
+package server
+
+import (
+	"net"
+	"testing"
+	"time"
+
+	"sonic/internal/core"
+	"sonic/internal/corpus"
+	"sonic/internal/sms"
+)
+
+func testServer(t *testing.T) *Server {
+	t.Helper()
+	p, err := core.NewPipeline(core.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := New(DefaultConfig(), p)
+	s.AddTransmitter(Transmitter{
+		ID: "khi-1", FreqMHz: 93.7, Lat: 24.86, Lon: 67.00, RadiusKm: 40,
+	})
+	s.AddTransmitter(Transmitter{
+		ID: "lhe-1", FreqMHz: 95.1, Lat: 31.55, Lon: 74.34, RadiusKm: 40,
+	})
+	return s
+}
+
+func TestTransmitterCoverage(t *testing.T) {
+	tx := Transmitter{Lat: 24.86, Lon: 67.00, RadiusKm: 40}
+	if !tx.Covers(24.90, 67.05) {
+		t.Error("nearby point not covered")
+	}
+	if tx.Covers(31.55, 74.34) { // Lahore is ~1000 km away
+		t.Error("distant point covered")
+	}
+}
+
+func TestHaversineSanity(t *testing.T) {
+	// Karachi to Lahore is just over 1000 km.
+	d := haversineKm(24.86, 67.00, 31.55, 74.34)
+	if d < 900 || d > 1200 {
+		t.Errorf("karachi-lahore = %.0f km", d)
+	}
+	if haversineKm(10, 10, 10, 10) != 0 {
+		t.Error("zero distance wrong")
+	}
+}
+
+func TestRenderPageCaches(t *testing.T) {
+	s := testServer(t)
+	now := time.Unix(0, 0)
+	url := corpus.Pages()[0].URL
+	b1, err := s.RenderPage(url, now)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(b1.Image) == 0 || len(b1.ClickMap) == 0 {
+		t.Fatal("empty bundle")
+	}
+	// Second render within the same content epoch must hit the cache.
+	_, err = s.RenderPage(url, now.Add(time.Minute))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, hits := s.Stats(); hits != 1 {
+		t.Errorf("cache hits = %d, want 1", hits)
+	}
+}
+
+func TestEnqueueAndDequeue(t *testing.T) {
+	s := testServer(t)
+	now := time.Unix(0, 0)
+	url := corpus.Pages()[1].URL
+	eta, err := s.EnqueuePage(url, 24.87, 67.01, now)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if eta <= 0 || eta > time.Hour {
+		t.Errorf("eta = %v", eta)
+	}
+	if pages, bytes := s.QueueDepth("khi-1"); pages != 1 || bytes == 0 {
+		t.Errorf("queue = %d pages, %d bytes", pages, bytes)
+	}
+	// Second page's ETA includes the first page's airtime.
+	eta2, err := s.EnqueuePage(corpus.Pages()[2].URL, 24.87, 67.01, now)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if eta2 <= eta {
+		t.Errorf("eta2 %v should exceed eta1 %v", eta2, eta)
+	}
+	gotURL, pageID, b, ok := s.DequeuePage("khi-1")
+	if !ok || gotURL != url || pageID == 0 || len(b.Image) == 0 {
+		t.Fatalf("dequeue: %q %d ok=%v", gotURL, pageID, ok)
+	}
+	// Lahore queue untouched.
+	if pages, _ := s.QueueDepth("lhe-1"); pages != 0 {
+		t.Error("wrong transmitter received the page")
+	}
+}
+
+func TestEnqueueNoCoverage(t *testing.T) {
+	s := testServer(t)
+	if _, err := s.EnqueuePage("x.pk/", 0, 0, time.Unix(0, 0)); err != ErrNoCoverage {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestPushPopular(t *testing.T) {
+	s := testServer(t)
+	now := time.Unix(0, 0)
+	if err := s.PushPopular(3, now); err != nil {
+		t.Fatal(err)
+	}
+	for _, tx := range []string{"khi-1", "lhe-1"} {
+		if pages, _ := s.QueueDepth(tx); pages != 3 {
+			t.Errorf("%s queue = %d, want 3", tx, pages)
+		}
+	}
+	// Re-push must not duplicate.
+	if err := s.PushPopular(3, now); err != nil {
+		t.Fatal(err)
+	}
+	if pages, _ := s.QueueDepth("khi-1"); pages != 3 {
+		t.Errorf("duplicate push: %d pages", pages)
+	}
+}
+
+func TestHandleSMSFlow(t *testing.T) {
+	s := testServer(t)
+	smsc := sms.NewSMSC(time.Second, 2*time.Second, 1)
+	smsc.Register(s.cfg.Number, s.HandleSMS(smsc))
+	var acks []string
+	smsc.Register("+user", func(m sms.Message) { acks = append(acks, m.Body) })
+
+	t0 := time.Unix(0, 0)
+	body := sms.FormatRequest(sms.Request{URL: corpus.Pages()[0].URL, Lat: 24.87, Lon: 67.0})
+	if err := smsc.Submit(t0, "+user", s.cfg.Number, body); err != nil {
+		t.Fatal(err)
+	}
+	smsc.Advance(t0.Add(3 * time.Second))  // deliver request (server acks)
+	smsc.Advance(t0.Add(10 * time.Second)) // deliver ack
+	if len(acks) != 1 {
+		t.Fatalf("acks = %v", acks)
+	}
+	url, eta, err := sms.ParseAck(acks[0])
+	if err != nil || url != corpus.Pages()[0].URL || eta <= 0 {
+		t.Errorf("ack %q parsed to %q %v %v", acks[0], url, eta, err)
+	}
+	if pages, _ := s.QueueDepth("khi-1"); pages != 1 {
+		t.Error("request did not reach the queue")
+	}
+
+	// Malformed request gets an error reply.
+	acks = nil
+	_ = smsc.Submit(t0.Add(20*time.Second), "+user", s.cfg.Number, "gibberish")
+	smsc.Advance(t0.Add(30 * time.Second))
+	smsc.Advance(t0.Add(40 * time.Second))
+	if len(acks) != 1 || acks[0] != "ERR bad request" {
+		t.Errorf("error reply = %v", acks)
+	}
+}
+
+func TestTransportOverTCP(t *testing.T) {
+	s := testServer(t)
+	now := time.Unix(0, 0)
+	url := corpus.Pages()[0].URL
+	if _, err := s.EnqueuePage(url, 24.87, 67.01, now); err != nil {
+		t.Fatal(err)
+	}
+
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		_ = s.Serve(l)
+	}()
+
+	c, err := DialTransmitter(l.Addr().String(), "khi-1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotURL, pageID, bundle, ok, err := c.Poll()
+	if err != nil || !ok {
+		t.Fatalf("poll: ok=%v err=%v", ok, err)
+	}
+	if gotURL != url || pageID == 0 || len(bundle.Image) == 0 {
+		t.Errorf("polled %q id=%d imglen=%d", gotURL, pageID, len(bundle.Image))
+	}
+	// Queue now empty.
+	_, _, _, ok, err = c.Poll()
+	if err != nil || ok {
+		t.Errorf("second poll: ok=%v err=%v", ok, err)
+	}
+	c.Close()
+	l.Close()
+	<-done
+}
+
+func TestTransportRejectsGarbage(t *testing.T) {
+	srv, cli := net.Pipe()
+	go func() {
+		// Garbage hello (wrong type byte).
+		_ = writeMsg(cli, msgPoll, nil)
+		cli.Close()
+	}()
+	s := testServer(t)
+	s.handleConn(srv) // must return without panicking
+}

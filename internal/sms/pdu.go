@@ -1,0 +1,241 @@
+package sms
+
+import (
+	"errors"
+	"fmt"
+)
+
+// PDU-mode encoding of SMS messages (GSM 03.40 TPDU, simplified to the
+// fields SONIC's uplink exercises): SMS-SUBMIT with a semi-octet
+// destination address, 7-bit default-alphabet user data, and an optional
+// User Data Header carrying the 8-bit concatenation IE. This is the
+// wire format a real GSM modem would be fed; the SMSC simulator speaks
+// strings, and this layer converts between the two.
+
+// TPDU field constants.
+const (
+	mtiSubmit        = 0x01
+	udhiFlag         = 0x40
+	tonInternational = 0x91
+	concatIEI        = 0x00
+	concatIELen      = 3
+)
+
+// PDU is one decoded SMS-SUBMIT.
+type PDU struct {
+	Dest string // destination number, digits only (international form)
+	Text string
+	// Concatenation info; Total == 0 means a standalone message.
+	Ref, Total, Seq byte
+}
+
+// encodeSemiOctets packs a digit string into swapped semi-octets,
+// padding odd lengths with 0xF.
+func encodeSemiOctets(digits string) ([]byte, error) {
+	out := make([]byte, 0, (len(digits)+1)/2)
+	var cur byte
+	for i, d := range digits {
+		if d < '0' || d > '9' {
+			return nil, fmt.Errorf("sms: non-digit %q in address", d)
+		}
+		v := byte(d - '0')
+		if i%2 == 0 {
+			cur = v
+		} else {
+			out = append(out, cur|v<<4)
+		}
+	}
+	if len(digits)%2 == 1 {
+		out = append(out, cur|0xF0)
+	}
+	return out, nil
+}
+
+// decodeSemiOctets reverses encodeSemiOctets for n digits.
+func decodeSemiOctets(b []byte, n int) string {
+	out := make([]byte, 0, n)
+	for i := 0; i < n; i++ {
+		v := b[i/2]
+		if i%2 == 1 {
+			v >>= 4
+		}
+		out = append(out, '0'+v&0x0F)
+	}
+	return string(out)
+}
+
+// EncodePDU serializes one SMS-SUBMIT TPDU. Text longer than one SMS
+// must be segmented first (Segment) and encoded per part with the
+// concatenation fields set.
+func EncodePDU(p PDU) ([]byte, error) {
+	septets := ToSeptets(p.Text)
+	limit := SingleLimit
+	if p.Total > 0 {
+		limit = ConcatLimit
+	}
+	if len(septets) == 0 || len(septets) > limit {
+		return nil, fmt.Errorf("sms: %d septets does not fit a %s PDU",
+			len(septets), map[bool]string{true: "concatenated", false: "single"}[p.Total > 0])
+	}
+	digits := p.Dest
+	if digits == "" {
+		return nil, errors.New("sms: empty destination")
+	}
+	addr, err := encodeSemiOctets(digits)
+	if err != nil {
+		return nil, err
+	}
+
+	var out []byte
+	fo := byte(mtiSubmit)
+	if p.Total > 0 {
+		fo |= udhiFlag
+	}
+	out = append(out, fo)
+	out = append(out, 0x00) // TP-MR (message reference, set by the modem)
+	out = append(out, byte(len(digits)), tonInternational)
+	out = append(out, addr...)
+	out = append(out, 0x00) // TP-PID
+	out = append(out, 0x00) // TP-DCS: 7-bit default alphabet
+
+	if p.Total > 0 {
+		// UDH: length(1) + IEI(1) + IELen(1) + ref,total,seq. The UDH
+		// occupies 7 septets of the user data budget (6 octets rounded
+		// up), so the text septets start at a septet boundary after it.
+		udh := []byte{0x05, concatIEI, concatIELen, p.Ref, p.Total, p.Seq}
+		udl := 7 + len(septets) // septet count including the UDH shadow
+		out = append(out, byte(udl))
+		out = append(out, udh...)
+		// The 6-octet UDH occupies 48 bits; text septets start at bit 49
+		// (7 septets in). Pack with 7 leading zero septets so the text
+		// lands with the correct 1-bit fill, then emit from octet 6.
+		padded := append(make([]byte, 7), septets...)
+		packed := Pack(padded)
+		out = append(out, packed[6:]...)
+	} else {
+		out = append(out, byte(len(septets)))
+		out = append(out, Pack(septets)...)
+	}
+	return out, nil
+}
+
+// ErrBadPDU is returned for malformed TPDUs.
+var ErrBadPDU = errors.New("sms: malformed PDU")
+
+// DecodePDU parses an SMS-SUBMIT TPDU produced by EncodePDU.
+func DecodePDU(b []byte) (PDU, error) {
+	var p PDU
+	if len(b) < 6 {
+		return p, ErrBadPDU
+	}
+	fo := b[0]
+	if fo&0x03 != mtiSubmit {
+		return p, fmt.Errorf("%w: not SMS-SUBMIT", ErrBadPDU)
+	}
+	hasUDH := fo&udhiFlag != 0
+	i := 2 // skip TP-MR
+	if i >= len(b) {
+		return p, ErrBadPDU
+	}
+	addrDigits := int(b[i])
+	i += 2 // length + type-of-address
+	addrBytes := (addrDigits + 1) / 2
+	if i+addrBytes+3 > len(b) {
+		return p, ErrBadPDU
+	}
+	p.Dest = decodeSemiOctets(b[i:i+addrBytes], addrDigits)
+	i += addrBytes
+	i += 2 // PID + DCS
+	udl := int(b[i])
+	i++
+	ud := b[i:]
+
+	if hasUDH {
+		if len(ud) < 6 || ud[0] != 0x05 || ud[1] != concatIEI || ud[2] != concatIELen {
+			return p, fmt.Errorf("%w: bad UDH", ErrBadPDU)
+		}
+		p.Ref, p.Total, p.Seq = ud[3], ud[4], ud[5]
+		nText := udl - 7
+		if nText < 0 {
+			return p, ErrBadPDU
+		}
+		// Reconstruct the packed stream with the UDH's 6 octets zeroed so
+		// Unpack sees the same alignment Pack produced.
+		packed := append(make([]byte, 6), ud[6:]...)
+		septets := Unpack(packed, 7+nText)
+		if len(septets) < 7+nText {
+			return p, ErrBadPDU
+		}
+		p.Text = FromSeptets(septets[7:])
+	} else {
+		septets := Unpack(ud, udl)
+		if len(septets) < udl {
+			return p, ErrBadPDU
+		}
+		p.Text = FromSeptets(septets)
+	}
+	return p, nil
+}
+
+// EncodeConcatPDUs segments text and encodes one PDU per part with a
+// shared reference number.
+func EncodeConcatPDUs(dest, text string, ref byte) ([][]byte, error) {
+	parts, err := Segment(text)
+	if err != nil {
+		return nil, err
+	}
+	if len(parts) == 1 {
+		pdu, err := EncodePDU(PDU{Dest: dest, Text: parts[0]})
+		if err != nil {
+			return nil, err
+		}
+		return [][]byte{pdu}, nil
+	}
+	out := make([][]byte, 0, len(parts))
+	for i, part := range parts {
+		pdu, err := EncodePDU(PDU{
+			Dest: dest, Text: part,
+			Ref: ref, Total: byte(len(parts)), Seq: byte(i + 1),
+		})
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, pdu)
+	}
+	return out, nil
+}
+
+// JoinConcatPDUs decodes and reassembles a full set of concatenated
+// PDUs (any order); standalone single PDUs pass through.
+func JoinConcatPDUs(pdus [][]byte) (dest, text string, err error) {
+	if len(pdus) == 0 {
+		return "", "", ErrBadPDU
+	}
+	decoded := make([]PDU, len(pdus))
+	for i, raw := range pdus {
+		p, err := DecodePDU(raw)
+		if err != nil {
+			return "", "", err
+		}
+		decoded[i] = p
+	}
+	if decoded[0].Total == 0 {
+		if len(decoded) != 1 {
+			return "", "", fmt.Errorf("%w: multiple standalone PDUs", ErrBadPDU)
+		}
+		return decoded[0].Dest, decoded[0].Text, nil
+	}
+	total := int(decoded[0].Total)
+	if len(decoded) != total {
+		return "", "", fmt.Errorf("%w: have %d of %d parts", ErrBadPDU, len(decoded), total)
+	}
+	parts := make([]string, total)
+	for _, p := range decoded {
+		if p.Ref != decoded[0].Ref || int(p.Total) != total ||
+			p.Seq < 1 || int(p.Seq) > total || parts[p.Seq-1] != "" {
+			return "", "", fmt.Errorf("%w: inconsistent concatenation set", ErrBadPDU)
+		}
+		parts[p.Seq-1] = p.Text
+	}
+	return decoded[0].Dest, Join(parts), nil
+}

@@ -1,0 +1,153 @@
+package sms
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestSemiOctets(t *testing.T) {
+	b, err := encodeSemiOctets("923001234567")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if decodeSemiOctets(b, 12) != "923001234567" {
+		t.Error("even-length round trip failed")
+	}
+	b, err = encodeSemiOctets("92300123456")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b[len(b)-1]>>4 != 0xF {
+		t.Error("odd length should pad with F")
+	}
+	if decodeSemiOctets(b, 11) != "92300123456" {
+		t.Error("odd-length round trip failed")
+	}
+	if _, err := encodeSemiOctets("92x"); err == nil {
+		t.Error("non-digit should fail")
+	}
+}
+
+func TestSinglePDURoundTrip(t *testing.T) {
+	in := PDU{Dest: "923001234567", Text: "GET khabar.pk/ LOC 24.8607,67.0011"}
+	raw, err := EncodePDU(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodePDU(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Dest != in.Dest || got.Text != in.Text {
+		t.Errorf("round trip: %+v", got)
+	}
+	if got.Total != 0 {
+		t.Error("standalone PDU should have no concat info")
+	}
+}
+
+func TestConcatPDURoundTrip(t *testing.T) {
+	in := PDU{
+		Dest: "92300", Text: strings.Repeat("x", 153),
+		Ref: 42, Total: 3, Seq: 2,
+	}
+	raw, err := EncodePDU(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodePDU(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Ref != 42 || got.Total != 3 || got.Seq != 2 {
+		t.Errorf("concat fields: %+v", got)
+	}
+	if got.Text != in.Text {
+		t.Errorf("text mismatch: %d vs %d chars", len(got.Text), len(in.Text))
+	}
+}
+
+func TestEncodePDUValidation(t *testing.T) {
+	if _, err := EncodePDU(PDU{Dest: "92300", Text: ""}); err == nil {
+		t.Error("empty text should fail")
+	}
+	if _, err := EncodePDU(PDU{Dest: "", Text: "x"}); err == nil {
+		t.Error("empty destination should fail")
+	}
+	if _, err := EncodePDU(PDU{Dest: "92300", Text: strings.Repeat("a", 161)}); err == nil {
+		t.Error("oversized single PDU should fail")
+	}
+	if _, err := EncodePDU(PDU{Dest: "92300", Text: strings.Repeat("a", 154), Total: 2, Seq: 1}); err == nil {
+		t.Error("oversized concat part should fail")
+	}
+}
+
+func TestDecodePDURejectsGarbage(t *testing.T) {
+	for _, b := range [][]byte{nil, {1, 2}, {0x00, 0, 0, 0, 0, 0}, {0x41, 0, 5, 0x91}} {
+		if _, err := DecodePDU(b); err == nil {
+			t.Errorf("garbage %v decoded", b)
+		}
+	}
+}
+
+func TestEncodeConcatPDUsAndJoin(t *testing.T) {
+	text := strings.Repeat("sonic uplink request payload ", 12) // > 160 septets
+	pdus, err := EncodeConcatPDUs("923001112223", text, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pdus) < 2 {
+		t.Fatalf("expected multiple parts, got %d", len(pdus))
+	}
+	// Out-of-order join.
+	shuffled := [][]byte{pdus[len(pdus)-1]}
+	shuffled = append(shuffled, pdus[:len(pdus)-1]...)
+	dest, got, err := JoinConcatPDUs(shuffled)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dest != "923001112223" || got != text {
+		t.Errorf("join mismatch: dest=%q textlen=%d", dest, len(got))
+	}
+	// Missing part.
+	if _, _, err := JoinConcatPDUs(pdus[:len(pdus)-1]); err == nil {
+		t.Error("incomplete set should fail")
+	}
+	// Single short message passes through.
+	one, err := EncodeConcatPDUs("92300", "short", 9)
+	if err != nil || len(one) != 1 {
+		t.Fatalf("short message: %d pdus, %v", len(one), err)
+	}
+	d, txt, err := JoinConcatPDUs(one)
+	if err != nil || d != "92300" || txt != "short" {
+		t.Errorf("single join: %q %q %v", d, txt, err)
+	}
+}
+
+func TestPDUQuickRoundTrip(t *testing.T) {
+	f := func(raw []byte) bool {
+		// Build GSM-7-safe text from arbitrary bytes.
+		if len(raw) == 0 {
+			return true
+		}
+		if len(raw) > 150 {
+			raw = raw[:150]
+		}
+		sept := make([]byte, len(raw))
+		for i, b := range raw {
+			sept[i] = b & 0x7F
+		}
+		text := FromSeptets(sept)
+		in := PDU{Dest: "92300123", Text: text}
+		enc, err := EncodePDU(in)
+		if err != nil {
+			return false
+		}
+		got, err := DecodePDU(enc)
+		return err == nil && got.Text == text && got.Dest == in.Dest
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,103 @@
+package webrender
+
+import (
+	"testing"
+
+	"sonic/internal/imagecodec"
+)
+
+func TestTableBlockRenders(t *testing.T) {
+	p := &Page{
+		URL: "t.pk/", SiteName: "t.pk", Theme: themeFor("t.pk"),
+		Blocks: []Block{{
+			Kind: BlockTable,
+			TableRows: [][]string{
+				{"city", "rate", "change"},
+				{"karachi", "281.50", "0.25"},
+				{"lahore", "281.90", "0.40"},
+			},
+		}},
+	}
+	r := Render(p)
+	// Grid lines: a horizontal run of the line color must exist.
+	line := imagecodec.RGB{R: 180, G: 180, B: 180}
+	found := false
+	for y := 0; y < r.Image.H && !found; y++ {
+		run := 0
+		for x := 0; x < r.Image.W; x++ {
+			if r.Image.At(x, y) == line {
+				run++
+				if run > 200 {
+					found = true
+					break
+				}
+			} else {
+				run = 0
+			}
+		}
+	}
+	if !found {
+		t.Error("no horizontal table rule drawn")
+	}
+	// Header row tint present.
+	tint := imagecodec.RGB{R: 0xEF, G: 0xEF, B: 0xEF}
+	if r.Image.At(100, 4) != tint {
+		t.Errorf("header row not tinted: %+v", r.Image.At(100, 4))
+	}
+	// Empty table must not panic.
+	empty := &Page{URL: "e.pk/", Theme: themeFor("e.pk"),
+		Blocks: []Block{{Kind: BlockTable}}}
+	Render(empty)
+}
+
+func TestSearchBlockAddsClickRegion(t *testing.T) {
+	p := &Page{
+		URL: "s.pk/", SiteName: "s.pk", Theme: themeFor("s.pk"),
+		Blocks: []Block{{
+			Kind:  BlockSearch,
+			Text:  "SEARCH S.PK",
+			Links: []Link{{Text: "search", URL: "s.pk/search"}},
+		}},
+	}
+	r := Render(p)
+	found := false
+	for _, reg := range r.Clicks.Regions {
+		if reg.URL == "s.pk/search" {
+			found = true
+			if reg.W < 50 || reg.H < 20 {
+				t.Errorf("search button region too small: %+v", reg)
+			}
+		}
+	}
+	if !found {
+		t.Error("search button has no click region")
+	}
+}
+
+func TestCorpusIncludesNewBlocks(t *testing.T) {
+	// Across a few corpus pages, tables and search boxes should appear.
+	kinds := map[BlockKind]int{}
+	for i := 0; i < 10; i++ {
+		p := Generate("site"+string(rune('a'+i))+".pk/", 0, DefaultGenOptions())
+		for _, b := range p.Blocks {
+			kinds[b.Kind]++
+		}
+	}
+	if kinds[BlockTable] == 0 {
+		t.Error("no tables generated across 10 pages")
+	}
+	if kinds[BlockSearch] == 0 {
+		t.Error("no search boxes generated across 10 pages")
+	}
+}
+
+func TestBlockKindStrings(t *testing.T) {
+	for k := BlockHeader; k <= BlockSearch; k++ {
+		if k.String() == "unknown" {
+			t.Errorf("kind %d has no name", k)
+		}
+	}
+	if BlockKind(99).String() != "unknown" {
+		t.Error("out-of-range kind should be unknown")
+	}
+}

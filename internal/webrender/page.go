@@ -1,0 +1,97 @@
+package webrender
+
+import "sonic/internal/imagecodec"
+
+// BlockKind enumerates the layout elements synthetic pages are built from.
+type BlockKind int
+
+// Block kinds, roughly the elements of a news/portal landing page.
+const (
+	BlockHeader BlockKind = iota
+	BlockNavBar
+	BlockHeading
+	BlockParagraph
+	BlockImage
+	BlockLinkList
+	BlockAd
+	BlockFooter
+	// BlockTable is a bordered data table (scores, market rates) — a
+	// staple of the .pk corpus sites.
+	BlockTable
+	// BlockSearch is a search box; §3.1 lets uplink users "send queries
+	// to search engines", and the click map marks the box as the trigger.
+	BlockSearch
+)
+
+// String names the kind for diagnostics.
+func (k BlockKind) String() string {
+	switch k {
+	case BlockHeader:
+		return "header"
+	case BlockNavBar:
+		return "nav"
+	case BlockHeading:
+		return "heading"
+	case BlockParagraph:
+		return "paragraph"
+	case BlockImage:
+		return "image"
+	case BlockLinkList:
+		return "links"
+	case BlockAd:
+		return "ad"
+	case BlockFooter:
+		return "footer"
+	case BlockTable:
+		return "table"
+	case BlockSearch:
+		return "search"
+	}
+	return "unknown"
+}
+
+// Link is a hyperlink carried by a block.
+type Link struct {
+	Text string
+	URL  string
+}
+
+// Block is one vertical layout element.
+type Block struct {
+	Kind  BlockKind
+	Text  string   // heading/paragraph text, or ad caption
+	Lines []string // paragraph lines (pre-wrapped by the generator)
+	Links []Link   // nav items, link lists, or the block-level link
+	// ImageSeed drives the pseudo-photo pattern for BlockImage.
+	ImageSeed int64
+	// Rows/Cols hold BlockTable cell text (Rows[i][j]).
+	TableRows [][]string
+	// HeightPx is the block's rendered height (set by the generator).
+	HeightPx int
+	// Tint is the block background.
+	Tint imagecodec.RGB
+}
+
+// Page is a synthetic webpage: the unit SONIC renders, encodes, and
+// broadcasts.
+type Page struct {
+	URL      string
+	Title    string
+	SiteName string
+	// Weight is the synthetic "real webpage" transfer size in bytes
+	// (HTML+JS+CSS+media), used for the §3.2 ~10x compression comparison;
+	// the Web Almanac average the paper cites is ~2 MB.
+	Weight int
+	Blocks []Block
+	// Palette.
+	Theme Theme
+}
+
+// Theme is the per-site color scheme.
+type Theme struct {
+	Header imagecodec.RGB
+	Accent imagecodec.RGB
+	Link   imagecodec.RGB
+	Text   imagecodec.RGB
+	PageBG imagecodec.RGB
+}

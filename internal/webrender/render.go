@@ -1,0 +1,265 @@
+package webrender
+
+import (
+	"math/rand"
+
+	"sonic/internal/clickmap"
+	"sonic/internal/imagecodec"
+)
+
+// Layout constants for the 1080-wide reference rendering (§3.2).
+const (
+	margin      = 24
+	headerH     = 140
+	navH        = 64
+	headingTxt  = 4 // text scale factors
+	bodyTxt     = 2
+	linkTxt     = 2
+	lineSpacing = 6
+	blockGap    = 18
+)
+
+// Rendered is the output of rendering one page: the raster (1080 px wide,
+// uncropped), the click map in image coordinates, and the per-row block
+// classification the user-study metrics use to separate text readability
+// from overall content understanding (Fig. 5's two questions).
+type Rendered struct {
+	Page   *Page
+	Image  *imagecodec.Raster
+	Clicks *clickmap.Map
+	// Rows[y] is the kind of block that painted row y.
+	Rows []BlockKind
+}
+
+// TextRow reports whether row y is dominated by text (headings,
+// paragraphs, link lists).
+func (r *Rendered) TextRow(y int) bool {
+	if y < 0 || y >= len(r.Rows) {
+		return false
+	}
+	switch r.Rows[y] {
+	case BlockHeading, BlockParagraph, BlockLinkList:
+		return true
+	}
+	return false
+}
+
+// Render rasterizes the page at the reference width. Height is whatever
+// the content needs; callers apply Raster.Crop(MaxPageHeight) to enforce
+// the paper's PH:10k policy.
+func Render(p *Page) *Rendered {
+	h := measure(p)
+	img := imagecodec.NewRaster(imagecodec.PageWidth, h)
+	img.Fill(p.Theme.PageBG)
+	clicks := &clickmap.Map{PageURL: p.URL}
+	rows := make([]BlockKind, h)
+
+	y := 0
+	for bi := range p.Blocks {
+		b := &p.Blocks[bi]
+		next := renderBlock(img, clicks, p, b, y)
+		for ry := y; ry < next && ry < h; ry++ {
+			rows[ry] = b.Kind
+		}
+		y = next
+	}
+	return &Rendered{Page: p, Image: img, Clicks: clicks, Rows: rows}
+}
+
+// measure computes the total rendered height and stores each block's
+// HeightPx.
+func measure(p *Page) int {
+	total := 0
+	for i := range p.Blocks {
+		b := &p.Blocks[i]
+		switch b.Kind {
+		case BlockHeader:
+			b.HeightPx = headerH
+		case BlockNavBar:
+			b.HeightPx = navH
+		case BlockHeading:
+			b.HeightPx = TextHeight(headingTxt) + 2*blockGap
+		case BlockParagraph:
+			b.HeightPx = len(b.Lines)*(TextHeight(bodyTxt)+lineSpacing) + blockGap
+		case BlockImage:
+			b.HeightPx = 420 + TextHeight(bodyTxt) + blockGap
+		case BlockLinkList:
+			b.HeightPx = len(b.Links)*(TextHeight(linkTxt)+lineSpacing+8) + blockGap
+		case BlockAd:
+			b.HeightPx = 180 + blockGap
+		case BlockFooter:
+			b.HeightPx = 120
+		case BlockTable:
+			b.HeightPx = len(b.TableRows)*(TextHeight(bodyTxt)+14) + 2 + blockGap
+		case BlockSearch:
+			b.HeightPx = 72 + blockGap
+		default:
+			b.HeightPx = blockGap
+		}
+		total += b.HeightPx
+	}
+	return total
+}
+
+func renderBlock(img *imagecodec.Raster, clicks *clickmap.Map, p *Page, b *Block, y int) int {
+	w := img.W
+	switch b.Kind {
+	case BlockHeader:
+		img.FillRect(0, y, w, headerH, p.Theme.Header)
+		DrawText(img, margin, y+headerH/2-TextHeight(5)/2, b.Text, 5,
+			imagecodec.RGB{R: 255, G: 255, B: 255})
+	case BlockNavBar:
+		img.FillRect(0, y, w, navH, p.Theme.Accent)
+		x := margin
+		for _, l := range b.Links {
+			tw := TextWidth(l.Text, linkTxt)
+			DrawText(img, x, y+navH/2-TextHeight(linkTxt)/2, l.Text, linkTxt,
+				imagecodec.RGB{R: 240, G: 240, B: 240})
+			clicks.Add(x, y, tw, navH, l.URL)
+			x += tw + 36
+			if x > w-margin {
+				break
+			}
+		}
+	case BlockHeading:
+		DrawText(img, margin, y+blockGap, b.Text, headingTxt, p.Theme.Text)
+	case BlockParagraph:
+		ty := y
+		for _, line := range b.Lines {
+			DrawText(img, margin, ty, line, bodyTxt, p.Theme.Text)
+			ty += TextHeight(bodyTxt) + lineSpacing
+		}
+	case BlockImage:
+		drawPseudoPhoto(img, margin, y, w-2*margin, 400, b.ImageSeed)
+		DrawText(img, margin, y+408, b.Text, bodyTxt,
+			imagecodec.RGB{R: 100, G: 100, B: 100})
+	case BlockLinkList:
+		ty := y
+		for _, l := range b.Links {
+			// Bullet.
+			img.FillRect(margin, ty+4, 6, 6, p.Theme.Link)
+			DrawText(img, margin+16, ty, l.Text, linkTxt, p.Theme.Link)
+			tw := TextWidth(l.Text, linkTxt)
+			// Underline, the visual cue for a hyperlink.
+			img.FillRect(margin+16, ty+TextHeight(linkTxt)+1, tw, 1, p.Theme.Link)
+			clicks.Add(margin, ty, tw+16, TextHeight(linkTxt)+8, l.URL)
+			ty += TextHeight(linkTxt) + lineSpacing + 8
+		}
+	case BlockAd:
+		img.FillRect(margin, y, w-2*margin, 160, b.Tint)
+		img.FillRect(margin, y, w-2*margin, 4, imagecodec.RGB{R: 120, G: 100, B: 30})
+		DrawText(img, w/2-TextWidth(b.Text, 3)/2, y+70, b.Text, 3,
+			imagecodec.RGB{R: 80, G: 60, B: 10})
+	case BlockFooter:
+		img.FillRect(0, y, w, 120, imagecodec.RGB{R: 40, G: 40, B: 40})
+		DrawText(img, margin, y+50, b.Text, 2, imagecodec.RGB{R: 200, G: 200, B: 200})
+	case BlockTable:
+		renderTable(img, p, b, y)
+	case BlockSearch:
+		// A bordered input box plus a button; the button region triggers
+		// an uplink query when tapped.
+		boxW := w * 2 / 3
+		grey := imagecodec.RGB{R: 150, G: 150, B: 150}
+		img.FillRect(margin, y+8, boxW, 48, imagecodec.RGB{R: 250, G: 250, B: 250})
+		img.FillRect(margin, y+8, boxW, 2, grey)
+		img.FillRect(margin, y+54, boxW, 2, grey)
+		img.FillRect(margin, y+8, 2, 48, grey)
+		img.FillRect(margin+boxW-2, y+8, 2, 48, grey)
+		DrawText(img, margin+12, y+24, b.Text, 2, grey)
+		bx := margin + boxW + 16
+		img.FillRect(bx, y+8, 140, 48, p.Theme.Accent)
+		DrawText(img, bx+20, y+24, "GO", 3, imagecodec.RGB{R: 255, G: 255, B: 255})
+		if len(b.Links) > 0 {
+			clicks.Add(bx, y+8, 140, 48, b.Links[0].URL)
+		}
+	}
+	return y + b.HeightPx
+}
+
+// renderTable draws a bordered grid with text cells.
+func renderTable(img *imagecodec.Raster, p *Page, b *Block, y int) {
+	if len(b.TableRows) == 0 {
+		return
+	}
+	w := img.W - 2*margin
+	rowH := TextHeight(bodyTxt) + 14
+	cols := len(b.TableRows[0])
+	line := imagecodec.RGB{R: 180, G: 180, B: 180}
+	for r, row := range b.TableRows {
+		ry := y + 2 + r*rowH
+		// Header row tinted.
+		if r == 0 {
+			img.FillRect(margin, ry, w, rowH, imagecodec.RGB{R: 0xEF, G: 0xEF, B: 0xEF})
+		}
+		img.FillRect(margin, ry, w, 1, line)
+		for c := 0; c < cols && c < len(row); c++ {
+			cx := margin + c*w/cols
+			img.FillRect(cx, ry, 1, rowH, line)
+			DrawText(img, cx+8, ry+7, row[c], bodyTxt, p.Theme.Text)
+		}
+	}
+	bottom := y + 2 + len(b.TableRows)*rowH
+	img.FillRect(margin, bottom, w, 1, line)
+	img.FillRect(margin+w-1, y+2, 1, bottom-y-2, line)
+}
+
+// drawPseudoPhoto paints a photo-like region: low-frequency color patches
+// with mild per-pixel noise, matching how real news imagery stresses the
+// codec more than flat UI chrome. The thumbnail is intentionally not
+// clickable (§3.4: videos are replaced by non-clickable thumbnails).
+func drawPseudoPhoto(img *imagecodec.Raster, x0, y0, w, h int, seed int64) {
+	rng := rand.New(rand.NewSource(seed))
+	// 4x4 control grid, bilinear interpolation between random colors.
+	const grid = 4
+	var ctrl [grid + 1][grid + 1][3]float64
+	for gy := 0; gy <= grid; gy++ {
+		for gx := 0; gx <= grid; gx++ {
+			for c := 0; c < 3; c++ {
+				ctrl[gy][gx][c] = 40 + 180*rng.Float64()
+			}
+		}
+	}
+	for y := 0; y < h; y++ {
+		fy := float64(y) / float64(h) * grid
+		iy := int(fy)
+		if iy >= grid {
+			iy = grid - 1
+		}
+		ry := fy - float64(iy)
+		for x := 0; x < w; x++ {
+			fx := float64(x) / float64(w) * grid
+			ix := int(fx)
+			if ix >= grid {
+				ix = grid - 1
+			}
+			rx := fx - float64(ix)
+			var px [3]float64
+			for c := 0; c < 3; c++ {
+				top := ctrl[iy][ix][c]*(1-rx) + ctrl[iy][ix+1][c]*rx
+				bot := ctrl[iy+1][ix][c]*(1-rx) + ctrl[iy+1][ix+1][c]*rx
+				px[c] = top*(1-ry) + bot*ry
+			}
+			// Mild, horizontally-correlated grain (like the JPEG-smoothed
+			// photos on real pages) rather than per-pixel noise.
+			var n float64
+			if y%3 == 0 && x%4 == 0 {
+				n = float64(rng.Intn(7)) - 3
+			}
+			img.Set(x0+x, y0+y, imagecodec.RGB{
+				R: clampU8(px[0] + n),
+				G: clampU8(px[1] + n),
+				B: clampU8(px[2] + n),
+			})
+		}
+	}
+}
+
+func clampU8(v float64) uint8 {
+	if v < 0 {
+		return 0
+	}
+	if v > 255 {
+		return 255
+	}
+	return uint8(v)
+}
