@@ -11,6 +11,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -21,6 +22,8 @@ import (
 	"sonic/internal/corpus"
 	"sonic/internal/experiments"
 	"sonic/internal/imagecodec"
+	"sonic/internal/obsprobe"
+	"sonic/internal/telemetry"
 )
 
 func main() {
@@ -213,6 +216,38 @@ func main() {
 		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *exp)
 		os.Exit(2)
 	}
+
+	// Alongside the CSV exports, drop a per-stage telemetry snapshot of
+	// one instrumented end-to-end run so stage latency breakdowns ride
+	// with the experiment data.
+	if *csvDir != "" {
+		if err := writeTelemetrySnapshot(*csvDir); err != nil {
+			fmt.Fprintf(os.Stderr, "telemetry: %v\n", err)
+			os.Exit(1)
+		}
+	}
+}
+
+// writeTelemetrySnapshot runs the instrumented probe and writes the
+// resulting registry snapshot as dir/telemetry.json.
+func writeTelemetrySnapshot(dir string) error {
+	reg := telemetry.New()
+	if err := obsprobe.Run(reg); err != nil {
+		return err
+	}
+	blob, err := json.MarshalIndent(reg.Snapshot(), "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	path := filepath.Join(dir, "telemetry.json")
+	if err := os.WriteFile(path, append(blob, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote per-stage telemetry snapshot to %s\n", path)
+	return nil
 }
 
 func min(a, b int) int {

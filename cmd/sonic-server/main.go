@@ -8,6 +8,9 @@
 //	# service: accept transmitter control links over TCP and queue the
 //	# most popular pages for broadcast
 //	sonic-server -serve -listen 127.0.0.1:7333 -push 10
+//
+// Either mode accepts -telemetry :addr to serve the live ops endpoint
+// (/metrics, /metrics.json, /debug/pprof) while the server runs.
 package main
 
 import (
@@ -20,6 +23,7 @@ import (
 	"sonic/internal/audio"
 	"sonic/internal/core"
 	"sonic/internal/server"
+	"sonic/internal/telemetry"
 )
 
 func main() {
@@ -30,14 +34,27 @@ func main() {
 		serve  = flag.Bool("serve", false, "run the transmitter control service")
 		listen = flag.String("listen", "127.0.0.1:7333", "control-link listen address")
 		push   = flag.Int("push", 10, "popular pages to pre-queue in -serve mode")
+		tel    = flag.String("telemetry", "", "serve the ops endpoint (/metrics, /metrics.json, /debug/pprof) on this address, e.g. :7380")
 	)
 	flag.Parse()
+
+	var reg *telemetry.Registry // nil unless -telemetry: all records are no-ops
+	if *tel != "" {
+		reg = telemetry.New()
+		bound, err := telemetry.Serve(*tel, reg)
+		if err != nil {
+			fatalf("telemetry: %v", err)
+		}
+		fmt.Printf("telemetry: http://%s/metrics (JSON at /metrics.json, profiles at /debug/pprof)\n", bound)
+	}
 
 	pipe, err := core.NewPipeline(core.DefaultConfig())
 	if err != nil {
 		fatalf("pipeline: %v", err)
 	}
+	pipe.Instrument(reg)
 	srv := server.New(server.DefaultConfig(), pipe)
+	srv.Instrument(reg)
 	// A Karachi-class metro transmitter; -serve deployments would add
 	// one per covered city.
 	srv.AddTransmitter(server.Transmitter{

@@ -6,6 +6,11 @@
 // freshness, per-user pages received, request latency.
 //
 //	sonic-sim -hours 24 -listeners 200 -rate 10000
+//
+// With -telemetry :7380 it also serves the live ops endpoint
+// (/metrics, /metrics.json, /debug/pprof), runs an instrumented
+// end-to-end probe so every pipeline stage reports, and stays alive
+// for scraping after the report.
 package main
 
 import (
@@ -18,7 +23,9 @@ import (
 	"sonic/internal/broadcast"
 	"sonic/internal/core"
 	"sonic/internal/corpus"
+	"sonic/internal/obsprobe"
 	"sonic/internal/stats"
+	"sonic/internal/telemetry"
 )
 
 func main() {
@@ -28,14 +35,27 @@ func main() {
 		rate      = flag.Float64("rate", 10000, "channel rate (bps)")
 		uplinkPct = flag.Int("uplink", 20, "percent of listeners with SMS uplink (user-C)")
 		seed      = flag.Int64("seed", 1, "simulation seed")
+		telAddr   = flag.String("telemetry", "", "serve the ops endpoint (/metrics, /metrics.json, /debug/pprof) on this address, e.g. :7380; keeps the process alive after the report")
 	)
 	flag.Parse()
+
+	var reg *telemetry.Registry // nil unless -telemetry: all records below are no-ops
+	if *telAddr != "" {
+		reg = telemetry.New()
+		bound, err := telemetry.Serve(*telAddr, reg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("telemetry: http://%s/metrics (JSON at /metrics.json, profiles at /debug/pprof)\n", bound)
+	}
 
 	pipe, err := core.NewPipeline(core.DefaultConfig())
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
+	pipe.Instrument(reg)
 	rng := rand.New(rand.NewSource(*seed))
 	pages := corpus.Pages()
 	size := func(ref corpus.PageRef, hour int) int {
@@ -54,6 +74,7 @@ func main() {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
+	car.Instrument(reg, *rate)
 
 	// Listener state: which page each listener last received and when.
 	type listener struct {
@@ -162,6 +183,20 @@ func main() {
 	wait := car.ExpectedWaitSeconds(*rate)
 	fmt.Printf("carousel expected wait for a random popular page: %s\n",
 		time.Duration(wait*float64(time.Second)).Round(time.Second))
+
+	if reg != nil {
+		// The discrete-event loop above models the channel analytically,
+		// so run one real end-to-end page through every instrumented
+		// stage to populate the per-stage spans and codec counters, then
+		// keep serving so the endpoint stays scrapeable.
+		fmt.Println("telemetry: running instrumented end-to-end probe...")
+		if err := obsprobe.Run(reg); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Println("telemetry: probe complete; serving until interrupted (ctrl-C to exit)")
+		select {}
+	}
 }
 
 // probAllFrames is the probability all n frames survive at per-frame

@@ -6,6 +6,7 @@ import (
 	"sort"
 
 	"sonic/internal/corpus"
+	"sonic/internal/telemetry"
 )
 
 // Carousel schedules the repeating broadcast rotation for downlink-only
@@ -17,6 +18,32 @@ import (
 type Carousel struct {
 	entries []CarouselEntry
 	policy  CarouselPolicy
+
+	// Telemetry (nil handles = off; see internal/telemetry).
+	mScheduled *telemetry.Counter // broadcast_scheduled_total
+}
+
+// Instrument registers the carousel's metric families on reg: the
+// broadcast_airtime_share{url=...} gauge for the top entries by demand,
+// the broadcast_expected_wait_seconds histogram (per-entry expected wait
+// for a random arrival at rateBps), and broadcast_scheduled_total, bumped
+// once per transmission slot emitted by Schedule. Call once at setup.
+func (c *Carousel) Instrument(reg *telemetry.Registry, rateBps float64) {
+	c.mScheduled = reg.Counter("broadcast_scheduled_total")
+	if reg == nil {
+		return
+	}
+	const topN = 8
+	for _, e := range c.TopNByDemand(topN) {
+		reg.Gauge("broadcast_airtime_share", "url", e.Ref.URL).Set(e.share)
+	}
+	if rateBps > 0 {
+		h := reg.Histogram("broadcast_expected_wait_seconds", telemetry.SecondsBuckets)
+		for _, e := range c.entries {
+			airSec := float64(e.Bytes) * 8 / rateBps
+			h.Observe(airSec/e.share/2 + airSec)
+		}
+	}
 }
 
 // CarouselEntry is one page in the rotation.
@@ -122,6 +149,7 @@ func (c *Carousel) Schedule(n int) []int {
 		out = append(out, best)
 		next[best] += period[best]
 	}
+	c.mScheduled.Add(int64(len(out)))
 	return out
 }
 

@@ -16,6 +16,7 @@ import (
 	"sonic/internal/core"
 	"sonic/internal/imagecodec"
 	"sonic/internal/sms"
+	"sonic/internal/telemetry"
 )
 
 // Capability describes what a user's hardware supports (the three user
@@ -51,6 +52,19 @@ type Client struct {
 
 	received  int
 	requested int
+
+	// Telemetry (nil handles = off; see internal/telemetry).
+	mReceived  *telemetry.Counter // client_pages_received_total
+	mRequested *telemetry.Counter // client_requests_sent_total
+	mOpened    *telemetry.Counter // client_pages_opened_total
+}
+
+// Instrument registers the client's metric families on reg. Call once at
+// setup, before the client starts handling broadcasts.
+func (c *Client) Instrument(reg *telemetry.Registry) {
+	c.mReceived = reg.Counter("client_pages_received_total")
+	c.mRequested = reg.Counter("client_requests_sent_total")
+	c.mOpened = reg.Counter("client_pages_opened_total")
 }
 
 // New builds a client.
@@ -103,6 +117,7 @@ func (c *Client) HandleBroadcast(url string, b core.Bundle, now time.Time, ttl t
 	})
 	delete(c.pending, url)
 	c.received++
+	c.mReceived.Inc()
 }
 
 // Page is a browsable cached page, decoded and scaled for this device.
@@ -139,6 +154,7 @@ func (c *Client) Open(url string, now time.Time) (*Page, error) {
 		}
 	}
 	f := c.ScalingFactor()
+	c.mOpened.Inc()
 	return &Page{
 		URL:    url,
 		Image:  img.ResizeNearest(f),
@@ -192,6 +208,7 @@ func (c *Client) Request(url string, now time.Time) error {
 	c.mu.Lock()
 	c.requested++
 	c.mu.Unlock()
+	c.mRequested.Inc()
 	return nil
 }
 
@@ -204,6 +221,10 @@ func (c *Client) PendingETA(url string) (time.Time, bool) {
 }
 
 // Stats returns (pages received, requests sent).
+//
+// Deprecated: prefer Instrument and the client_* telemetry families,
+// which cover more events and export over the ops endpoint. Stats reads
+// its counters under c.mu and remains race-safe for existing callers.
 func (c *Client) Stats() (received, requested int) {
 	c.mu.Lock()
 	defer c.mu.Unlock()

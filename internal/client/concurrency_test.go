@@ -1,0 +1,55 @@
+package client
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"sonic/internal/telemetry"
+)
+
+// TestConcurrentClientUse drives broadcast ingest, page opens, catalog
+// reads, and the deprecated Stats from many goroutines. Under -race it
+// proves the instrumented counters and the legacy mutex-guarded ones
+// stay data-race free.
+func TestConcurrentClientUse(t *testing.T) {
+	c := New(Config{Number: "+9201", SonicNumber: "+92111", ScreenWidth: 720})
+	reg := telemetry.New()
+	c.Instrument(reg)
+	now := time.Unix(0, 0)
+
+	const workers = 8
+	b := makeBundle(t, "seed.pk/", "seed.pk/next")
+
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			url := fmt.Sprintf("page-%d.pk/", w)
+			for i := 0; i < 10; i++ {
+				c.HandleBroadcast(url, b, now, time.Hour, 1.0)
+				if _, err := c.Open(url, now); err != nil {
+					t.Error(err)
+					return
+				}
+				c.Catalog(now)
+				c.Stats()
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	snap := reg.Snapshot()
+	if got := snap.Counters["client_pages_received_total"]; got != workers*10 {
+		t.Errorf("received counter = %d, want %d", got, workers*10)
+	}
+	if got := snap.Counters["client_pages_opened_total"]; got != workers*10 {
+		t.Errorf("opened counter = %d, want %d", got, workers*10)
+	}
+	received, requested := c.Stats()
+	if received != workers*10 || requested != 0 {
+		t.Errorf("Stats() = (%d, %d), want (%d, 0)", received, requested, workers*10)
+	}
+}

@@ -19,6 +19,7 @@ import (
 	"sonic/internal/imagecodec"
 	"sonic/internal/interp"
 	"sonic/internal/modem"
+	"sonic/internal/telemetry"
 )
 
 // Config selects the pieces of the transmission stack.
@@ -56,6 +57,32 @@ type Pipeline struct {
 	cfg   Config
 	modem *modem.OFDM
 	codec *frame.Codec
+
+	// Telemetry (nil handles = off; see internal/telemetry).
+	tel             *telemetry.Registry
+	snrGauge        *telemetry.Gauge   // core_modem_snr_db
+	pagesEncoded    *telemetry.Counter // core_pages_encoded_total
+	pagesDecoded    *telemetry.Counter // core_pages_decoded_total
+	pagesIncomplete *telemetry.Counter // core_pages_incomplete_total
+	framesTx        *telemetry.Counter // core_frames_tx_total
+	framesRx        *telemetry.Counter // core_frames_rx_total
+	framesLost      *telemetry.Counter // core_frames_lost_total
+}
+
+// Instrument registers the pipeline's metric families (and its frame
+// codec's) on reg and starts recording per-stage spans: encode and
+// decode paths get a span tree whose self-times show where inside
+// chunk→FEC→modulate / demodulate→FEC→reassemble the wall clock goes.
+func (p *Pipeline) Instrument(reg *telemetry.Registry) {
+	p.tel = reg
+	p.snrGauge = reg.Gauge("core_modem_snr_db")
+	p.pagesEncoded = reg.Counter("core_pages_encoded_total")
+	p.pagesDecoded = reg.Counter("core_pages_decoded_total")
+	p.pagesIncomplete = reg.Counter("core_pages_incomplete_total")
+	p.framesTx = reg.Counter("core_frames_tx_total")
+	p.framesRx = reg.Counter("core_frames_rx_total")
+	p.framesLost = reg.Counter("core_frames_lost_total")
+	p.codec.Instrument(reg)
 }
 
 // NewPipeline validates the config and builds the pipeline.
@@ -159,12 +186,27 @@ func UnmarshalBundle(blob []byte) (Bundle, error) {
 
 // EncodePageAudio turns a page bundle into the broadcast audio burst.
 func (p *Pipeline) EncodePageAudio(pageID uint16, b Bundle) ([]float64, error) {
+	sp := p.tel.StartSpan("core.encode_page")
+	defer sp.End()
+
+	chunkSp := sp.StartChild("chunk")
 	frames := frame.Chunk(pageID, MarshalBundle(b))
+	chunkSp.End()
+
+	fecSp := sp.StartChild("fec_encode")
 	stream, err := p.codec.EncodeStream(frames)
+	fecSp.End()
 	if err != nil {
 		return nil, err
 	}
-	return p.modem.Modulate(stream), nil
+
+	modSp := sp.StartChild("modulate")
+	audio := p.modem.Modulate(stream)
+	modSp.End()
+
+	p.pagesEncoded.Inc()
+	p.framesTx.Add(int64(len(frames)))
+	return audio, nil
 }
 
 // ReceiveResult summarizes one received page transmission.
@@ -183,7 +225,10 @@ type ReceiveResult struct {
 // (and no Bundle) — in bitstream transport any loss is fatal to the
 // image, which is exactly the trade-off the cell transport removes.
 func (p *Pipeline) DecodePageAudio(audio []float64) (*ReceiveResult, error) {
-	frames, lost, snr, err := p.receiveFrames(audio)
+	sp := p.tel.StartSpan("core.decode_page")
+	defer sp.End()
+
+	frames, lost, snr, err := p.receiveFrames(sp, audio)
 	if err != nil {
 		return nil, err
 	}
@@ -191,8 +236,10 @@ func (p *Pipeline) DecodePageAudio(audio []float64) (*ReceiveResult, error) {
 	if len(frames) == 0 {
 		res.FramesTotal = lost
 		res.FrameLossRate = 1
+		p.pagesIncomplete.Inc()
 		return res, nil
 	}
+	asmSp := sp.StartChild("reassemble")
 	res.PageID = frames[0].PageID
 	r := frame.NewReassembler(res.PageID)
 	for _, f := range frames {
@@ -203,34 +250,59 @@ func (p *Pipeline) DecodePageAudio(audio []float64) (*ReceiveResult, error) {
 		res.FramesLost = r.Total() - r.Received()
 		res.FrameLossRate = r.LossRate()
 	}
-	if blob, ok := r.Bytes(); ok {
+	blob, ok := r.Bytes()
+	asmSp.End()
+	if ok {
 		b, err := UnmarshalBundle(blob)
 		if err != nil {
+			p.pagesIncomplete.Inc()
 			return res, err
 		}
 		res.Bundle = b
 		res.Complete = true
+		p.pagesDecoded.Inc()
+	} else {
+		p.pagesIncomplete.Inc()
 	}
 	return res, nil
 }
 
 // receiveFrames demodulates a burst and decodes its frames through the
-// configured hard or soft path.
-func (p *Pipeline) receiveFrames(audio []float64) (frames []*frame.Frame, lost int, snr float64, err error) {
+// configured hard or soft path. parent (nil-safe) scopes the per-stage
+// spans under the caller's trace.
+func (p *Pipeline) receiveFrames(parent *telemetry.Span, audio []float64) (frames []*frame.Frame, lost int, snr float64, err error) {
+	demSp := parent.StartChild("demodulate")
+	fecSp := func() *telemetry.Span { return parent.StartChild("fec_decode") }
 	if p.cfg.SoftDecision && p.cfg.InnerCode != nil {
 		dem, err := p.modem.DemodulateSoft(audio)
+		demSp.End()
 		if err != nil {
 			return nil, 0, 0, err
 		}
+		sp := fecSp()
 		frames, lost = p.codec.DecodeStreamSoft(dem.Soft)
+		sp.End()
+		p.recordReceive(frames, lost, dem.SNRdB)
 		return frames, lost, dem.SNRdB, nil
 	}
 	dem, err := p.modem.Demodulate(audio)
+	demSp.End()
 	if err != nil {
 		return nil, 0, 0, err
 	}
+	sp := fecSp()
 	frames, lost = p.codec.DecodeStream(dem.Payload)
+	sp.End()
+	p.recordReceive(frames, lost, dem.SNRdB)
 	return frames, lost, dem.SNRdB, nil
+}
+
+// recordReceive updates the receive-side counters and the modem SNR
+// gauge.
+func (p *Pipeline) recordReceive(frames []*frame.Frame, lost int, snrDB float64) {
+	p.framesRx.Add(int64(len(frames)))
+	p.framesLost.Add(int64(lost))
+	p.snrGauge.Set(snrDB)
 }
 
 // --- cell transport ----------------------------------------------------------
@@ -239,6 +311,8 @@ func (p *Pipeline) receiveFrames(audio []float64) (frames []*frame.Frame, lost i
 // partition scheme): each frame payload carries exactly one
 // independently decodable cell.
 func (p *Pipeline) EncodeImageCells(pageID uint16, img *imagecodec.Raster) ([]*frame.Frame, error) {
+	sp := p.tel.StartSpan("core.encode_cells")
+	defer sp.End()
 	cells, err := imagecodec.EncodeColumnsTol(img, frame.PayloadSize, p.cfg.CellTolerance)
 	if err != nil {
 		return nil, err
@@ -260,6 +334,13 @@ func (p *Pipeline) EncodeImageCells(pageID uint16, img *imagecodec.Raster) ([]*f
 // image, the missing-pixel mask (before interpolation), and the pixel
 // loss rate.
 func DecodeImageCells(frames []*frame.Frame, w, h int) (*imagecodec.Raster, []bool, float64) {
+	return decodeImageCells(nil, frames, w, h)
+}
+
+// decodeImageCells is DecodeImageCells with per-stage spans scoped under
+// parent (nil-safe).
+func decodeImageCells(parent *telemetry.Span, frames []*frame.Frame, w, h int) (*imagecodec.Raster, []bool, float64) {
+	cellSp := parent.StartChild("cell_decode")
 	var cells []imagecodec.Cell
 	for _, f := range frames {
 		c, err := imagecodec.UnmarshalCell(f.Payload)
@@ -269,6 +350,7 @@ func DecodeImageCells(frames []*frame.Frame, w, h int) (*imagecodec.Raster, []bo
 		cells = append(cells, c)
 	}
 	img, missing := imagecodec.DecodeColumns(cells, w, h)
+	cellSp.End()
 	lost := 0
 	for _, m := range missing {
 		if m {
@@ -279,7 +361,9 @@ func DecodeImageCells(frames []*frame.Frame, w, h int) (*imagecodec.Raster, []bo
 	if len(missing) > 0 {
 		rate = float64(lost) / float64(len(missing))
 	}
+	interpSp := parent.StartChild("interpolate")
 	interp.Interpolate(img, missing)
+	interpSp.End()
 	return img, missing, rate
 }
 
@@ -290,22 +374,32 @@ func (p *Pipeline) EncodeCellsAudio(pageID uint16, img *imagecodec.Raster) ([]fl
 	if err != nil {
 		return nil, err
 	}
+	sp := p.tel.StartSpan("core.encode_cells_audio")
+	defer sp.End()
+	fecSp := sp.StartChild("fec_encode")
 	stream, err := p.codec.EncodeStream(frames)
+	fecSp.End()
 	if err != nil {
 		return nil, err
 	}
-	return p.modem.Modulate(stream), nil
+	modSp := sp.StartChild("modulate")
+	audio := p.modem.Modulate(stream)
+	modSp.End()
+	p.framesTx.Add(int64(len(frames)))
+	return audio, nil
 }
 
 // DecodeCellsAudio demodulates a cell-transport burst and reconstructs
 // the w×h image, interpolating whatever frames were lost. It returns the
 // healed image, the pixel loss rate, and the frame loss rate.
 func (p *Pipeline) DecodeCellsAudio(audio []float64, w, h int) (*imagecodec.Raster, float64, float64, error) {
-	frames, lost, _, err := p.receiveFrames(audio)
+	sp := p.tel.StartSpan("core.decode_cells")
+	defer sp.End()
+	frames, lost, _, err := p.receiveFrames(sp, audio)
 	if err != nil {
 		return nil, 1, 1, err
 	}
-	img, _, pixelLoss := DecodeImageCells(frames, w, h)
+	img, _, pixelLoss := decodeImageCells(sp, frames, w, h)
 	frameLoss := 0.0
 	if total := len(frames) + lost; total > 0 {
 		frameLoss = float64(lost) / float64(total)
@@ -351,7 +445,9 @@ func (p *Pipeline) FrameLossProbe(link fm.Link, nFrames int) (lossRate float64, 
 	}
 	audio := p.modem.Modulate(stream)
 	rx := link.Transmit(audio, p.cfg.Modem.SampleRate)
-	got, _, _, err := p.receiveFrames(rx)
+	sp := p.tel.StartSpan("core.frame_loss_probe")
+	got, _, _, err := p.receiveFrames(sp, rx)
+	sp.End()
 	if err != nil {
 		return 1, nil // no sync at all: total loss, not an error
 	}

@@ -12,6 +12,9 @@ func TestFig4aShapeReduced(t *testing.T) {
 	if testing.Short() {
 		t.Skip("DSP-heavy")
 	}
+	if raceEnabled {
+		t.Skip("single-threaded DSP, too slow under -race")
+	}
 	pts, err := RunFig4a(Fig4aConfig{Trials: 4, FramesPerTrial: 12, Seed: 3})
 	if err != nil {
 		t.Fatal(err)
@@ -41,12 +44,16 @@ func TestFig4aShapeReduced(t *testing.T) {
 }
 
 func TestFig4bShapeReduced(t *testing.T) {
-	res, err := RunFig4b(8)
+	pages := 8
+	if raceEnabled {
+		pages = 3 // image pipeline is ~15x slower under -race
+	}
+	res, err := RunFig4b(pages)
 	if err != nil {
 		t.Fatal(err)
 	}
 	for _, sc := range SizeConfigs {
-		if len(res.Sizes[sc.Label]) != 8 {
+		if len(res.Sizes[sc.Label]) != pages {
 			t.Fatalf("config %s has %d sizes", sc.Label, len(res.Sizes[sc.Label]))
 		}
 	}
@@ -102,6 +109,9 @@ func TestFig4cShape(t *testing.T) {
 func TestRSSISweepBands(t *testing.T) {
 	if testing.Short() {
 		t.Skip("DSP-heavy")
+	}
+	if raceEnabled {
+		t.Skip("single-threaded DSP, too slow under -race")
 	}
 	pts, err := RunRSSISweep(3, 10, 4)
 	if err != nil {
@@ -177,7 +187,11 @@ func TestBaselineOrdering(t *testing.T) {
 }
 
 func TestCompressionClaim(t *testing.T) {
-	r, err := RunCompression(6)
+	pages := 6
+	if raceEnabled {
+		pages = 2 // image pipeline is ~15x slower under -race
+	}
+	r, err := RunCompression(pages)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -196,6 +210,9 @@ func TestCompressionClaim(t *testing.T) {
 func TestAblationFECOrdering(t *testing.T) {
 	if testing.Short() {
 		t.Skip("DSP-heavy")
+	}
+	if raceEnabled {
+		t.Skip("single-threaded DSP, too slow under -race")
 	}
 	rows, err := RunAblationFEC(16, 10, 3, 5)
 	if err != nil {

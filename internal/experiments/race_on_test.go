@@ -1,0 +1,9 @@
+//go:build race
+
+package experiments
+
+// raceEnabled scales down or skips the heavy single-threaded DSP and
+// image-pipeline tests when the race detector is on: they hold no
+// concurrency for it to check, and its ~10-20x slowdown would push the
+// package past the test timeout.
+const raceEnabled = true

@@ -69,13 +69,23 @@ var ErrBadCodeLength = errors.New("fec: convolutional stream length invalid")
 // by EncodeBits (possibly with bit errors) and returns the decoded message
 // bits. The stream length must be even and at least 2*(K-1).
 func (c *ConvCode) DecodeBits(coded []byte) ([]byte, error) {
+	bits, _, err := c.DecodeBitsMetric(coded)
+	return bits, err
+}
+
+// DecodeBitsMetric is DecodeBits plus the winning path metric: the
+// Hamming distance between the received stream and the re-encoded
+// decoded message, i.e. how many channel bits Viterbi had to override.
+// 0 means a clean channel; values approaching the code's correction
+// limit flag frames decoded right at the cliff.
+func (c *ConvCode) DecodeBitsMetric(coded []byte) ([]byte, int, error) {
 	if len(coded)%2 != 0 || len(coded) < 2*(c.k-1) {
-		return nil, ErrBadCodeLength
+		return nil, 0, ErrBadCodeLength
 	}
 	nSteps := len(coded) / 2
 	msgLen := nSteps - (c.k - 1)
 	if msgLen < 0 {
-		return nil, ErrBadCodeLength
+		return nil, 0, ErrBadCodeLength
 	}
 	nStates := 1 << uint(c.k-1)
 	stateMask := uint32(nStates - 1)
@@ -155,7 +165,8 @@ func (c *ConvCode) DecodeBits(coded []byte) ([]byte, error) {
 		bits[step] = prevInput[step][state]
 		state = prevState[step][state]
 	}
-	return bits[:msgLen], nil
+	pathMetric := int(metric[0]) // accumulated Hamming cost of the winner
+	return bits[:msgLen], pathMetric, nil
 }
 
 // DecodeSoft runs soft-decision Viterbi over per-bit soft metrics
@@ -242,14 +253,32 @@ func (c *ConvCode) DecodeSoft(soft []float64) ([]byte, error) {
 // DecodeSoftBytes is DecodeSoft with byte packing: soft covers codedBits
 // metrics and the decoded message must be byte aligned.
 func (c *ConvCode) DecodeSoftBytes(soft []float64) ([]byte, error) {
+	data, _, err := c.DecodeSoftBytesMetric(soft)
+	return data, err
+}
+
+// DecodeSoftBytesMetric is DecodeSoftBytes plus a hard-equivalent path
+// metric: the number of soft inputs whose sign disagrees with the
+// winning path's re-encoded stream. It is directly comparable to the
+// hard decoder's Hamming path metric.
+func (c *ConvCode) DecodeSoftBytesMetric(soft []float64) ([]byte, int, error) {
 	msgBits, err := c.DecodeSoft(soft)
 	if err != nil {
-		return nil, err
+		return nil, 0, err
 	}
 	if len(msgBits)%8 != 0 {
-		return nil, fmt.Errorf("fec: decoded %d bits, not byte aligned", len(msgBits))
+		return nil, 0, fmt.Errorf("fec: decoded %d bits, not byte aligned", len(msgBits))
 	}
-	return BitsToBytes(msgBits), nil
+	disagree := 0
+	for i, b := range c.EncodeBits(msgBits) {
+		if i >= len(soft) {
+			break
+		}
+		if (b == 1) != (soft[i] > 0) {
+			disagree++
+		}
+	}
+	return BitsToBytes(msgBits), disagree, nil
 }
 
 // Encode packs bytes to bits (MSB first), encodes, and returns the coded
@@ -263,18 +292,26 @@ func (c *ConvCode) Encode(data []byte) (coded []byte, codedBits int) {
 
 // Decode reverses Encode given the original coded bit count.
 func (c *ConvCode) Decode(coded []byte, codedBits int) ([]byte, error) {
+	data, _, err := c.DecodeMetric(coded, codedBits)
+	return data, err
+}
+
+// DecodeMetric is Decode plus the Viterbi path metric (see
+// DecodeBitsMetric) — the telemetry layer histograms it to watch how
+// close the inner code runs to its correction limit.
+func (c *ConvCode) DecodeMetric(coded []byte, codedBits int) ([]byte, int, error) {
 	if codedBits < 0 || codedBits > len(coded)*8 {
-		return nil, ErrBadCodeLength
+		return nil, 0, ErrBadCodeLength
 	}
 	bits := BytesToBits(coded)[:codedBits]
-	msgBits, err := c.DecodeBits(bits)
+	msgBits, pathMetric, err := c.DecodeBitsMetric(bits)
 	if err != nil {
-		return nil, err
+		return nil, 0, err
 	}
 	if len(msgBits)%8 != 0 {
-		return nil, fmt.Errorf("fec: decoded %d bits, not byte aligned", len(msgBits))
+		return nil, 0, fmt.Errorf("fec: decoded %d bits, not byte aligned", len(msgBits))
 	}
-	return BitsToBytes(msgBits), nil
+	return BitsToBytes(msgBits), pathMetric, nil
 }
 
 // EncodedBits returns the number of coded bits for msgLen message bytes.

@@ -3,6 +3,8 @@ package fm
 import (
 	"math"
 	"math/rand"
+
+	"sonic/internal/telemetry"
 )
 
 // Link is one hop of the SONIC downlink path: it carries program audio
@@ -37,6 +39,12 @@ type FMLink struct {
 	DistanceM    float64
 	RSSIOverride float64
 	Rng          *rand.Rand
+	// Telemetry, when non-nil, records per-transmit metrics: the
+	// fm_cnr_db / fm_rssi_dbm gauges, fm_transmits_total, composite
+	// clipping events (fm_clipped_samples_total — samples that exceed
+	// full deviation and would distort a real exciter), and an
+	// fm.transmit span.
+	Telemetry *telemetry.Registry
 }
 
 // RSSI returns the effective RSSI for this link.
@@ -53,8 +61,34 @@ func (l *FMLink) Transmit(audio []float64, rate int) []float64 {
 	if rng == nil {
 		rng = rand.New(rand.NewSource(1))
 	}
+	reg := l.Telemetry // nil = every record below is a no-op
 	cnr := l.Model.CNRForRSSI(l.RSSI())
-	return Broadcast(audio, rate, cnr, rng)
+	reg.Counter("fm_transmits_total").Inc()
+	reg.Gauge("fm_cnr_db").Set(cnr)
+	reg.Gauge("fm_rssi_dbm").Set(l.RSSI())
+
+	sp := reg.StartSpan("fm.transmit")
+	defer sp.End()
+
+	// The same chain as Broadcast, opened up so the composite is
+	// observable for clipping accounting.
+	comp := BuildComposite(audio, rate, nil)
+	if reg != nil {
+		clipped := int64(0)
+		for _, v := range comp {
+			if v > 1 || v < -1 {
+				clipped++
+			}
+		}
+		reg.Counter("fm_clipped_samples_total").Add(clipped)
+	}
+	mod := (&Modulator{}).Modulate(comp)
+	if !math.IsInf(cnr, 1) {
+		mod = AddRFNoise(mod, cnr, rng)
+	}
+	rx := (&Demodulator{}).Demodulate(mod)
+	out, _ := SplitComposite(rx, rate)
+	return out
 }
 
 // AcousticLink is the speaker-to-microphone hop.

@@ -13,6 +13,7 @@ import (
 	"fmt"
 
 	"sonic/internal/fec"
+	"sonic/internal/telemetry"
 )
 
 // Wire geometry. A frame is exactly FrameSize bytes before FEC:
@@ -86,6 +87,36 @@ type Codec struct {
 	codedLen  int
 	codedBits int
 	rsLen     int
+
+	m codecMetrics
+}
+
+// codecMetrics holds the codec's telemetry handles. All fields are nil
+// until Instrument is called; every record through them is then a no-op
+// (see internal/telemetry), so the hot decode loop pays one nil check
+// per event when telemetry is off.
+type codecMetrics struct {
+	encoded     *telemetry.Counter   // fec_frames_encoded_total
+	decoded     *telemetry.Counter   // fec_frames_decoded_total
+	crcFailed   *telemetry.Counter   // fec_frames_crc_failed_total
+	fecFailed   *telemetry.Counter   // fec_frames_fec_failed_total
+	rsCorrected *telemetry.Counter   // fec_rs_corrected_symbols_total
+	viterbi     *telemetry.Histogram // fec_viterbi_path_metric
+	viterbiSoft *telemetry.Histogram // fec_viterbi_soft_path_metric
+}
+
+// Instrument registers the codec's metric families on reg and starts
+// recording. A nil registry leaves the codec un-instrumented.
+func (c *Codec) Instrument(reg *telemetry.Registry) {
+	c.m = codecMetrics{
+		encoded:     reg.Counter("fec_frames_encoded_total"),
+		decoded:     reg.Counter("fec_frames_decoded_total"),
+		crcFailed:   reg.Counter("fec_frames_crc_failed_total"),
+		fecFailed:   reg.Counter("fec_frames_fec_failed_total"),
+		rsCorrected: reg.Counter("fec_rs_corrected_symbols_total"),
+		viterbi:     reg.Histogram("fec_viterbi_path_metric", telemetry.CountBuckets),
+		viterbiSoft: reg.Histogram("fec_viterbi_soft_path_metric", telemetry.CountBuckets),
+	}
 }
 
 // NewCodec builds the default paper stack (rs8 + v29).
@@ -140,6 +171,7 @@ func (c *Codec) EncodeFrame(f *Frame) ([]byte, error) {
 	if len(buf) != c.codedLen {
 		return nil, fmt.Errorf("frame: coded frame %d bytes, expected %d", len(buf), c.codedLen)
 	}
+	c.m.encoded.Inc()
 	return buf, nil
 }
 
@@ -151,20 +183,36 @@ func (c *Codec) DecodeFrame(coded []byte) (*Frame, error) {
 	}
 	buf := coded
 	if c.conv != nil {
-		dec, err := c.conv.Decode(coded, c.codedBits)
+		dec, pathMetric, err := c.conv.DecodeMetric(coded, c.codedBits)
 		if err != nil {
+			c.m.fecFailed.Inc()
 			return nil, err
 		}
+		c.m.viterbi.Observe(float64(pathMetric))
 		buf = dec[:c.rsLen]
 	}
 	if c.rs != nil {
-		dec, _, err := c.rs.Decode(buf)
+		dec, corrected, err := c.rs.Decode(buf)
 		if err != nil {
+			c.m.fecFailed.Inc()
 			return nil, err
 		}
+		c.m.rsCorrected.Add(int64(corrected))
 		buf = dec
 	}
-	return Unmarshal(buf[:FrameSize])
+	return c.finishDecode(buf)
+}
+
+// finishDecode unmarshals the FEC-cleaned frame bytes and records the
+// CRC/decode outcome.
+func (c *Codec) finishDecode(buf []byte) (*Frame, error) {
+	f, err := Unmarshal(buf[:FrameSize])
+	if err != nil {
+		c.m.crcFailed.Inc()
+		return nil, err
+	}
+	c.m.decoded.Inc()
+	return f, nil
 }
 
 // DecodeFrameSoft is DecodeFrame on per-bit soft metrics (positive =
@@ -177,10 +225,12 @@ func (c *Codec) DecodeFrameSoft(soft []float64) (*Frame, error) {
 	}
 	var buf []byte
 	if c.conv != nil {
-		dec, err := c.conv.DecodeSoftBytes(soft[:c.codedBits])
+		dec, pathMetric, err := c.conv.DecodeSoftBytesMetric(soft[:c.codedBits])
 		if err != nil {
+			c.m.fecFailed.Inc()
 			return nil, err
 		}
+		c.m.viterbiSoft.Observe(float64(pathMetric))
 		buf = dec[:c.rsLen]
 	} else {
 		bits := make([]byte, len(soft))
@@ -192,13 +242,15 @@ func (c *Codec) DecodeFrameSoft(soft []float64) (*Frame, error) {
 		buf = fec.BitsToBytes(bits)[:c.rsLen]
 	}
 	if c.rs != nil {
-		dec, _, err := c.rs.Decode(buf)
+		dec, corrected, err := c.rs.Decode(buf)
 		if err != nil {
+			c.m.fecFailed.Inc()
 			return nil, err
 		}
+		c.m.rsCorrected.Add(int64(corrected))
 		buf = dec
 	}
-	return Unmarshal(buf[:FrameSize])
+	return c.finishDecode(buf)
 }
 
 // DecodeStreamSoft splits a soft-metric stream (8 metrics per coded

@@ -1,0 +1,112 @@
+// Package obsprobe exercises every instrumented layer of the SONIC
+// stack — core pipeline, frame/FEC codec, FM link, server, client, and
+// broadcast carousel — with one small end-to-end workload so that a
+// telemetry snapshot taken afterwards is populated across all metric
+// families. The commands use it to light up the ops endpoint
+// (sonic-sim -telemetry) and to emit a per-stage snapshot next to
+// benchmark CSVs (sonic-bench).
+package obsprobe
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"sonic/internal/broadcast"
+	"sonic/internal/client"
+	"sonic/internal/core"
+	"sonic/internal/corpus"
+	"sonic/internal/fm"
+	"sonic/internal/server"
+	"sonic/internal/telemetry"
+)
+
+// sampleRate matches core.DefaultConfig's modem rate.
+const sampleRate = 48000
+
+// Run drives the probe workload against reg. Every layer is touched at
+// least once: a page render (cache miss then hit), queue churn on a
+// transmitter, a full encode → FM channel → decode round trip of a
+// synthetic bundle, a client broadcast ingest, and a carousel schedule.
+func Run(reg *telemetry.Registry) error {
+	pipe, err := core.NewPipeline(core.DefaultConfig())
+	if err != nil {
+		return fmt.Errorf("obsprobe: pipeline: %w", err)
+	}
+	pipe.Instrument(reg)
+
+	// Server: render the same page twice (miss, then hit), queue churn.
+	srv := server.New(server.DefaultConfig(), pipe)
+	srv.Instrument(reg)
+	srv.AddTransmitter(server.Transmitter{
+		ID: "tx-probe", FreqMHz: 93.7, Lat: 24.86, Lon: 67.00, RadiusKm: 40,
+	})
+	now := time.Unix(0, 0)
+	url := corpus.Pages()[0].URL
+	bundle, err := srv.RenderPage(url, now)
+	if err != nil {
+		return fmt.Errorf("obsprobe: render: %w", err)
+	}
+	if _, err := srv.RenderPage(url, now); err != nil {
+		return fmt.Errorf("obsprobe: render (cached): %w", err)
+	}
+	if _, err := srv.EnqueuePage(url, 24.87, 67.01, now); err != nil {
+		return fmt.Errorf("obsprobe: enqueue: %w", err)
+	}
+	if _, _, _, ok := srv.DequeuePage("tx-probe"); !ok {
+		return fmt.Errorf("obsprobe: dequeue returned empty queue")
+	}
+
+	// Core + frame/FEC + FM: a small synthetic bundle over the radio hop
+	// at healthy RSSI (the §4 clean band), decoded back.
+	rng := rand.New(rand.NewSource(7))
+	img := make([]byte, 2000)
+	rng.Read(img)
+	audio, err := pipe.EncodePageAudio(1, core.Bundle{Image: img})
+	if err != nil {
+		return fmt.Errorf("obsprobe: encode: %w", err)
+	}
+	link := &fm.FMLink{
+		Model: fm.DefaultRSSIModel(), RSSIOverride: -70,
+		Rng: rng, Telemetry: reg,
+	}
+	rx := link.Transmit(audio, sampleRate)
+	res, err := pipe.DecodePageAudio(rx)
+	if err != nil {
+		return fmt.Errorf("obsprobe: decode: %w", err)
+	}
+	if !res.Complete {
+		return fmt.Errorf("obsprobe: probe page incomplete (%d frames lost)", res.FramesLost)
+	}
+
+	// Client: ingest the rendered bundle as a broadcast and open it.
+	cl := client.New(client.Config{Number: "+920000000001", SonicNumber: "+92111", ScreenWidth: 720})
+	cl.Instrument(reg)
+	cl.HandleBroadcast(url, bundle, now, srv.PageTTL(), 1.0)
+	if _, err := cl.Open(url, now); err != nil {
+		return fmt.Errorf("obsprobe: client open: %w", err)
+	}
+
+	// Broadcast: a carousel over the corpus, instrumented at the
+	// pipeline's net goodput, emitting one schedule round.
+	car, err := broadcast.CorpusCarousel(corpus.Pages(), probeSize, broadcast.PolicySqrt)
+	if err != nil {
+		return fmt.Errorf("obsprobe: carousel: %w", err)
+	}
+	car.Instrument(reg, pipe.NetGoodputBps())
+	car.Schedule(64)
+	return nil
+}
+
+// probeSize is a deterministic page-size model (same shape sonic-sim
+// uses): 90–155 KB keyed off the URL.
+func probeSize(ref corpus.PageRef, hour int) int {
+	h := 0
+	for _, c := range ref.URL {
+		h = h*31 + int(c)
+	}
+	if h < 0 {
+		h = -h
+	}
+	return 90*1024 + h%(65*1024)
+}

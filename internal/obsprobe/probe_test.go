@@ -1,0 +1,75 @@
+package obsprobe
+
+import (
+	"testing"
+
+	"sonic/internal/telemetry"
+)
+
+// TestRunPopulatesAllFamilies is the acceptance check behind the ops
+// endpoint: after one probe run the snapshot must hold non-zero metrics
+// spanning core, fec, fm, server, client, and broadcast.
+func TestRunPopulatesAllFamilies(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full pipeline round trip")
+	}
+	reg := telemetry.New()
+	if err := Run(reg); err != nil {
+		t.Fatal(err)
+	}
+	snap := reg.Snapshot()
+
+	wantCounters := []string{
+		"core_pages_encoded_total",
+		"core_pages_decoded_total",
+		"core_frames_tx_total",
+		"core_frames_rx_total",
+		"fec_frames_encoded_total",
+		"fec_frames_decoded_total",
+		"fm_transmits_total",
+		"server_render_cache_hits_total",
+		"server_render_cache_misses_total",
+		"server_pages_enqueued_total",
+		"server_pages_dequeued_total",
+		"client_pages_received_total",
+		"client_pages_opened_total",
+		"broadcast_scheduled_total",
+	}
+	for _, name := range wantCounters {
+		if v, ok := snap.Counters[name]; !ok || v == 0 {
+			t.Errorf("counter %s: got %d, want > 0", name, v)
+		}
+	}
+
+	wantGauges := []string{"fm_cnr_db", "fm_rssi_dbm", "core_modem_snr_db"}
+	for _, name := range wantGauges {
+		if _, ok := snap.Gauges[name]; !ok {
+			t.Errorf("gauge %s missing", name)
+		}
+	}
+
+	wantHists := []string{
+		"fec_viterbi_path_metric",
+		"broadcast_expected_wait_seconds",
+	}
+	for _, name := range wantHists {
+		if h, ok := snap.Histograms[name]; !ok || h.Count == 0 {
+			t.Errorf("histogram %s empty", name)
+		}
+	}
+
+	wantSpans := []string{
+		"core.encode_page",
+		"core.encode_page/modulate",
+		"core.decode_page",
+		"core.decode_page/demodulate",
+		"core.decode_page/fec_decode",
+		"fm.transmit",
+		"server.render_page",
+	}
+	for _, name := range wantSpans {
+		if s, ok := snap.Spans[name]; !ok || s.Count == 0 {
+			t.Errorf("span %s empty", name)
+		}
+	}
+}

@@ -20,6 +20,7 @@ import (
 	"sonic/internal/corpus"
 	"sonic/internal/imagecodec"
 	"sonic/internal/sms"
+	"sonic/internal/telemetry"
 	"sonic/internal/webrender"
 )
 
@@ -108,6 +109,51 @@ type Server struct {
 	pageIDs      map[string]uint16
 	requests     int
 	cacheHits    int
+
+	// Telemetry (nil handles = off; see internal/telemetry).
+	tel          *telemetry.Registry
+	mRequests    *telemetry.Counter // server_sms_requests_total
+	mReplies     *telemetry.Counter // server_sms_replies_total
+	mBadRequests *telemetry.Counter // server_sms_bad_requests_total
+	mNoCoverage  *telemetry.Counter // server_no_coverage_total
+	mCacheHits   *telemetry.Counter // server_render_cache_hits_total
+	mCacheMisses *telemetry.Counter // server_render_cache_misses_total
+	mEnqueued    *telemetry.Counter // server_pages_enqueued_total
+	mDequeued    *telemetry.Counter // server_pages_dequeued_total
+}
+
+// Instrument registers the server's metric families on reg and starts
+// recording: SMS intake and reply counters, render-cache hit/miss
+// counters, a server.render_page span (the render-latency histogram),
+// a server.handle_sms span (the SMS round-trip histogram), and per-
+// transmitter queue depth gauges (server_queue_depth_pages{tx=...},
+// server_queue_depth_bytes{tx=...}). Call it once at setup, before the
+// server starts handling traffic.
+func (s *Server) Instrument(reg *telemetry.Registry) {
+	s.tel = reg
+	s.mRequests = reg.Counter("server_sms_requests_total")
+	s.mReplies = reg.Counter("server_sms_replies_total")
+	s.mBadRequests = reg.Counter("server_sms_bad_requests_total")
+	s.mNoCoverage = reg.Counter("server_no_coverage_total")
+	s.mCacheHits = reg.Counter("server_render_cache_hits_total")
+	s.mCacheMisses = reg.Counter("server_render_cache_misses_total")
+	s.mEnqueued = reg.Counter("server_pages_enqueued_total")
+	s.mDequeued = reg.Counter("server_pages_dequeued_total")
+}
+
+// recordQueueDepth refreshes a transmitter's queue gauges; callers hold
+// s.mu.
+func (s *Server) recordQueueDepth(txID string) {
+	if s.tel == nil {
+		return
+	}
+	pages, bytes := 0, 0
+	for _, q := range s.queues[txID] {
+		pages++
+		bytes += q.Bytes
+	}
+	s.tel.Gauge("server_queue_depth_pages", "tx", txID).Set(float64(pages))
+	s.tel.Gauge("server_queue_depth_bytes", "tx", txID).Set(float64(bytes))
 }
 
 // New builds a server with the given transmission pipeline.
@@ -178,14 +224,20 @@ func (s *Server) RenderPage(url string, now time.Time) (core.Bundle, error) {
 	if rp, ok := s.rendered[url]; ok && rp.effectiveHour == eff {
 		s.cacheHits++
 		s.mu.Unlock()
+		s.mCacheHits.Inc()
 		return rp.bundle, nil
 	}
 	s.mu.Unlock()
+	s.mCacheMisses.Inc()
 
+	sp := s.tel.StartSpan("server.render_page")
+	defer sp.End()
 	page := corpus.Generate(ref, hour)
 	rendered := webrender.Render(page)
 	img := rendered.Image.Crop(imagecodec.MaxPageHeight)
+	encSp := sp.StartChild("encode_sic")
 	enc, err := imagecodec.EncodeSIC(img, s.cfg.Quality)
+	encSp.End()
 	if err != nil {
 		return core.Bundle{}, fmt.Errorf("server: encode %s: %w", url, err)
 	}
@@ -222,6 +274,7 @@ var (
 func (s *Server) EnqueuePage(url string, lat, lon float64, now time.Time) (time.Duration, error) {
 	tx, ok := s.transmitterFor(lat, lon)
 	if !ok {
+		s.mNoCoverage.Inc()
 		return 0, ErrNoCoverage
 	}
 	b, err := s.RenderPage(url, now)
@@ -245,6 +298,8 @@ func (s *Server) EnqueuePage(url string, lat, lon float64, now time.Time) (time.
 		Bytes:    blobLen,
 		Enqueued: now,
 	})
+	s.mEnqueued.Inc()
+	s.recordQueueDepth(tx.ID)
 	eta := s.pipeline.AirtimeSeconds(pending+blobLen) / float64(tx.FrequencyCount())
 	return time.Duration(eta * float64(time.Second)), nil
 }
@@ -259,6 +314,8 @@ func (s *Server) DequeuePage(transmitterID string) (url string, pageID uint16, b
 	}
 	head := q[0]
 	s.queues[transmitterID] = q[1:]
+	s.mDequeued.Inc()
+	s.recordQueueDepth(transmitterID)
 	return head.URL, head.PageID, head.Bundle, true
 }
 
@@ -308,6 +365,8 @@ func (s *Server) PushPopular(n int, now time.Time) error {
 				Bytes:    len(core.MarshalBundle(b)),
 				Enqueued: now,
 			})
+			s.mEnqueued.Inc()
+			s.recordQueueDepth(tx.ID)
 			s.mu.Unlock()
 		}
 	}
@@ -318,24 +377,37 @@ func (s *Server) PushPopular(n int, now time.Time) error {
 // page, and reply with an ack (or error) through the SMSC.
 func (s *Server) HandleSMS(smsc *sms.SMSC) sms.Handler {
 	return func(m sms.Message) {
+		sp := s.tel.StartSpan("server.handle_sms")
+		defer sp.End()
 		s.mu.Lock()
 		s.requests++
 		s.mu.Unlock()
+		s.mRequests.Inc()
 		req, err := sms.ParseRequest(m.Body)
 		if err != nil {
+			s.mBadRequests.Inc()
+			s.mReplies.Inc()
 			_ = smsc.Submit(m.DeliverAt, s.cfg.Number, m.From, "ERR bad request")
 			return
 		}
 		eta, err := s.EnqueuePage(req.URL, req.Lat, req.Lon, m.DeliverAt)
 		if err != nil {
+			s.mReplies.Inc()
 			_ = smsc.Submit(m.DeliverAt, s.cfg.Number, m.From, "ERR no coverage")
 			return
 		}
+		s.mReplies.Inc()
 		_ = smsc.Submit(m.DeliverAt, s.cfg.Number, m.From, sms.FormatAck(req.URL, eta))
 	}
 }
 
 // Stats returns lifetime counters.
+//
+// Deprecated: Stats predates the telemetry registry and only covers two
+// counters. Call Instrument and read the server_* families from a
+// telemetry.Registry snapshot instead; this accessor remains for
+// backward compatibility and reads its counters under s.mu, so it is
+// safe against concurrent HandleSMS/RenderPage callers.
 func (s *Server) Stats() (requests, cacheHits int) {
 	s.mu.Lock()
 	defer s.mu.Unlock()

@@ -1,0 +1,221 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"sort"
+	"sync/atomic"
+	"time"
+
+	"sonic/internal/stats"
+)
+
+// Snapshot is a consistent-enough point-in-time copy of every registered
+// metric (individual values are read atomically; the set is collected
+// under a read lock). It marshals directly to JSON.
+type Snapshot struct {
+	TakenAt    time.Time                    `json:"taken_at"`
+	Counters   map[string]int64             `json:"counters,omitempty"`
+	Gauges     map[string]float64           `json:"gauges,omitempty"`
+	Histograms map[string]HistogramSnapshot `json:"histograms,omitempty"`
+	Spans      map[string]SpanSnapshot      `json:"spans,omitempty"`
+}
+
+// HistogramSnapshot is one histogram's state.
+type HistogramSnapshot struct {
+	Count   int64    `json:"count"`
+	Sum     float64  `json:"sum"`
+	P50     float64  `json:"p50"`
+	P99     float64  `json:"p99"`
+	Buckets []Bucket `json:"buckets,omitempty"`
+}
+
+// Bucket is one histogram bucket: the count of samples at or below Le
+// (exclusive of lower buckets). Le is "+Inf" for the overflow bucket —
+// kept as a string so the snapshot marshals cleanly.
+type Bucket struct {
+	Le    string `json:"le"`
+	Count int64  `json:"count"`
+}
+
+// SpanSnapshot summarizes one span name.
+type SpanSnapshot struct {
+	Count        int64   `json:"count"`
+	TotalSeconds float64 `json:"total_seconds"`
+	SelfSeconds  float64 `json:"self_seconds"`
+	P50Seconds   float64 `json:"p50_seconds"`
+	P99Seconds   float64 `json:"p99_seconds"`
+}
+
+func histSnapshot(h *Histogram) HistogramSnapshot {
+	hs := HistogramSnapshot{Count: h.Count(), Sum: h.Sum()}
+	if hs.Count > 0 {
+		hs.P50, hs.P99 = h.Quantile(0.5), h.Quantile(0.99)
+	}
+	for i := range h.counts {
+		n := atomic.LoadInt64(&h.counts[i])
+		if n == 0 {
+			continue
+		}
+		le := "+Inf"
+		if i < len(h.bounds) {
+			le = fmt.Sprintf("%g", h.bounds[i])
+		}
+		hs.Buckets = append(hs.Buckets, Bucket{Le: le, Count: n})
+	}
+	return hs
+}
+
+// Snapshot captures the current state of every metric. Returns a zero
+// snapshot on a nil registry.
+func (r *Registry) Snapshot() Snapshot {
+	snap := Snapshot{
+		Counters:   map[string]int64{},
+		Gauges:     map[string]float64{},
+		Histograms: map[string]HistogramSnapshot{},
+		Spans:      map[string]SpanSnapshot{},
+	}
+	if r == nil {
+		return snap
+	}
+	snap.TakenAt = r.now()
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	for k, c := range r.counters {
+		snap.Counters[k] = c.Value()
+	}
+	for k, g := range r.gauges {
+		snap.Gauges[k] = g.Value()
+	}
+	for k, h := range r.hists {
+		snap.Histograms[k] = histSnapshot(h)
+	}
+	for k, s := range r.spans {
+		hs := histSnapshot(s.dur)
+		snap.Spans[k] = SpanSnapshot{
+			Count:        atomic.LoadInt64(&s.count),
+			TotalSeconds: s.dur.Sum(),
+			SelfSeconds:  math.Float64frombits(atomic.LoadUint64(&s.selfBits)),
+			P50Seconds:   hs.P50,
+			P99Seconds:   hs.P99,
+		}
+	}
+	return snap
+}
+
+// sortedKeys returns map keys in stable order.
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// WriteText renders the snapshot as fixed-width tables (the same
+// renderer the bench harness uses for the paper's tables).
+func (s Snapshot) WriteText(w io.Writer) {
+	fmt.Fprintf(w, "# SONIC telemetry snapshot @ %s\n", s.TakenAt.Format(time.RFC3339))
+
+	if len(s.Counters) > 0 {
+		fmt.Fprintln(w, "\n## counters")
+		var t stats.Table
+		t.AddRow("counter", "value")
+		for _, k := range sortedKeys(s.Counters) {
+			t.AddRowf(k, s.Counters[k])
+		}
+		t.Render(w)
+	}
+
+	if len(s.Gauges) > 0 {
+		fmt.Fprintln(w, "\n## gauges")
+		var t stats.Table
+		t.AddRow("gauge", "value")
+		for _, k := range sortedKeys(s.Gauges) {
+			t.AddRowf(k, fmt.Sprintf("%.4g", s.Gauges[k]))
+		}
+		t.Render(w)
+	}
+
+	if len(s.Histograms) > 0 {
+		fmt.Fprintln(w, "\n## histograms")
+		var t stats.Table
+		t.AddRow("histogram", "count", "sum", "mean", "p50", "p99")
+		for _, k := range sortedKeys(s.Histograms) {
+			h := s.Histograms[k]
+			mean := 0.0
+			if h.Count > 0 {
+				mean = h.Sum / float64(h.Count)
+			}
+			t.AddRowf(k, h.Count,
+				fmt.Sprintf("%.4g", h.Sum), fmt.Sprintf("%.4g", mean),
+				fmt.Sprintf("%.4g", h.P50), fmt.Sprintf("%.4g", h.P99))
+		}
+		t.Render(w)
+	}
+
+	if len(s.Spans) > 0 {
+		fmt.Fprintln(w, "\n## spans (per-stage wall time)")
+		var t stats.Table
+		t.AddRow("span", "count", "total_s", "self_s", "p50_ms", "p99_ms")
+		for _, k := range sortedKeys(s.Spans) {
+			sp := s.Spans[k]
+			t.AddRowf(k, sp.Count,
+				fmt.Sprintf("%.3f", sp.TotalSeconds),
+				fmt.Sprintf("%.3f", sp.SelfSeconds),
+				fmt.Sprintf("%.3f", sp.P50Seconds*1000),
+				fmt.Sprintf("%.3f", sp.P99Seconds*1000))
+		}
+		t.Render(w)
+	}
+}
+
+// Handler returns the live ops endpoint for a registry:
+//
+//	/metrics        fixed-width text snapshot
+//	/metrics.json   JSON snapshot
+//	/debug/pprof/*  the standard Go profiler
+func Handler(r *Registry) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		r.Snapshot().WriteText(w)
+	})
+	mux.HandleFunc("/metrics.json", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(r.Snapshot())
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.HandleFunc("/", func(w http.ResponseWriter, req *http.Request) {
+		if req.URL.Path != "/" {
+			http.NotFound(w, req)
+			return
+		}
+		fmt.Fprintln(w, "sonic telemetry: /metrics /metrics.json /debug/pprof/")
+	})
+	return mux
+}
+
+// Serve starts the ops endpoint on addr (e.g. ":6060") in a background
+// goroutine and returns the bound listener address (useful with ":0").
+func Serve(addr string, r *Registry) (string, error) {
+	l, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", err
+	}
+	srv := &http.Server{Handler: Handler(r)}
+	go func() { _ = srv.Serve(l) }()
+	return l.Addr().String(), nil
+}

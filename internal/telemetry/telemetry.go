@@ -1,0 +1,347 @@
+// Package telemetry is SONIC's stdlib-only observability layer: a
+// concurrency-safe registry of labeled counters, gauges, and fixed-bucket
+// histograms, plus lightweight span tracing (span.go) and text/JSON/HTTP
+// exporters (export.go).
+//
+// The design goal is that instrumentation can be compiled into every hot
+// path and left there: all metric handles are nil-safe, so a component
+// that was never Instrument()ed carries nil handles and every record call
+// collapses to a single nil check (see BenchmarkTelemetryDisabled).
+// Enabled paths use atomics only — no locks are taken while recording, so
+// writers never contend with each other or with snapshot readers.
+package telemetry
+
+import (
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Registry holds every metric family of one process. The zero value is
+// not usable; call New. A nil *Registry is a valid "telemetry off"
+// handle: every method on it is a no-op returning nil/zero handles.
+type Registry struct {
+	now func() time.Time
+
+	mu       sync.RWMutex
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	hists    map[string]*Histogram
+	spans    map[string]*spanStat
+}
+
+// New builds an empty registry using the wall clock (which carries Go's
+// monotonic reading, so span durations are immune to clock steps).
+func New() *Registry { return NewWithClock(time.Now) }
+
+// NewWithClock builds a registry with an explicit clock — tests inject a
+// fake clock to make span durations deterministic.
+func NewWithClock(now func() time.Time) *Registry {
+	return &Registry{
+		now:      now,
+		counters: make(map[string]*Counter),
+		gauges:   make(map[string]*Gauge),
+		hists:    make(map[string]*Histogram),
+		spans:    make(map[string]*spanStat),
+	}
+}
+
+// key renders "name" or "name{k=v,k=v}" from alternating label pairs.
+func key(name string, labels []string) string {
+	if len(labels) == 0 {
+		return name
+	}
+	var b strings.Builder
+	b.WriteString(name)
+	b.WriteByte('{')
+	for i := 0; i+1 < len(labels); i += 2 {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(labels[i])
+		b.WriteByte('=')
+		b.WriteString(labels[i+1])
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// Counter returns (registering on first use) the counter for name plus
+// alternating label key/value pairs. Returns nil on a nil registry;
+// callers keep the handle and record through it unconditionally.
+func (r *Registry) Counter(name string, labels ...string) *Counter {
+	if r == nil {
+		return nil
+	}
+	k := key(name, labels)
+	r.mu.RLock()
+	c := r.counters[k]
+	r.mu.RUnlock()
+	if c != nil {
+		return c
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if c = r.counters[k]; c == nil {
+		c = &Counter{}
+		r.counters[k] = c
+	}
+	return c
+}
+
+// Gauge returns (registering on first use) the gauge for name+labels.
+func (r *Registry) Gauge(name string, labels ...string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	k := key(name, labels)
+	r.mu.RLock()
+	g := r.gauges[k]
+	r.mu.RUnlock()
+	if g != nil {
+		return g
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if g = r.gauges[k]; g == nil {
+		g = &Gauge{}
+		r.gauges[k] = g
+	}
+	return g
+}
+
+// Histogram returns (registering on first use) the histogram for
+// name+labels with the given ascending bucket upper bounds (an implicit
+// +Inf bucket is appended). Buckets are fixed at first registration;
+// later calls with the same name ignore the buckets argument.
+func (r *Registry) Histogram(name string, buckets []float64, labels ...string) *Histogram {
+	if r == nil {
+		return nil
+	}
+	k := key(name, labels)
+	r.mu.RLock()
+	h := r.hists[k]
+	r.mu.RUnlock()
+	if h != nil {
+		return h
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if h = r.hists[k]; h == nil {
+		h = newHistogram(buckets)
+		r.hists[k] = h
+	}
+	return h
+}
+
+// Reset zeroes every registered metric (registrations and handles stay
+// valid). Snapshot-then-Reset gives interval semantics.
+func (r *Registry) Reset() {
+	if r == nil {
+		return
+	}
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	for _, c := range r.counters {
+		atomic.StoreInt64(&c.v, 0)
+	}
+	for _, g := range r.gauges {
+		atomic.StoreUint64(&g.bits, 0)
+	}
+	for _, h := range r.hists {
+		h.reset()
+	}
+	for _, s := range r.spans {
+		s.reset()
+	}
+}
+
+// --- counter ---------------------------------------------------------------
+
+// Counter is a monotonically increasing atomic int64. All methods are
+// nil-safe no-ops so disabled telemetry costs one branch.
+type Counter struct{ v int64 }
+
+// Add increments the counter by n.
+func (c *Counter) Add(n int64) {
+	if c == nil {
+		return
+	}
+	atomic.AddInt64(&c.v, n)
+}
+
+// Inc increments the counter by 1.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Value returns the current count (0 on nil).
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return atomic.LoadInt64(&c.v)
+}
+
+// --- gauge -----------------------------------------------------------------
+
+// Gauge is an atomic float64 holding the latest value of something.
+type Gauge struct{ bits uint64 }
+
+// Set stores v.
+func (g *Gauge) Set(v float64) {
+	if g == nil {
+		return
+	}
+	atomic.StoreUint64(&g.bits, math.Float64bits(v))
+}
+
+// Add adds d to the gauge (CAS loop).
+func (g *Gauge) Add(d float64) {
+	if g == nil {
+		return
+	}
+	for {
+		old := atomic.LoadUint64(&g.bits)
+		v := math.Float64frombits(old) + d
+		if atomic.CompareAndSwapUint64(&g.bits, old, math.Float64bits(v)) {
+			return
+		}
+	}
+}
+
+// Value returns the current value (0 on nil).
+func (g *Gauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	return math.Float64frombits(atomic.LoadUint64(&g.bits))
+}
+
+// --- histogram -------------------------------------------------------------
+
+// Histogram counts observations into fixed buckets (upper-bound
+// inclusive, implicit +Inf overflow bucket) and tracks count and sum.
+type Histogram struct {
+	bounds  []float64 // ascending upper bounds, not including +Inf
+	counts  []int64   // len(bounds)+1, atomic
+	count   int64     // atomic
+	sumBits uint64    // atomic float64
+}
+
+func newHistogram(buckets []float64) *Histogram {
+	bounds := append([]float64(nil), buckets...)
+	sort.Float64s(bounds)
+	return &Histogram{bounds: bounds, counts: make([]int64, len(bounds)+1)}
+}
+
+// Observe records one sample.
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	// Binary search for the first bound >= v.
+	i := sort.SearchFloat64s(h.bounds, v)
+	atomic.AddInt64(&h.counts[i], 1)
+	atomic.AddInt64(&h.count, 1)
+	for {
+		old := atomic.LoadUint64(&h.sumBits)
+		s := math.Float64frombits(old) + v
+		if atomic.CompareAndSwapUint64(&h.sumBits, old, math.Float64bits(s)) {
+			return
+		}
+	}
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 {
+	if h == nil {
+		return 0
+	}
+	return atomic.LoadInt64(&h.count)
+}
+
+// Sum returns the sum of observed values.
+func (h *Histogram) Sum() float64 {
+	if h == nil {
+		return 0
+	}
+	return math.Float64frombits(atomic.LoadUint64(&h.sumBits))
+}
+
+// Quantile approximates the q-th quantile (0..1) from the bucket counts
+// assuming uniform distribution within a bucket. NaN when empty.
+func (h *Histogram) Quantile(q float64) float64 {
+	if h == nil {
+		return math.NaN()
+	}
+	total := atomic.LoadInt64(&h.count)
+	if total == 0 {
+		return math.NaN()
+	}
+	target := q * float64(total)
+	var cum float64
+	for i := range h.counts {
+		n := float64(atomic.LoadInt64(&h.counts[i]))
+		if cum+n >= target && n > 0 {
+			lo := 0.0
+			if i > 0 {
+				lo = h.bounds[i-1]
+			}
+			if i == len(h.bounds) { // overflow bucket: report its floor
+				return lo
+			}
+			hi := h.bounds[i]
+			frac := (target - cum) / n
+			return lo + (hi-lo)*frac
+		}
+		cum += n
+	}
+	if len(h.bounds) == 0 {
+		return math.NaN()
+	}
+	return h.bounds[len(h.bounds)-1]
+}
+
+func (h *Histogram) reset() {
+	for i := range h.counts {
+		atomic.StoreInt64(&h.counts[i], 0)
+	}
+	atomic.StoreInt64(&h.count, 0)
+	atomic.StoreUint64(&h.sumBits, 0)
+}
+
+// --- bucket helpers ---------------------------------------------------------
+
+// ExpBuckets returns n exponentially spaced upper bounds start,
+// start*factor, ...
+func ExpBuckets(start, factor float64, n int) []float64 {
+	out := make([]float64, n)
+	v := start
+	for i := 0; i < n; i++ {
+		out[i] = v
+		v *= factor
+	}
+	return out
+}
+
+// LinearBuckets returns n linearly spaced upper bounds start, start+step, ...
+func LinearBuckets(start, step float64, n int) []float64 {
+	out := make([]float64, n)
+	for i := 0; i < n; i++ {
+		out[i] = start + step*float64(i)
+	}
+	return out
+}
+
+// LatencyBuckets spans 50 µs .. ~26 s, the range of SONIC stage
+// latencies from a single cell decode to a full-page OFDM modulate.
+var LatencyBuckets = ExpBuckets(50e-6, 2, 20)
+
+// CountBuckets suits small non-negative integer observations (RS symbol
+// corrections, Viterbi path metrics).
+var CountBuckets = ExpBuckets(1, 2, 14)
+
+// SecondsBuckets spans 1 s .. ~9 h for scheduling/wait times.
+var SecondsBuckets = ExpBuckets(1, 2, 16)

@@ -1,0 +1,28 @@
+#!/usr/bin/env bash
+# check.sh — the repo's full verification gate: build, vet, tests, and
+# the race detector over every package. CI runs exactly this script;
+# run it locally before pushing.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> go build ./..."
+go build ./...
+
+echo "==> go vet ./..."
+go vet ./...
+
+echo "==> gofmt check"
+unformatted=$(gofmt -l . 2>/dev/null | grep -v '^vendor/' || true)
+if [[ -n "$unformatted" ]]; then
+    echo "gofmt needed on:" >&2
+    echo "$unformatted" >&2
+    exit 1
+fi
+
+echo "==> go test ./..."
+go test ./...
+
+echo "==> go test -race ./..."
+go test -race ./...
+
+echo "all checks passed"
