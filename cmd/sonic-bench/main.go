@@ -8,6 +8,8 @@
 //	sonic-bench -exp fig4a          # one experiment
 //	sonic-bench -exp fig4b -quick   # reduced workload
 //	sonic-bench -exp fig1 -out dir  # also write Figure 1 PNG panels
+//	sonic-bench -perf out.json      # hot-path perf report (spans + kernels)
+//	sonic-bench -cpuprofile out.pprof -exp fig4a  # CPU profile
 package main
 
 import (
@@ -16,6 +18,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime/pprof"
 	"strings"
 	"time"
 
@@ -28,13 +31,38 @@ import (
 
 func main() {
 	var (
-		exp    = flag.String("exp", "all", "experiment: all|fig1|fig4a|fig4b|fig4c|rssi|fig5|rate|baseline|compression|ablation")
-		quick  = flag.Bool("quick", false, "reduced workload for a fast pass")
-		out    = flag.String("out", "", "directory for image artifacts (fig1)")
-		csvDir = flag.String("csv", "", "directory for plotting-ready CSV exports")
-		seed   = flag.Int64("seed", 1, "experiment seed")
+		exp     = flag.String("exp", "all", "experiment: all|fig1|fig4a|fig4b|fig4c|rssi|fig5|rate|baseline|compression|ablation")
+		quick   = flag.Bool("quick", false, "reduced workload for a fast pass")
+		out     = flag.String("out", "", "directory for image artifacts (fig1)")
+		csvDir  = flag.String("csv", "", "directory for plotting-ready CSV exports")
+		seed    = flag.Int64("seed", 1, "experiment seed")
+		perf    = flag.String("perf", "", "write a hot-path perf report (spans + kernel timings) to this JSON file and exit")
+		cpuProf = flag.String("cpuprofile", "", "write a CPU profile to this file")
 	)
 	flag.Parse()
+
+	if *cpuProf != "" {
+		f, err := os.Create(*cpuProf)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "cpuprofile: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "cpuprofile: %v\n", err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
+	}
+
+	if *perf != "" {
+		if err := runPerf(*perf, *seed); err != nil {
+			pprof.StopCPUProfile()
+			fmt.Fprintf(os.Stderr, "perf: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	run := func(name string, fn func() error) {
 		if *exp != "all" && *exp != name {
@@ -43,6 +71,7 @@ func main() {
 		fmt.Printf("==> %s\n", name)
 		t0 := time.Now()
 		if err := fn(); err != nil {
+			pprof.StopCPUProfile()
 			fmt.Fprintf(os.Stderr, "%s: %v\n", name, err)
 			os.Exit(1)
 		}

@@ -1,0 +1,136 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"os"
+	"runtime"
+	"time"
+
+	"sonic/internal/corpus"
+	"sonic/internal/fec"
+	"sonic/internal/imagecodec"
+	"sonic/internal/modem"
+	"sonic/internal/obsprobe"
+	"sonic/internal/telemetry"
+	"sonic/internal/webrender"
+)
+
+// perfReport is the schema of the -perf JSON artifact (BENCH_PR3.json in
+// the repo): the instrumented end-to-end probe's span table plus direct
+// wall-clock timings of the hot kernels, so performance regressions show
+// up in review as a diff of checked-in numbers.
+type perfReport struct {
+	TakenAt    time.Time                         `json:"taken_at"`
+	GoVersion  string                            `json:"go_version"`
+	GOMAXPROCS int                               `json:"gomaxprocs"`
+	Spans      map[string]telemetry.SpanSnapshot `json:"spans"`
+	Micro      map[string]perfMicro              `json:"micro"`
+}
+
+// perfMicro is one kernel timing: iterations run and ns per operation.
+type perfMicro struct {
+	Iters   int     `json:"iters"`
+	NsPerOp float64 `json:"ns_per_op"`
+}
+
+// timeIt runs fn until both minIters iterations and ~300ms of wall clock
+// have accumulated, then reports the mean.
+func timeIt(minIters int, fn func()) perfMicro {
+	fn() // warm caches, pools, and lazy tables
+	const minWall = 300 * time.Millisecond
+	var iters int
+	var total time.Duration
+	for iters < minIters || total < minWall {
+		t0 := time.Now()
+		fn()
+		total += time.Since(t0)
+		iters++
+	}
+	return perfMicro{Iters: iters, NsPerOp: float64(total.Nanoseconds()) / float64(iters)}
+}
+
+// runPerf produces the perf report at path.
+func runPerf(path string, seed int64) error {
+	rep := perfReport{
+		TakenAt:    time.Now(),
+		GoVersion:  runtime.Version(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Micro:      map[string]perfMicro{},
+	}
+
+	// Span table from the instrumented end-to-end probe (same workload
+	// as the telemetry snapshot the CSV export writes).
+	reg := telemetry.New()
+	if err := obsprobe.Run(reg); err != nil {
+		return err
+	}
+	rep.Spans = reg.Snapshot().Spans
+
+	rng := rand.New(rand.NewSource(seed))
+
+	// Viterbi: one frame-codec-sized message per op.
+	msg := make([]byte, 264)
+	rng.Read(msg)
+	v29 := fec.NewV29()
+	coded, codedBits := v29.Encode(msg)
+	rep.Micro["viterbi_hard_v29"] = timeIt(3, func() {
+		if _, err := v29.Decode(coded, codedBits); err != nil {
+			panic(err)
+		}
+	})
+	soft := make([]float64, codedBits)
+	codedB := fec.BytesToBits(coded)[:codedBits]
+	for i, b := range codedB {
+		soft[i] = float64(2*int(b)-1) + 0.3*rng.NormFloat64()
+	}
+	rep.Micro["viterbi_soft_v29"] = timeIt(3, func() {
+		if _, err := v29.DecodeSoftBytes(soft); err != nil {
+			panic(err)
+		}
+	})
+
+	// SIC: a real rendered corpus page, the server's workload.
+	page := corpus.Generate(corpus.Pages()[0], 0)
+	img := webrender.Render(page).Image.Crop(imagecodec.MaxPageHeight)
+	rep.Micro["sic_encode"] = timeIt(3, func() {
+		if _, err := imagecodec.EncodeSIC(img, 10); err != nil {
+			panic(err)
+		}
+	})
+	enc, err := imagecodec.EncodeSIC(img, 10)
+	if err != nil {
+		return err
+	}
+	rep.Micro["sic_decode"] = timeIt(3, func() {
+		if _, err := imagecodec.DecodeSIC(enc); err != nil {
+			panic(err)
+		}
+	})
+
+	// OFDM: a 4 KiB payload burst.
+	m, err := modem.NewOFDM(modem.Sonic92())
+	if err != nil {
+		return err
+	}
+	payload := make([]byte, 4096)
+	rng.Read(payload)
+	rep.Micro["ofdm_modulate"] = timeIt(3, func() { m.Modulate(payload) })
+	burst := m.Modulate(payload)
+	rep.Micro["ofdm_demodulate"] = timeIt(3, func() {
+		if _, err := m.Demodulate(burst); err != nil {
+			panic(err)
+		}
+	})
+
+	blob, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(path, append(blob, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote perf report to %s\n", path)
+	return nil
+}

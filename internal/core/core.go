@@ -39,6 +39,11 @@ type Config struct {
 	// from the demodulator instead of hard decisions (~2 dB gain, the
 	// way Quiet's decoder operates).
 	SoftDecision bool
+	// Workers bounds the worker pool used by the data-parallel image
+	// codec stages (cell packing, SIC block transforms). 0 means
+	// GOMAXPROCS; 1 forces the serial paths. Output is identical for
+	// every value — the knob trades cores for wall clock only.
+	Workers int
 }
 
 // DefaultConfig is the paper's configuration: Sonic92 OFDM profile,
@@ -313,7 +318,7 @@ func (p *Pipeline) recordReceive(frames []*frame.Frame, lost int, snrDB float64)
 func (p *Pipeline) EncodeImageCells(pageID uint16, img *imagecodec.Raster) ([]*frame.Frame, error) {
 	sp := p.tel.StartSpan("core.encode_cells")
 	defer sp.End()
-	cells, err := imagecodec.EncodeColumnsTol(img, frame.PayloadSize, p.cfg.CellTolerance)
+	cells, err := imagecodec.EncodeColumnsTolWorkers(img, frame.PayloadSize, p.cfg.CellTolerance, p.cfg.Workers)
 	if err != nil {
 		return nil, err
 	}
@@ -412,7 +417,7 @@ func (p *Pipeline) DecodeCellsAudio(audio []float64, w, h int) (*imagecodec.Rast
 // AirtimeSeconds of the compressed bitstream (the trade-off DESIGN.md
 // §5a quantifies).
 func (p *Pipeline) CellAirtimeSeconds(img *imagecodec.Raster) (float64, error) {
-	cells, err := imagecodec.EncodeColumnsTol(img, frame.PayloadSize, p.cfg.CellTolerance)
+	cells, err := imagecodec.EncodeColumnsTolWorkers(img, frame.PayloadSize, p.cfg.CellTolerance, p.cfg.Workers)
 	if err != nil {
 		return 0, err
 	}

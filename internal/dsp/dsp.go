@@ -26,25 +26,33 @@ func IsPowerOfTwo(n int) bool {
 
 // FFT computes the in-place decimation-in-time radix-2 fast Fourier
 // transform of x. len(x) must be a power of two. The transform is
-// unnormalized: IFFT(FFT(x)) == x.
+// unnormalized: IFFT(FFT(x)) == x. Twiddle factors and the bit-reversal
+// permutation come from a cached per-size FFTPlan, so repeated
+// transforms of the same size (the modem's steady state) do no trig and
+// no allocation; the output is bit-identical to the direct form.
 func FFT(x []complex128) error {
-	return fft(x, false)
+	p, err := PlanFFT(len(x))
+	if err != nil {
+		return err
+	}
+	p.Forward(x)
+	return nil
 }
 
 // IFFT computes the in-place inverse FFT of x, including the 1/N
 // normalization. len(x) must be a power of two.
 func IFFT(x []complex128) error {
-	if err := fft(x, true); err != nil {
+	p, err := PlanFFT(len(x))
+	if err != nil {
 		return err
 	}
-	n := complex(float64(len(x)), 0)
-	for i := range x {
-		x[i] /= n
-	}
+	p.Inverse(x)
 	return nil
 }
 
-func fft(x []complex128, inverse bool) error {
+// fftDirect is the plan-free transform. It is retained as the reference
+// implementation that FFTPlan is pinned against in tests.
+func fftDirect(x []complex128, inverse bool) error {
 	n := len(x)
 	if !IsPowerOfTwo(n) {
 		return ErrNotPowerOfTwo

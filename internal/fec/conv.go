@@ -4,6 +4,8 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"math/bits"
+	"sync"
 )
 
 // ConvCode is a rate-1/2 binary convolutional code with constraint length
@@ -13,17 +15,44 @@ import (
 // code (generators 753/561 octal, as in IS-95 and the libfec v29 codec).
 // "v27" (K=7, generators 171/133 octal, the Voyager/NASA standard code)
 // is provided as the ablation baseline.
+//
+// A ConvCode is immutable after construction and safe for concurrent use:
+// the trellis output table is built once (sync.Once) and decoder state
+// lives in per-call workspaces drawn from an internal pool, so every
+// caller shares the precomputed tables.
 type ConvCode struct {
 	k     int    // constraint length
 	polyA uint32 // generator A (lowest bit = newest input)
 	polyB uint32
+
+	// Trellis tables, built lazily once per code. outPair[full] is the
+	// coded output pair (polyA parity << 1 | polyB parity) for the full
+	// K-bit register value `full`. hardBM[obs][full] is the Hamming
+	// distance between that output pair and the observed pair obs — the
+	// hard branch metric, pre-resolved so the ACS inner loop does only
+	// sequential loads instead of a double indirection through outPair.
+	tableOnce sync.Once
+	outPair   []uint8
+	hardBM    [4][]int32
+
+	wsPool sync.Pool // *Workspace
 }
 
-// NewV29 returns the paper's inner code: rate 1/2, K=9, polys 753/561 (octal).
-func NewV29() *ConvCode { return &ConvCode{k: 9, polyA: 0o753, polyB: 0o561} }
+// The two standard codes are package-level singletons so every caller —
+// frame codecs, ablation benches, experiments — shares one trellis table
+// instead of recomputing it per NewV29/NewV27 call.
+var (
+	codeV29 = &ConvCode{k: 9, polyA: 0o753, polyB: 0o561}
+	codeV27 = &ConvCode{k: 7, polyA: 0o171, polyB: 0o133}
+)
+
+// NewV29 returns the paper's inner code: rate 1/2, K=9, polys 753/561
+// (octal). The returned instance is shared and safe for concurrent use.
+func NewV29() *ConvCode { return codeV29 }
 
 // NewV27 returns the classic rate 1/2, K=7, polys 171/133 (octal) code.
-func NewV27() *ConvCode { return &ConvCode{k: 7, polyA: 0o171, polyB: 0o133} }
+// The returned instance is shared and safe for concurrent use.
+func NewV27() *ConvCode { return codeV27 }
 
 // ConstraintLength returns K.
 func (c *ConvCode) ConstraintLength() int { return c.k }
@@ -33,12 +62,27 @@ func (c *ConvCode) Rate() float64 { return 0.5 }
 
 // parity returns the parity (XOR of bits) of x.
 func parity(x uint32) byte {
-	x ^= x >> 16
-	x ^= x >> 8
-	x ^= x >> 4
-	x ^= x >> 2
-	x ^= x >> 1
-	return byte(x & 1)
+	return byte(bits.OnesCount32(x) & 1)
+}
+
+// tables returns the output-pair table, building it on first use.
+func (c *ConvCode) tables() []uint8 {
+	c.tableOnce.Do(func() {
+		n := 1 << uint(c.k)
+		t := make([]uint8, n)
+		for full := 0; full < n; full++ {
+			t[full] = parity(uint32(full)&c.polyA)<<1 | parity(uint32(full)&c.polyB)
+		}
+		c.outPair = t
+		for obs := 0; obs < 4; obs++ {
+			bm := make([]int32, n)
+			for full := 0; full < n; full++ {
+				bm[full] = int32(bits.OnesCount8(t[full] ^ uint8(obs)))
+			}
+			c.hardBM[obs] = bm
+		}
+	})
+	return c.outPair
 }
 
 // EncodeBits encodes a bit slice (values 0/1) and returns 2*(len(bits)+K-1)
@@ -46,19 +90,26 @@ func parity(x uint32) byte {
 // decoder terminates in the zero state.
 func (c *ConvCode) EncodeBits(bits []byte) []byte {
 	out := make([]byte, 0, 2*(len(bits)+c.k-1))
+	return c.encodeBitsInto(out, bits)
+}
+
+// encodeBitsInto appends the coded stream for bits (plus tail flush) to
+// dst and returns it.
+func (c *ConvCode) encodeBitsInto(dst []byte, bits []byte) []byte {
+	outPair := c.tables()
 	var sr uint32 // shift register, newest bit in LSB
 	mask := uint32(1<<uint(c.k)) - 1
-	emit := func(b byte) {
-		sr = ((sr << 1) | uint32(b&1)) & mask
-		out = append(out, parity(sr&c.polyA), parity(sr&c.polyB))
-	}
 	for _, b := range bits {
-		emit(b)
+		sr = ((sr << 1) | uint32(b&1)) & mask
+		p := outPair[sr]
+		dst = append(dst, p>>1, p&1)
 	}
 	for i := 0; i < c.k-1; i++ { // tail flush
-		emit(0)
+		sr = (sr << 1) & mask
+		p := outPair[sr]
+		dst = append(dst, p>>1, p&1)
 	}
-	return out
+	return dst
 }
 
 // ErrBadCodeLength is returned by DecodeBits for streams whose length is
@@ -79,94 +130,13 @@ func (c *ConvCode) DecodeBits(coded []byte) ([]byte, error) {
 // 0 means a clean channel; values approaching the code's correction
 // limit flag frames decoded right at the cliff.
 func (c *ConvCode) DecodeBitsMetric(coded []byte) ([]byte, int, error) {
-	if len(coded)%2 != 0 || len(coded) < 2*(c.k-1) {
-		return nil, 0, ErrBadCodeLength
+	ws := c.getWorkspace()
+	defer c.putWorkspace(ws)
+	bits, metric, err := ws.DecodeBitsMetric(coded)
+	if err != nil {
+		return nil, 0, err
 	}
-	nSteps := len(coded) / 2
-	msgLen := nSteps - (c.k - 1)
-	if msgLen < 0 {
-		return nil, 0, ErrBadCodeLength
-	}
-	nStates := 1 << uint(c.k-1)
-	stateMask := uint32(nStates - 1)
-
-	// Precompute per-(state,input) output pairs.
-	// Transition: full register = (state << 1 | input) relative to our
-	// encoder where state holds the K-1 most recent bits *after* shifting.
-	type trans struct {
-		next uint32
-		out0 byte // polyA output
-		out1 byte // polyB output
-	}
-	tr := make([][2]trans, nStates)
-	for s := 0; s < nStates; s++ {
-		for in := 0; in < 2; in++ {
-			full := (uint32(s)<<1 | uint32(in)) & ((1 << uint(c.k)) - 1)
-			tr[s][in] = trans{
-				next: full & stateMask,
-				out0: parity(full & c.polyA),
-				out1: parity(full & c.polyB),
-			}
-		}
-	}
-
-	const inf = math.MaxInt32 / 2
-	metric := make([]int32, nStates)
-	next := make([]int32, nStates)
-	for i := range metric {
-		metric[i] = inf
-	}
-	metric[0] = 0 // encoder starts in the zero state
-
-	// Survivor storage: one bit (the input) per state per step, plus the
-	// predecessor state implied by the transition structure. We store the
-	// predecessor explicitly for simplicity.
-	prevState := make([][]uint32, nSteps)
-	prevInput := make([][]byte, nSteps)
-
-	for step := 0; step < nSteps; step++ {
-		r0, r1 := coded[2*step]&1, coded[2*step+1]&1
-		ps := make([]uint32, nStates)
-		pi := make([]byte, nStates)
-		for i := range next {
-			next[i] = inf
-		}
-		for s := 0; s < nStates; s++ {
-			m := metric[s]
-			if m >= inf {
-				continue
-			}
-			for in := 0; in < 2; in++ {
-				t := tr[s][in]
-				var branch int32
-				if t.out0 != r0 {
-					branch++
-				}
-				if t.out1 != r1 {
-					branch++
-				}
-				nm := m + branch
-				if nm < next[t.next] {
-					next[t.next] = nm
-					ps[t.next] = uint32(s)
-					pi[t.next] = byte(in)
-				}
-			}
-		}
-		metric, next = next, metric
-		prevState[step] = ps
-		prevInput[step] = pi
-	}
-
-	// Traceback from the zero state (tail flush guarantees it).
-	bits := make([]byte, nSteps)
-	state := uint32(0)
-	for step := nSteps - 1; step >= 0; step-- {
-		bits[step] = prevInput[step][state]
-		state = prevState[step][state]
-	}
-	pathMetric := int(metric[0]) // accumulated Hamming cost of the winner
-	return bits[:msgLen], pathMetric, nil
+	return append([]byte(nil), bits...), metric, nil
 }
 
 // DecodeSoft runs soft-decision Viterbi over per-bit soft metrics
@@ -175,79 +145,13 @@ func (c *ConvCode) DecodeBitsMetric(coded []byte) ([]byte, int, error) {
 // buys roughly 2 dB over hard decisions on Gaussian channels, which is
 // why data-over-sound modems like Quiet feed their decoders soft values.
 func (c *ConvCode) DecodeSoft(soft []float64) ([]byte, error) {
-	if len(soft)%2 != 0 || len(soft) < 2*(c.k-1) {
-		return nil, ErrBadCodeLength
+	ws := c.getWorkspace()
+	defer c.putWorkspace(ws)
+	bits, err := ws.DecodeSoft(soft)
+	if err != nil {
+		return nil, err
 	}
-	nSteps := len(soft) / 2
-	msgLen := nSteps - (c.k - 1)
-	nStates := 1 << uint(c.k-1)
-	stateMask := uint32(nStates - 1)
-
-	type trans struct {
-		next       uint32
-		out0, out1 float64 // expected soft signs: +1 for bit 1, -1 for bit 0
-	}
-	tr := make([][2]trans, nStates)
-	for s := 0; s < nStates; s++ {
-		for in := 0; in < 2; in++ {
-			full := (uint32(s)<<1 | uint32(in)) & ((1 << uint(c.k)) - 1)
-			e0, e1 := -1.0, -1.0
-			if parity(full&c.polyA) == 1 {
-				e0 = 1
-			}
-			if parity(full&c.polyB) == 1 {
-				e1 = 1
-			}
-			tr[s][in] = trans{next: full & stateMask, out0: e0, out1: e1}
-		}
-	}
-
-	const ninf = -1e18
-	metric := make([]float64, nStates)
-	next := make([]float64, nStates)
-	for i := range metric {
-		metric[i] = ninf
-	}
-	metric[0] = 0
-
-	prevState := make([][]uint32, nSteps)
-	prevInput := make([][]byte, nSteps)
-	for step := 0; step < nSteps; step++ {
-		r0, r1 := soft[2*step], soft[2*step+1]
-		ps := make([]uint32, nStates)
-		pi := make([]byte, nStates)
-		for i := range next {
-			next[i] = ninf
-		}
-		for s := 0; s < nStates; s++ {
-			m := metric[s]
-			if m <= ninf {
-				continue
-			}
-			for in := 0; in < 2; in++ {
-				t := tr[s][in]
-				// Correlation metric: reward agreement with confident
-				// soft values, maximize.
-				nm := m + t.out0*r0 + t.out1*r1
-				if nm > next[t.next] {
-					next[t.next] = nm
-					ps[t.next] = uint32(s)
-					pi[t.next] = byte(in)
-				}
-			}
-		}
-		metric, next = next, metric
-		prevState[step] = ps
-		prevInput[step] = pi
-	}
-
-	bits := make([]byte, nSteps)
-	state := uint32(0)
-	for step := nSteps - 1; step >= 0; step-- {
-		bits[step] = prevInput[step][state]
-		state = prevState[step][state]
-	}
-	return bits[:msgLen], nil
+	return append([]byte(nil), bits...), nil
 }
 
 // DecodeSoftBytes is DecodeSoft with byte packing: soft covers codedBits
@@ -262,23 +166,13 @@ func (c *ConvCode) DecodeSoftBytes(soft []float64) ([]byte, error) {
 // winning path's re-encoded stream. It is directly comparable to the
 // hard decoder's Hamming path metric.
 func (c *ConvCode) DecodeSoftBytesMetric(soft []float64) ([]byte, int, error) {
-	msgBits, err := c.DecodeSoft(soft)
+	ws := c.getWorkspace()
+	defer c.putWorkspace(ws)
+	data, disagree, err := ws.DecodeSoftBytesMetric(soft)
 	if err != nil {
 		return nil, 0, err
 	}
-	if len(msgBits)%8 != 0 {
-		return nil, 0, fmt.Errorf("fec: decoded %d bits, not byte aligned", len(msgBits))
-	}
-	disagree := 0
-	for i, b := range c.EncodeBits(msgBits) {
-		if i >= len(soft) {
-			break
-		}
-		if (b == 1) != (soft[i] > 0) {
-			disagree++
-		}
-	}
-	return BitsToBytes(msgBits), disagree, nil
+	return append([]byte(nil), data...), disagree, nil
 }
 
 // Encode packs bytes to bits (MSB first), encodes, and returns the coded
@@ -300,18 +194,13 @@ func (c *ConvCode) Decode(coded []byte, codedBits int) ([]byte, error) {
 // DecodeBitsMetric) — the telemetry layer histograms it to watch how
 // close the inner code runs to its correction limit.
 func (c *ConvCode) DecodeMetric(coded []byte, codedBits int) ([]byte, int, error) {
-	if codedBits < 0 || codedBits > len(coded)*8 {
-		return nil, 0, ErrBadCodeLength
-	}
-	bits := BytesToBits(coded)[:codedBits]
-	msgBits, pathMetric, err := c.DecodeBitsMetric(bits)
+	ws := c.getWorkspace()
+	defer c.putWorkspace(ws)
+	data, metric, err := ws.DecodeMetric(coded, codedBits)
 	if err != nil {
 		return nil, 0, err
 	}
-	if len(msgBits)%8 != 0 {
-		return nil, 0, fmt.Errorf("fec: decoded %d bits, not byte aligned", len(msgBits))
-	}
-	return BitsToBytes(msgBits), pathMetric, nil
+	return append([]byte(nil), data...), metric, nil
 }
 
 // EncodedBits returns the number of coded bits for msgLen message bytes.
@@ -319,25 +208,352 @@ func (c *ConvCode) EncodedBits(msgLen int) int {
 	return 2 * (msgLen*8 + c.k - 1)
 }
 
+// getWorkspace draws a decoder workspace from the code's pool.
+func (c *ConvCode) getWorkspace() *Workspace {
+	if ws, ok := c.wsPool.Get().(*Workspace); ok {
+		return ws
+	}
+	return c.NewWorkspace()
+}
+
+func (c *ConvCode) putWorkspace(ws *Workspace) { c.wsPool.Put(ws) }
+
+// Workspace holds all mutable decoder state for one ConvCode: flat path-
+// metric arrays, the bit-packed survivor memory, and scratch buffers.
+// Steady-state decodes through a Workspace are allocation-free (survivor
+// memory grows once to the largest stream seen, then is reused).
+//
+// The byte slices returned by a Workspace's Decode* methods alias its
+// internal buffers and are valid only until the next call; copy them to
+// retain. A Workspace is not safe for concurrent use — use one per
+// goroutine, or the ConvCode methods, which draw from an internal pool.
+type Workspace struct {
+	c *ConvCode
+
+	metric, next   []int32   // hard-decision path metrics, one per state
+	smetric, snext []float64 // soft-decision path metrics
+
+	// surv is the survivor memory: one bit per (step, state) naming the
+	// winning predecessor's dropped MSB, packed into stride words/step.
+	surv   []uint64
+	stride int
+
+	bits  []byte    // decoded message bits
+	data  []byte    // packed decoded bytes
+	soft  []float64 // soft scratch (DecodeSoftBytesMetric re-encode check)
+	coded []byte    // unpacked coded bits (DecodeMetric)
+}
+
+// NewWorkspace returns a decoder workspace bound to the code. Callers
+// that decode many streams on one goroutine (the frame codec's hot loop)
+// keep one Workspace and get allocation-free steady-state decodes.
+func (c *ConvCode) NewWorkspace() *Workspace {
+	nStates := 1 << uint(c.k-1)
+	ws := &Workspace{
+		c:       c,
+		metric:  make([]int32, nStates),
+		next:    make([]int32, nStates),
+		smetric: make([]float64, nStates),
+		snext:   make([]float64, nStates),
+		stride:  (nStates + 63) / 64,
+	}
+	return ws
+}
+
+// growSurv ensures survivor memory for nSteps steps.
+func (w *Workspace) growSurv(nSteps int) []uint64 {
+	need := nSteps * w.stride
+	if cap(w.surv) < need {
+		w.surv = make([]uint64, need)
+	}
+	w.surv = w.surv[:need]
+	return w.surv
+}
+
+// growBits ensures the decoded-bit buffer holds n bits.
+func (w *Workspace) growBits(n int) []byte {
+	if cap(w.bits) < n {
+		w.bits = make([]byte, n)
+	}
+	w.bits = w.bits[:n]
+	return w.bits
+}
+
+const hardInf = math.MaxInt32 / 4
+
+// DecodeBitsMetric is ConvCode.DecodeBitsMetric on this workspace. The
+// returned slice aliases the workspace (valid until the next call).
+func (w *Workspace) DecodeBitsMetric(coded []byte) ([]byte, int, error) {
+	c := w.c
+	if len(coded)%2 != 0 || len(coded) < 2*(c.k-1) {
+		return nil, 0, ErrBadCodeLength
+	}
+	nSteps := len(coded) / 2
+	msgLen := nSteps - (c.k - 1)
+	if msgLen < 0 {
+		return nil, 0, ErrBadCodeLength
+	}
+	nStates := 1 << uint(c.k-1)
+	c.tables() // ensure hardBM is built
+	surv := w.growSurv(nSteps)
+	stride := w.stride
+
+	metric, next := w.metric, w.next
+	for i := range metric {
+		metric[i] = hardInf
+	}
+	metric[0] = 0 // encoder starts in the zero state
+
+	// Butterfly form: next states (2t, 2t+1) share the predecessor pair
+	// p0 = t and p1 = t|topHalf, the input consumed on a transition is
+	// the next state's LSB, and the transition outputs are outPair[ns]
+	// (from p0) and outPair[ns+nStates] (from p1) — so no per-state
+	// predecessor array is needed: one packed bit per state (which
+	// predecessor won) is the whole survivor. Ties keep p0, matching the
+	// ascending-state scan of the straightforward formulation.
+	half := nStates >> 1
+	for step := 0; step < nSteps; step++ {
+		obs := (coded[2*step]&1)<<1 | coded[2*step+1]&1
+		// Pre-resolved branch metrics for this observation: bmLo[ns] is
+		// the cost of reaching ns from p0 = ns>>1, bmHi[ns] from
+		// p1 = p0|topHalf. Both are read sequentially.
+		bmT := c.hardBM[obs]
+		bmLo := bmT[:nStates:nStates]
+		bmHi := bmT[nStates:]
+		mLo := metric[:half:half]
+		mHi := metric[half:nStates]
+		nxt := next[:nStates:nStates]
+		base := step * stride
+		var word uint64
+		wi := 0
+		for t := range mLo {
+			ma := mLo[t]
+			mb := mHi[t]
+			ns := 2 * t
+			m0 := ma + bmLo[ns]
+			m1 := mb + bmHi[ns]
+			v, b := m0, uint64(0)
+			if m1 < m0 {
+				v, b = m1, 1
+			}
+			nxt[ns] = v
+			word |= b << (uint(ns) & 63)
+			m0 = ma + bmLo[ns+1]
+			m1 = mb + bmHi[ns+1]
+			v, b = m0, 0
+			if m1 < m0 {
+				v, b = m1, 1
+			}
+			nxt[ns+1] = v
+			word |= b << (uint(ns+1) & 63)
+			if ns&63 == 62 {
+				surv[base+wi] = word
+				word, wi = 0, wi+1
+			}
+		}
+		if nStates&63 != 0 {
+			surv[base+wi] = word
+		}
+		metric, next = next, metric
+	}
+	w.metric, w.next = metric, next
+
+	// Traceback from the zero state (tail flush guarantees it). The input
+	// at each step is the LSB of the state it led to.
+	msg := w.growBits(nSteps)
+	state := uint32(0)
+	for step := nSteps - 1; step >= 0; step-- {
+		msg[step] = byte(state & 1)
+		b := surv[step*stride+int(state>>6)] >> (state & 63) & 1
+		state = state>>1 | uint32(b)<<uint(c.k-2)
+	}
+	return msg[:msgLen], int(metric[0]), nil
+}
+
+// DecodeBits is ConvCode.DecodeBits on this workspace (result aliases
+// the workspace).
+func (w *Workspace) DecodeBits(coded []byte) ([]byte, error) {
+	bits, _, err := w.DecodeBitsMetric(coded)
+	return bits, err
+}
+
+// DecodeSoft is ConvCode.DecodeSoft on this workspace (result aliases
+// the workspace).
+func (w *Workspace) DecodeSoft(soft []float64) ([]byte, error) {
+	c := w.c
+	if len(soft)%2 != 0 || len(soft) < 2*(c.k-1) {
+		return nil, ErrBadCodeLength
+	}
+	nSteps := len(soft) / 2
+	msgLen := nSteps - (c.k - 1)
+	nStates := 1 << uint(c.k-1)
+	outPair := c.tables()
+	surv := w.growSurv(nSteps)
+	stride := w.stride
+
+	const ninf = -1e18
+	metric, next := w.smetric, w.snext
+	for i := range metric {
+		metric[i] = ninf
+	}
+	metric[0] = 0
+
+	// Same butterfly structure as the hard path (see DecodeBitsMetric),
+	// maximizing a correlation metric; ties keep p0.
+	half := nStates >> 1
+	opLo := outPair[:nStates:nStates]
+	opHi := outPair[nStates:]
+	for step := 0; step < nSteps; step++ {
+		r0, r1 := soft[2*step], soft[2*step+1]
+		// Correlation branch metric per output pair: reward agreement
+		// with confident soft values (expected sign +1 for bit 1).
+		var bm [4]float64
+		bm[0] = -r0 - r1
+		bm[1] = -r0 + r1
+		bm[2] = r0 - r1
+		bm[3] = r0 + r1
+		mLo := metric[:half:half]
+		mHi := metric[half:nStates]
+		nxt := next[:nStates:nStates]
+		base := step * stride
+		var word uint64
+		wi := 0
+		for t := range mLo {
+			ma := mLo[t]
+			mb := mHi[t]
+			ns := 2 * t
+			// Branchless select: float compares otherwise compile to
+			// data-dependent branches that mispredict on noisy input.
+			m0 := ma + bm[opLo[ns]&3]
+			m1 := mb + bm[opHi[ns]&3]
+			var b uint64
+			if m1 > m0 {
+				b = 1
+			}
+			nxt[ns] = max(m0, m1)
+			word |= b << (uint(ns) & 63)
+			m0 = ma + bm[opLo[ns+1]&3]
+			m1 = mb + bm[opHi[ns+1]&3]
+			b = 0
+			if m1 > m0 {
+				b = 1
+			}
+			nxt[ns+1] = max(m0, m1)
+			word |= b << (uint(ns+1) & 63)
+			if ns&63 == 62 {
+				surv[base+wi] = word
+				word, wi = 0, wi+1
+			}
+		}
+		if nStates&63 != 0 {
+			surv[base+wi] = word
+		}
+		metric, next = next, metric
+	}
+	w.smetric, w.snext = metric, next
+
+	msg := w.growBits(nSteps)
+	state := uint32(0)
+	for step := nSteps - 1; step >= 0; step-- {
+		msg[step] = byte(state & 1)
+		b := surv[step*stride+int(state>>6)] >> (state & 63) & 1
+		state = state>>1 | uint32(b)<<uint(c.k-2)
+	}
+	return msg[:msgLen], nil
+}
+
+// DecodeSoftBytesMetric is ConvCode.DecodeSoftBytesMetric on this
+// workspace (result aliases the workspace).
+func (w *Workspace) DecodeSoftBytesMetric(soft []float64) ([]byte, int, error) {
+	msgBits, err := w.DecodeSoft(soft)
+	if err != nil {
+		return nil, 0, err
+	}
+	if len(msgBits)%8 != 0 {
+		return nil, 0, fmt.Errorf("fec: decoded %d bits, not byte aligned", len(msgBits))
+	}
+	// Count soft inputs whose sign disagrees with the re-encoded winner.
+	// Re-encode into scratch: msgBits aliases w.bits, so reuse w.coded.
+	if cap(w.coded) < 2*(len(msgBits)+w.c.k-1) {
+		w.coded = make([]byte, 0, 2*(len(msgBits)+w.c.k-1))
+	}
+	re := w.c.encodeBitsInto(w.coded[:0], msgBits)
+	w.coded = re[:0]
+	disagree := 0
+	for i, b := range re {
+		if i >= len(soft) {
+			break
+		}
+		if (b == 1) != (soft[i] > 0) {
+			disagree++
+		}
+	}
+	if cap(w.data) < len(msgBits)/8 {
+		w.data = make([]byte, len(msgBits)/8)
+	}
+	w.data = w.data[:len(msgBits)/8]
+	packBitsInto(w.data, msgBits)
+	return w.data, disagree, nil
+}
+
+// DecodeMetric is ConvCode.DecodeMetric on this workspace (result
+// aliases the workspace).
+func (w *Workspace) DecodeMetric(coded []byte, codedBits int) ([]byte, int, error) {
+	if codedBits < 0 || codedBits > len(coded)*8 {
+		return nil, 0, ErrBadCodeLength
+	}
+	if cap(w.coded) < codedBits {
+		w.coded = make([]byte, codedBits)
+	}
+	w.coded = w.coded[:codedBits]
+	unpackBitsInto(w.coded, coded)
+	msgBits, pathMetric, err := w.DecodeBitsMetric(w.coded)
+	if err != nil {
+		return nil, 0, err
+	}
+	if len(msgBits)%8 != 0 {
+		return nil, 0, fmt.Errorf("fec: decoded %d bits, not byte aligned", len(msgBits))
+	}
+	if cap(w.data) < len(msgBits)/8 {
+		w.data = make([]byte, len(msgBits)/8)
+	}
+	w.data = w.data[:len(msgBits)/8]
+	packBitsInto(w.data, msgBits)
+	return w.data, pathMetric, nil
+}
+
 // BytesToBits unpacks bytes into bits, MSB first.
 func BytesToBits(data []byte) []byte {
 	bits := make([]byte, len(data)*8)
-	for i, b := range data {
-		for j := 0; j < 8; j++ {
-			bits[i*8+j] = (b >> uint(7-j)) & 1
-		}
-	}
+	unpackBitsInto(bits, data)
 	return bits
+}
+
+// unpackBitsInto fills bits (MSB first) from data; len(bits) may stop
+// short of len(data)*8.
+func unpackBitsInto(bits []byte, data []byte) {
+	for i := range bits {
+		bits[i] = (data[i/8] >> uint(7-i%8)) & 1
+	}
 }
 
 // BitsToBytes packs bits (MSB first) into bytes, zero-padding the final
 // partial byte.
 func BitsToBytes(bits []byte) []byte {
 	out := make([]byte, (len(bits)+7)/8)
+	packBitsInto(out, bits)
+	return out
+}
+
+// packBitsInto packs bits (MSB first) into out, which must hold
+// (len(bits)+7)/8 bytes and be zeroed.
+func packBitsInto(out []byte, bits []byte) {
+	for i := range out {
+		out[i] = 0
+	}
 	for i, b := range bits {
 		if b&1 != 0 {
 			out[i/8] |= 1 << uint(7-i%8)
 		}
 	}
-	return out
 }

@@ -1,0 +1,312 @@
+package fec
+
+import (
+	"bytes"
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// This file pins the optimized table-driven Viterbi (flat state arrays,
+// bit-packed survivors, pooled workspaces) to the straightforward
+// pre-optimization formulation: same decoded bits, same path metric, on
+// randomized noisy streams. refDecodeBitsMetric / refDecodeSoft below
+// are verbatim copies of the original implementations.
+
+func refDecodeBitsMetric(c *ConvCode, coded []byte) ([]byte, int, error) {
+	if len(coded)%2 != 0 || len(coded) < 2*(c.k-1) {
+		return nil, 0, ErrBadCodeLength
+	}
+	nSteps := len(coded) / 2
+	msgLen := nSteps - (c.k - 1)
+	if msgLen < 0 {
+		return nil, 0, ErrBadCodeLength
+	}
+	nStates := 1 << uint(c.k-1)
+	stateMask := uint32(nStates - 1)
+
+	type trans struct {
+		next uint32
+		out0 byte
+		out1 byte
+	}
+	tr := make([][2]trans, nStates)
+	for s := 0; s < nStates; s++ {
+		for in := 0; in < 2; in++ {
+			full := (uint32(s)<<1 | uint32(in)) & ((1 << uint(c.k)) - 1)
+			tr[s][in] = trans{
+				next: full & stateMask,
+				out0: parity(full & c.polyA),
+				out1: parity(full & c.polyB),
+			}
+		}
+	}
+
+	const inf = math.MaxInt32 / 2
+	metric := make([]int32, nStates)
+	next := make([]int32, nStates)
+	for i := range metric {
+		metric[i] = inf
+	}
+	metric[0] = 0
+
+	prevState := make([][]uint32, nSteps)
+	prevInput := make([][]byte, nSteps)
+
+	for step := 0; step < nSteps; step++ {
+		r0, r1 := coded[2*step]&1, coded[2*step+1]&1
+		ps := make([]uint32, nStates)
+		pi := make([]byte, nStates)
+		for i := range next {
+			next[i] = inf
+		}
+		for s := 0; s < nStates; s++ {
+			m := metric[s]
+			if m >= inf {
+				continue
+			}
+			for in := 0; in < 2; in++ {
+				t := tr[s][in]
+				var branch int32
+				if t.out0 != r0 {
+					branch++
+				}
+				if t.out1 != r1 {
+					branch++
+				}
+				nm := m + branch
+				if nm < next[t.next] {
+					next[t.next] = nm
+					ps[t.next] = uint32(s)
+					pi[t.next] = byte(in)
+				}
+			}
+		}
+		metric, next = next, metric
+		prevState[step] = ps
+		prevInput[step] = pi
+	}
+
+	bits := make([]byte, nSteps)
+	state := uint32(0)
+	for step := nSteps - 1; step >= 0; step-- {
+		bits[step] = prevInput[step][state]
+		state = prevState[step][state]
+	}
+	return bits[:msgLen], int(metric[0]), nil
+}
+
+func refDecodeSoft(c *ConvCode, soft []float64) ([]byte, error) {
+	if len(soft)%2 != 0 || len(soft) < 2*(c.k-1) {
+		return nil, ErrBadCodeLength
+	}
+	nSteps := len(soft) / 2
+	msgLen := nSteps - (c.k - 1)
+	nStates := 1 << uint(c.k-1)
+	stateMask := uint32(nStates - 1)
+
+	type trans struct {
+		next       uint32
+		out0, out1 float64
+	}
+	tr := make([][2]trans, nStates)
+	for s := 0; s < nStates; s++ {
+		for in := 0; in < 2; in++ {
+			full := (uint32(s)<<1 | uint32(in)) & ((1 << uint(c.k)) - 1)
+			e0, e1 := -1.0, -1.0
+			if parity(full&c.polyA) == 1 {
+				e0 = 1
+			}
+			if parity(full&c.polyB) == 1 {
+				e1 = 1
+			}
+			tr[s][in] = trans{next: full & stateMask, out0: e0, out1: e1}
+		}
+	}
+
+	const ninf = -1e18
+	metric := make([]float64, nStates)
+	next := make([]float64, nStates)
+	for i := range metric {
+		metric[i] = ninf
+	}
+	metric[0] = 0
+
+	prevState := make([][]uint32, nSteps)
+	prevInput := make([][]byte, nSteps)
+	for step := 0; step < nSteps; step++ {
+		r0, r1 := soft[2*step], soft[2*step+1]
+		ps := make([]uint32, nStates)
+		pi := make([]byte, nStates)
+		for i := range next {
+			next[i] = ninf
+		}
+		for s := 0; s < nStates; s++ {
+			m := metric[s]
+			if m <= ninf {
+				continue
+			}
+			for in := 0; in < 2; in++ {
+				t := tr[s][in]
+				nm := m + t.out0*r0 + t.out1*r1
+				if nm > next[t.next] {
+					next[t.next] = nm
+					ps[t.next] = uint32(s)
+					pi[t.next] = byte(in)
+				}
+			}
+		}
+		metric, next = next, metric
+		prevState[step] = ps
+		prevInput[step] = pi
+	}
+
+	bits := make([]byte, nSteps)
+	state := uint32(0)
+	for step := nSteps - 1; step >= 0; step-- {
+		bits[step] = prevInput[step][state]
+		state = prevState[step][state]
+	}
+	return bits[:msgLen], nil
+}
+
+func TestViterbiHardMatchesReference(t *testing.T) {
+	for _, c := range []*ConvCode{NewV27(), NewV29()} {
+		rng := rand.New(rand.NewSource(int64(c.k)))
+		for trial := 0; trial < 50; trial++ {
+			msgBits := make([]byte, 8*(1+rng.Intn(64)))
+			for i := range msgBits {
+				msgBits[i] = byte(rng.Intn(2))
+			}
+			coded := c.EncodeBits(msgBits)
+			// Flip up to 6% of bits — some trials decode wrong messages,
+			// which is fine: optimized and reference must still agree.
+			flips := rng.Intn(len(coded) / 16)
+			for i := 0; i < flips; i++ {
+				coded[rng.Intn(len(coded))] ^= 1
+			}
+			want, wantMetric, err := refDecodeBitsMetric(c, coded)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, gotMetric, err := c.DecodeBitsMetric(coded)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(got, want) {
+				t.Fatalf("K=%d trial %d: decoded bits diverge from reference", c.k, trial)
+			}
+			if gotMetric != wantMetric {
+				t.Fatalf("K=%d trial %d: path metric %d, reference %d", c.k, trial, gotMetric, wantMetric)
+			}
+		}
+	}
+}
+
+func TestViterbiSoftMatchesReference(t *testing.T) {
+	for _, c := range []*ConvCode{NewV27(), NewV29()} {
+		rng := rand.New(rand.NewSource(100 + int64(c.k)))
+		for trial := 0; trial < 50; trial++ {
+			msgBits := make([]byte, 8*(1+rng.Intn(64)))
+			for i := range msgBits {
+				msgBits[i] = byte(rng.Intn(2))
+			}
+			coded := c.EncodeBits(msgBits)
+			soft := make([]float64, len(coded))
+			for i, b := range coded {
+				v := -1.0
+				if b == 1 {
+					v = 1
+				}
+				soft[i] = v + 0.6*rng.NormFloat64()
+			}
+			want, err := refDecodeSoft(c, soft)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := c.DecodeSoft(soft)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(got, want) {
+				t.Fatalf("K=%d trial %d: soft-decoded bits diverge from reference", c.k, trial)
+			}
+		}
+	}
+}
+
+func TestViterbiWorkspaceZeroAlloc(t *testing.T) {
+	c := NewV29()
+	rng := rand.New(rand.NewSource(9))
+	msg := make([]byte, 264)
+	rng.Read(msg)
+	coded, codedBits := c.Encode(msg)
+	soft := make([]float64, codedBits)
+	for i := range soft {
+		if (coded[i/8]>>(7-i%8))&1 == 1 {
+			soft[i] = 1
+		} else {
+			soft[i] = -1
+		}
+	}
+
+	ws := c.NewWorkspace()
+	// Warm up so the survivor memory has grown to steady state.
+	if _, _, err := ws.DecodeMetric(coded, codedBits); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := ws.DecodeSoftBytesMetric(soft); err != nil {
+		t.Fatal(err)
+	}
+
+	if n := testing.AllocsPerRun(20, func() {
+		if _, _, err := ws.DecodeMetric(coded, codedBits); err != nil {
+			t.Fatal(err)
+		}
+	}); n != 0 {
+		t.Errorf("Workspace.DecodeMetric: %v allocs/run, want 0", n)
+	}
+	if n := testing.AllocsPerRun(20, func() {
+		if _, _, err := ws.DecodeSoftBytesMetric(soft); err != nil {
+			t.Fatal(err)
+		}
+	}); n != 0 {
+		t.Errorf("Workspace.DecodeSoftBytesMetric: %v allocs/run, want 0", n)
+	}
+}
+
+func TestSharedCodeConcurrentDecode(t *testing.T) {
+	// NewV29 returns a shared instance; its pooled decode paths must be
+	// safe under concurrent use (run with -race).
+	c := NewV29()
+	msg := make([]byte, 264)
+	for i := range msg {
+		msg[i] = byte(i)
+	}
+	coded, codedBits := c.Encode(msg)
+	done := make(chan error, 8)
+	for g := 0; g < 8; g++ {
+		go func() {
+			for i := 0; i < 20; i++ {
+				got, err := c.Decode(coded, codedBits)
+				if err != nil {
+					done <- err
+					return
+				}
+				if !bytes.Equal(got[:len(msg)], msg) {
+					done <- errMismatch
+					return
+				}
+			}
+			done <- nil
+		}()
+	}
+	for g := 0; g < 8; g++ {
+		if err := <-done; err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+var errMismatch = errors.New("decode mismatch")

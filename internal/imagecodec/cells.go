@@ -66,6 +66,15 @@ func EncodeColumns(r *Raster, maxCellBytes int) ([]Cell, error) {
 // gradients (photos) collapse into runs — the 1-D analogue of SIC's
 // quantizer. tol=0 is lossless.
 func EncodeColumnsTol(r *Raster, maxCellBytes, tol int) ([]Cell, error) {
+	return EncodeColumnsTolWorkers(r, maxCellBytes, tol, 0)
+}
+
+// EncodeColumnsTolWorkers is EncodeColumnsTol with an explicit worker
+// count. Columns are independent, so each worker packs a contiguous
+// range of columns into cells; the per-column results are concatenated
+// in column order, giving the same cell list as the serial encoder for
+// any worker count. workers <= 0 selects the package default.
+func EncodeColumnsTolWorkers(r *Raster, maxCellBytes, tol, workers int) ([]Cell, error) {
 	if r == nil || r.W < 1 || r.H < 1 {
 		return nil, ErrEmptyRaster
 	}
@@ -76,9 +85,27 @@ func EncodeColumnsTol(r *Raster, maxCellBytes, tol int) ([]Cell, error) {
 	if maxData < 6 {
 		return nil, fmt.Errorf("imagecodec: maxCellBytes %d too small", maxCellBytes)
 	}
-	var cells []Cell
-	for x := 0; x < r.W; x++ {
-		cells = appendColumnCells(cells, r, x, maxData, tol)
+	workers = resolveWorkers(workers)
+	if workers <= 1 {
+		var cells []Cell
+		for x := 0; x < r.W; x++ {
+			cells = appendColumnCells(cells, r, x, maxData, tol)
+		}
+		return cells, nil
+	}
+	perCol := make([][]Cell, r.W)
+	parallelFor(workers, r.W, func(lo, hi int) {
+		for x := lo; x < hi; x++ {
+			perCol[x] = appendColumnCells(nil, r, x, maxData, tol)
+		}
+	})
+	total := 0
+	for _, cs := range perCol {
+		total += len(cs)
+	}
+	cells := make([]Cell, 0, total)
+	for _, cs := range perCol {
+		cells = append(cells, cs...)
 	}
 	return cells, nil
 }

@@ -1,0 +1,77 @@
+package imagecodec
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// The codec's compute stages (per-block DCT/quantize, per-column cell
+// packing) are data-parallel; the entropy stages (DC prediction, token
+// emission, DEFLATE) are inherently serial chains. The *Workers variants
+// below split each plane's block grid across a bounded set of goroutines
+// for the compute stages only, so the emitted bitstream is byte-identical
+// to the serial codec's regardless of worker count.
+
+// defaultWorkers is the pool size used when a caller passes workers <= 0.
+// 0 means GOMAXPROCS.
+var defaultWorkers atomic.Int32
+
+// SetWorkers sets the package-wide default worker count used by
+// EncodeSIC, DecodeSIC and EncodeColumnsTol. n <= 0 restores the default
+// (GOMAXPROCS). The server and pipeline thread their Workers config knob
+// through this resolution path.
+func SetWorkers(n int) {
+	if n < 0 {
+		n = 0
+	}
+	defaultWorkers.Store(int32(n))
+}
+
+// Workers reports the resolved package-wide default worker count.
+func Workers() int { return resolveWorkers(0) }
+
+// resolveWorkers maps a per-call worker request to a concrete pool size:
+// explicit n > 0 wins, then the package default, then GOMAXPROCS.
+func resolveWorkers(n int) int {
+	if n <= 0 {
+		n = int(defaultWorkers.Load())
+	}
+	if n <= 0 {
+		n = runtime.GOMAXPROCS(0)
+	}
+	return n
+}
+
+// parallelFor runs fn over contiguous chunks covering [0, n), using at
+// most workers goroutines. workers <= 1 (or tiny n) runs inline with no
+// goroutine or channel overhead, which keeps the single-core path as fast
+// as the pre-parallel codec. Chunks are index-addressed, so callers that
+// write results into per-index slots get deterministic output ordering
+// independent of scheduling.
+func parallelFor(workers, n int, fn func(lo, hi int)) {
+	if n <= 0 {
+		return
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		fn(0, n)
+		return
+	}
+	chunk := (n + workers - 1) / workers
+	var wg sync.WaitGroup
+	for lo := 0; lo < n; lo += chunk {
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			fn(lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+}

@@ -195,64 +195,72 @@ func (p *plane) at(x, y int) float64 {
 
 // toYCbCr splits a raster into full-res Y and half-res Cb/Cr planes.
 // This is the per-pixel hot path of EncodeSIC, so it indexes Pix
-// directly instead of going through At().
-func toYCbCr(r *Raster) (yp, cb, cr *plane) {
+// directly instead of going through At(). Rows are independent, so both
+// loops parallelize over the worker pool; each goroutine writes disjoint
+// rows, keeping the result identical for any worker count.
+func toYCbCr(r *Raster, workers int) (yp, cb, cr *plane) {
 	yp = newPlane(r.W, r.H)
 	cw, ch := (r.W+1)/2, (r.H+1)/2
 	cb = newPlane(cw, ch)
 	cr = newPlane(cw, ch)
 	pix := r.Pix
-	for y := 0; y < r.H; y++ {
-		row := pix[3*y*r.W : 3*(y+1)*r.W]
-		out := yp.pix[y*r.W : (y+1)*r.W]
-		for x := 0; x < r.W; x++ {
-			out[x] = 0.299*float64(row[3*x]) + 0.587*float64(row[3*x+1]) + 0.114*float64(row[3*x+2])
+	parallelFor(workers, r.H, func(lo, hi int) {
+		for y := lo; y < hi; y++ {
+			row := pix[3*y*r.W : 3*(y+1)*r.W]
+			out := yp.pix[y*r.W : (y+1)*r.W]
+			for x := 0; x < r.W; x++ {
+				out[x] = 0.299*float64(row[3*x]) + 0.587*float64(row[3*x+1]) + 0.114*float64(row[3*x+2])
+			}
 		}
-	}
-	for y := 0; y < ch; y++ {
-		for x := 0; x < cw; x++ {
-			// Average the 2x2 neighborhood.
-			var sr, sg, sb, n float64
-			for dy := 0; dy < 2; dy++ {
-				py := 2*y + dy
-				if py >= r.H {
-					continue
-				}
-				for dx := 0; dx < 2; dx++ {
-					px := 2*x + dx
-					if px >= r.W {
+	})
+	parallelFor(workers, ch, func(lo, hi int) {
+		for y := lo; y < hi; y++ {
+			for x := 0; x < cw; x++ {
+				// Average the 2x2 neighborhood.
+				var sr, sg, sb, n float64
+				for dy := 0; dy < 2; dy++ {
+					py := 2*y + dy
+					if py >= r.H {
 						continue
 					}
-					i := 3 * (py*r.W + px)
-					sr += float64(pix[i])
-					sg += float64(pix[i+1])
-					sb += float64(pix[i+2])
-					n++
+					for dx := 0; dx < 2; dx++ {
+						px := 2*x + dx
+						if px >= r.W {
+							continue
+						}
+						i := 3 * (py*r.W + px)
+						sr += float64(pix[i])
+						sg += float64(pix[i+1])
+						sb += float64(pix[i+2])
+						n++
+					}
 				}
+				sr, sg, sb = sr/n, sg/n, sb/n
+				cb.pix[y*cw+x] = -0.168736*sr - 0.331264*sg + 0.5*sb + 128
+				cr.pix[y*cw+x] = 0.5*sr - 0.418688*sg - 0.081312*sb + 128
 			}
-			sr, sg, sb = sr/n, sg/n, sb/n
-			cb.pix[y*cw+x] = -0.168736*sr - 0.331264*sg + 0.5*sb + 128
-			cr.pix[y*cw+x] = 0.5*sr - 0.418688*sg - 0.081312*sb + 128
 		}
-	}
+	})
 	return yp, cb, cr
 }
 
-// fromYCbCr reassembles a raster from planes.
-func fromYCbCr(yp, cb, cr *plane) *Raster {
+// fromYCbCr reassembles a raster from planes, parallel over rows.
+func fromYCbCr(yp, cb, cr *plane, workers int) *Raster {
 	out := NewBlackRaster(yp.w, yp.h)
-	for y := 0; y < yp.h; y++ {
-		for x := 0; x < yp.w; x++ {
-			yy := yp.pix[y*yp.w+x]
-			cbb := cb.at(x/2, y/2) - 128
-			crr := cr.at(x/2, y/2) - 128
-			out.Set(x, y, RGB{
-				clamp8(yy + 1.402*crr),
-				clamp8(yy - 0.344136*cbb - 0.714136*crr),
-				clamp8(yy + 1.772*cbb),
-			})
+	parallelFor(workers, yp.h, func(lo, hi int) {
+		for y := lo; y < hi; y++ {
+			for x := 0; x < yp.w; x++ {
+				yy := yp.pix[y*yp.w+x]
+				cbb := cb.at(x/2, y/2) - 128
+				crr := cr.at(x/2, y/2) - 128
+				out.Set(x, y, RGB{
+					clamp8(yy + 1.402*crr),
+					clamp8(yy - 0.344136*cbb - 0.714136*crr),
+					clamp8(yy + 1.772*cbb),
+				})
+			}
 		}
-	}
+	})
 	return out
 }
 
@@ -289,14 +297,27 @@ func readVarint(r *bytes.Reader) (int, error) {
 	return v, nil
 }
 
-// encodePlane DCT-encodes one plane into the token buffer.
-func encodePlane(buf *bytes.Buffer, p *plane, qt [64]int) {
+// sicBlock is one 8x8 block's quantized coefficients in zigzag order.
+// flat marks constant blocks (encode) and DC-only blocks (decode), where
+// only q[0] is meaningful and the transform is skipped.
+type sicBlock struct {
+	flat bool
+	q    [64]int32
+}
+
+// quantizeBlocks runs the compute stage of encodePlane — block load,
+// flatness check, forward DCT, quantization — for every block of p in
+// parallel, returning one sicBlock per block in raster scan order. The
+// serial emission stage consumes them in order, so the token stream is
+// byte-identical to the single-threaded codec.
+func quantizeBlocks(p *plane, qt [64]int, workers int) []sicBlock {
 	bw := (p.w + 7) / 8
 	bh := (p.h + 7) / 8
-	prevDC := 0
-	var blk [64]float64
-	for by := 0; by < bh; by++ {
-		for bx := 0; bx < bw; bx++ {
+	blocks := make([]sicBlock, bw*bh)
+	parallelFor(workers, bw*bh, func(lo, hi int) {
+		var blk [64]float64
+		for bi := lo; bi < hi; bi++ {
+			by, bx := bi/bw, bi%bw
 			flat := true
 			first := p.at(bx*8, by*8)
 			if bx*8+8 <= p.w && by*8+8 <= p.h {
@@ -322,102 +343,126 @@ func encodePlane(buf *bytes.Buffer, p *plane, qt [64]int) {
 					}
 				}
 			}
+			b := &blocks[bi]
 			if flat {
 				// Constant block: only DC survives the DCT (value*8), so
 				// skip the transform — webpage rasters are mostly flat.
-				dc := int(math.Round((first - 128) * 8 / float64(qt[0])))
-				writeVarint(buf, dc-prevDC)
-				prevDC = dc
-				buf.WriteByte(0xFF)
+				b.flat = true
+				b.q[0] = int32(math.Round((first - 128) * 8 / float64(qt[0])))
 				continue
 			}
 			fdctBlock(&blk)
-			var q [64]int
 			for i := 0; i < 64; i++ {
-				q[i] = int(math.Round(blk[zigzag[i]] / float64(qt[zigzag[i]])))
+				b.q[i] = int32(math.Round(blk[zigzag[i]] / float64(qt[zigzag[i]])))
 			}
-			// DC delta.
-			writeVarint(buf, q[0]-prevDC)
-			prevDC = q[0]
-			// AC run-length: (run, value) pairs, 0xFF-terminated run byte.
-			run := 0
-			for i := 1; i < 64; i++ {
-				if q[i] == 0 {
-					run++
-					continue
-				}
-				for run > 62 {
-					buf.WriteByte(62)
-					writeVarint(buf, 0)
-					run -= 63
-				}
-				buf.WriteByte(byte(run))
-				writeVarint(buf, q[i])
-				run = 0
-			}
-			buf.WriteByte(0xFF) // end of block
 		}
+	})
+	return blocks
+}
+
+// encodePlane DCT-encodes one plane into the token buffer: a parallel
+// quantize stage followed by the serial DC-prediction/token-emission
+// chain (the DC delta of each block depends on the previous block, so
+// emission cannot be split without changing the bitstream).
+func encodePlane(buf *bytes.Buffer, p *plane, qt [64]int, workers int) {
+	blocks := quantizeBlocks(p, qt, workers)
+	prevDC := 0
+	for bi := range blocks {
+		b := &blocks[bi]
+		if b.flat {
+			dc := int(b.q[0])
+			writeVarint(buf, dc-prevDC)
+			prevDC = dc
+			buf.WriteByte(0xFF)
+			continue
+		}
+		// DC delta.
+		dc := int(b.q[0])
+		writeVarint(buf, dc-prevDC)
+		prevDC = dc
+		// AC run-length: (run, value) pairs, 0xFF-terminated run byte.
+		run := 0
+		for i := 1; i < 64; i++ {
+			if b.q[i] == 0 {
+				run++
+				continue
+			}
+			for run > 62 {
+				buf.WriteByte(62)
+				writeVarint(buf, 0)
+				run -= 63
+			}
+			buf.WriteByte(byte(run))
+			writeVarint(buf, int(b.q[i]))
+			run = 0
+		}
+		buf.WriteByte(0xFF) // end of block
 	}
 }
 
-// decodePlane reverses encodePlane.
-func decodePlane(r *bytes.Reader, w, h int, qt [64]int) (*plane, error) {
-	p := newPlane(w, h)
+// decodePlane reverses encodePlane: a serial token-parse stage (the DC
+// prediction chain must be unwound in order) followed by a parallel
+// dequantize/IDCT/store stage — each block writes a disjoint pixel
+// region, so the reconstruction is identical for any worker count.
+func decodePlane(r *bytes.Reader, w, h int, qt [64]int, workers int) (*plane, error) {
 	bw := (w + 7) / 8
 	bh := (h + 7) / 8
+	blocks := make([]sicBlock, bw*bh)
 	prevDC := 0
-	var q [64]int
-	var blk [64]float64
-	for by := 0; by < bh; by++ {
-		for bx := 0; bx < bw; bx++ {
-			for i := range q {
-				q[i] = 0
-			}
-			d, err := readVarint(r)
+	for bi := range blocks {
+		b := &blocks[bi]
+		d, err := readVarint(r)
+		if err != nil {
+			return nil, fmt.Errorf("imagecodec: truncated DC: %w", err)
+		}
+		b.q[0] = int32(prevDC + d)
+		prevDC = int(b.q[0])
+		idx := 1
+		for {
+			rb, err := r.ReadByte()
 			if err != nil {
-				return nil, fmt.Errorf("imagecodec: truncated DC: %w", err)
+				return nil, fmt.Errorf("imagecodec: truncated AC: %w", err)
 			}
-			q[0] = prevDC + d
-			prevDC = q[0]
-			idx := 1
-			for {
-				rb, err := r.ReadByte()
-				if err != nil {
-					return nil, fmt.Errorf("imagecodec: truncated AC: %w", err)
-				}
-				if rb == 0xFF {
-					break
-				}
-				v, err := readVarint(r)
-				if err != nil {
-					return nil, fmt.Errorf("imagecodec: truncated AC value: %w", err)
-				}
-				idx += int(rb)
-				if idx > 63 {
-					return nil, errors.New("imagecodec: AC index overflow")
-				}
-				q[idx] = v
-				idx++
-				if idx > 64 {
-					return nil, errors.New("imagecodec: AC index overflow")
-				}
+			if rb == 0xFF {
+				break
 			}
-			acZero := true
-			for i := 1; i < 64; i++ {
-				if q[i] != 0 {
-					acZero = false
-					break
-				}
+			v, err := readVarint(r)
+			if err != nil {
+				return nil, fmt.Errorf("imagecodec: truncated AC value: %w", err)
 			}
-			if acZero {
+			idx += int(rb)
+			if idx > 63 {
+				return nil, errors.New("imagecodec: AC index overflow")
+			}
+			b.q[idx] = int32(v)
+			idx++
+			if idx > 64 {
+				return nil, errors.New("imagecodec: AC index overflow")
+			}
+		}
+		b.flat = true
+		for i := 1; i < 64; i++ {
+			if b.q[i] != 0 {
+				b.flat = false
+				break
+			}
+		}
+	}
+	p := newPlane(w, h)
+	parallelFor(workers, bw*bh, func(lo, hi int) {
+		var blk [64]float64
+		for bi := lo; bi < hi; bi++ {
+			by, bx := bi/bw, bi%bw
+			b := &blocks[bi]
+			if b.flat {
 				// DC-only block: constant value, no inverse transform.
-				v := float64(q[0]*qt[0]) / 8
+				v := float64(int(b.q[0])*qt[0]) / 8
 				for i := range blk {
 					blk[i] = v
 				}
 			} else {
 				for i := 0; i < 64; i++ {
-					blk[zigzag[i]] = float64(q[i] * qt[zigzag[i]])
+					blk[zigzag[i]] = float64(int(b.q[i]) * qt[zigzag[i]])
 				}
 				idctBlock(&blk)
 			}
@@ -435,23 +480,33 @@ func decodePlane(r *bytes.Reader, w, h int, qt [64]int) (*plane, error) {
 				}
 			}
 		}
-	}
+	})
 	return p, nil
 }
 
-// EncodeSIC compresses the raster at the given quality (0-95).
+// EncodeSIC compresses the raster at the given quality (0-95) using the
+// package-default worker count (SetWorkers, GOMAXPROCS if unset).
 func EncodeSIC(r *Raster, quality int) ([]byte, error) {
+	return EncodeSICWorkers(r, quality, 0)
+}
+
+// EncodeSICWorkers is EncodeSIC with an explicit worker count for the
+// data-parallel stages (color conversion, per-block DCT/quantize).
+// workers <= 0 selects the package default. The output is byte-identical
+// for every worker count.
+func EncodeSICWorkers(r *Raster, quality, workers int) ([]byte, error) {
 	if r == nil || r.W < 1 || r.H < 1 {
 		return nil, ErrEmptyRaster
 	}
 	if quality < MinQuality || quality > MaxQuality {
 		return nil, fmt.Errorf("imagecodec: quality %d out of [%d,%d]", quality, MinQuality, MaxQuality)
 	}
-	yp, cb, cr := toYCbCr(r)
+	workers = resolveWorkers(workers)
+	yp, cb, cr := toYCbCr(r, workers)
 	var tokens bytes.Buffer
-	encodePlane(&tokens, yp, quantTable(lumaQBase, quality))
-	encodePlane(&tokens, cb, quantTable(chromaQBase, quality))
-	encodePlane(&tokens, cr, quantTable(chromaQBase, quality))
+	encodePlane(&tokens, yp, quantTable(lumaQBase, quality), workers)
+	encodePlane(&tokens, cb, quantTable(chromaQBase, quality), workers)
+	encodePlane(&tokens, cr, quantTable(chromaQBase, quality), workers)
 
 	var out bytes.Buffer
 	out.WriteString(sicMagic)
@@ -473,8 +528,17 @@ func EncodeSIC(r *Raster, quality int) ([]byte, error) {
 	return out.Bytes(), nil
 }
 
-// DecodeSIC decompresses a SIC bitstream.
+// DecodeSIC decompresses a SIC bitstream using the package-default
+// worker count.
 func DecodeSIC(data []byte) (*Raster, error) {
+	return DecodeSICWorkers(data, 0)
+}
+
+// DecodeSICWorkers is DecodeSIC with an explicit worker count for the
+// data-parallel stages (dequantize/IDCT, color reassembly). workers <= 0
+// selects the package default. The reconstruction is identical for every
+// worker count.
+func DecodeSICWorkers(data []byte, workers int) (*Raster, error) {
 	if len(data) < 13 || string(data[0:4]) != sicMagic {
 		return nil, errors.New("imagecodec: not a SIC stream")
 	}
@@ -484,24 +548,25 @@ func DecodeSIC(data []byte) (*Raster, error) {
 	if w < 1 || h < 1 || w > 1<<15 || h > 1<<20 {
 		return nil, errors.New("imagecodec: implausible SIC dimensions")
 	}
+	workers = resolveWorkers(workers)
 	fr := flate.NewReader(bytes.NewReader(data[13:]))
 	tokens, err := io.ReadAll(fr)
 	if err != nil {
 		return nil, fmt.Errorf("imagecodec: flate: %w", err)
 	}
 	br := bytes.NewReader(tokens)
-	yp, err := decodePlane(br, w, h, quantTable(lumaQBase, quality))
+	yp, err := decodePlane(br, w, h, quantTable(lumaQBase, quality), workers)
 	if err != nil {
 		return nil, err
 	}
 	cw, ch := (w+1)/2, (h+1)/2
-	cb, err := decodePlane(br, cw, ch, quantTable(chromaQBase, quality))
+	cb, err := decodePlane(br, cw, ch, quantTable(chromaQBase, quality), workers)
 	if err != nil {
 		return nil, err
 	}
-	cr, err := decodePlane(br, cw, ch, quantTable(chromaQBase, quality))
+	cr, err := decodePlane(br, cw, ch, quantTable(chromaQBase, quality), workers)
 	if err != nil {
 		return nil, err
 	}
-	return fromYCbCr(yp, cb, cr), nil
+	return fromYCbCr(yp, cb, cr, workers), nil
 }

@@ -1,0 +1,52 @@
+package modem
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func benchBurst(b *testing.B, payloadBytes int) (*OFDM, []byte, []float64) {
+	b.Helper()
+	m, err := NewOFDM(Sonic92())
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(3))
+	payload := make([]byte, payloadBytes)
+	rng.Read(payload)
+	return m, payload, m.Modulate(payload)
+}
+
+func BenchmarkOFDMModulate(b *testing.B) {
+	m, payload, _ := benchBurst(b, 4096)
+	b.SetBytes(4096)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Modulate(payload)
+	}
+}
+
+func BenchmarkOFDMDemodulate(b *testing.B) {
+	m, _, audio := benchBurst(b, 4096)
+	b.SetBytes(4096)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := m.Demodulate(audio); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkOFDMDemodulateSoft(b *testing.B) {
+	m, _, audio := benchBurst(b, 4096)
+	b.SetBytes(4096)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := m.DemodulateSoft(audio); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

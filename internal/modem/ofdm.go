@@ -6,6 +6,7 @@ import (
 	"math"
 	"math/cmplx"
 	"math/rand"
+	"sync"
 
 	"sonic/internal/dsp"
 	"sonic/internal/fec"
@@ -93,8 +94,10 @@ func (p Profile) Validate() error {
 	return nil
 }
 
-// OFDM is a modulator/demodulator for one profile. It is safe for
-// sequential reuse but not for concurrent use.
+// OFDM is a modulator/demodulator for one profile. All per-burst mutable
+// state lives in pooled scratch buffers, so one OFDM may be shared by
+// concurrent goroutines (the configuration tables below are immutable
+// after NewOFDM).
 type OFDM struct {
 	p        Profile
 	bins     []int        // occupied FFT bins, ascending
@@ -103,7 +106,34 @@ type OFDM struct {
 	refSym   []complex128 // known reference values for every occupied bin
 	preamble []float64    // time-domain sync preamble
 	header   *Constellation
+
+	preambleEnergy float64            // sqrt(sum preamble^2), for sync normalization
+	corr           *dsp.FFTCorrelator // overlap-save preamble correlator
+	scratch        sync.Pool          // *ofdmScratch
 }
+
+// ofdmScratch holds the per-call working buffers of one modulate or
+// demodulate pass: the FFT workspace, one symbol's occupied-bin values,
+// the preamble-search correlation window, and the padded tail bit chunk.
+// Pooling them makes steady-state synthesize/analyze allocation-free.
+type ofdmScratch struct {
+	spec []complex128 // FFTSize FFT workspace
+	vals []complex128 // len(bins) occupied-bin values
+	cc   []float64    // preamble correlation outputs (one search window)
+	bits []byte       // padded final symbol chunk
+}
+
+func (m *OFDM) getScratch() *ofdmScratch {
+	if sc, ok := m.scratch.Get().(*ofdmScratch); ok {
+		return sc
+	}
+	return &ofdmScratch{
+		spec: make([]complex128, m.p.FFTSize),
+		vals: make([]complex128, len(m.bins)),
+	}
+}
+
+func (m *OFDM) putScratch(sc *ofdmScratch) { m.scratch.Put(sc) }
 
 // Burst layout constants.
 const (
@@ -167,6 +197,12 @@ func NewOFDM(p Profile) (*OFDM, error) {
 	if r := dsp.RMS(m.preamble); r > 0 {
 		dsp.Scale(m.preamble, sectionRMS/r)
 	}
+	var pe float64
+	for _, v := range m.preamble {
+		pe += v * v
+	}
+	m.preambleEnergy = math.Sqrt(pe)
+	m.corr = dsp.NewFFTCorrelator(m.preamble)
 	return m, nil
 }
 
@@ -192,11 +228,16 @@ func (m *OFDM) symbolGain() float64 {
 	return sectionRMS / raw
 }
 
-// synthesize converts one frequency-domain symbol (values for occupied
-// bins, in bin order) into time-domain samples with cyclic prefix.
-func (m *OFDM) synthesize(values []complex128) []float64 {
+// synthesizeAppend converts one frequency-domain symbol (values for
+// occupied bins, in bin order) into time-domain samples with cyclic
+// prefix, appended to out. spec is the caller's FFT workspace; when out
+// has capacity for the new section (Modulate preallocates via
+// BurstSamples) the call is allocation-free.
+func (m *OFDM) synthesizeAppend(out []float64, values, spec []complex128) []float64 {
 	n := m.p.FFTSize
-	spec := make([]complex128, n)
+	for i := range spec {
+		spec[i] = 0
+	}
 	for i, bin := range m.bins {
 		spec[bin] = values[i]
 		// Hermitian mirror for a real time-domain signal.
@@ -206,35 +247,41 @@ func (m *OFDM) synthesize(values []complex128) []float64 {
 		panic("modem: FFT size not power of two despite validation")
 	}
 	g := m.symbolGain()
-	out := make([]float64, m.p.CyclicPrefix+n)
-	for i := 0; i < n; i++ {
-		out[m.p.CyclicPrefix+i] = g * real(spec[i])
+	cp := m.p.CyclicPrefix
+	base := len(out)
+	if need := base + cp + n; need <= cap(out) {
+		out = out[:need] // every sample below is overwritten
+	} else {
+		out = append(out, make([]float64, cp+n)...)
 	}
-	copy(out, out[n:]) // cyclic prefix = tail of the symbol
+	sect := out[base:]
+	for i := 0; i < n; i++ {
+		sect[cp+i] = g * real(spec[i])
+	}
+	copy(sect, sect[n:]) // cyclic prefix = tail of the symbol
 	return out
 }
 
-// analyze extracts the occupied-bin values from one received symbol
-// (samples must start at the beginning of the cyclic prefix). The FFT
+// analyzeInto extracts the occupied-bin values from one received symbol
+// into dst (len(bins) entries), using spec as the FFT workspace. The
+// samples must start at the beginning of the cyclic prefix. The FFT
 // window is pulled back by a quarter of the cyclic prefix so small timing
 // errors from preamble correlation stay inside the CP; the resulting
 // per-bin phase slope is absorbed by the channel estimate, which shares
 // the same offset.
-func (m *OFDM) analyze(samples []float64) []complex128 {
+func (m *OFDM) analyzeInto(dst []complex128, samples []float64, spec []complex128) []complex128 {
 	n := m.p.FFTSize
 	backoff := m.p.CyclicPrefix / 4
-	spec := make([]complex128, n)
 	for i := 0; i < n; i++ {
 		spec[i] = complex(samples[m.p.CyclicPrefix-backoff+i], 0)
 	}
 	if err := dsp.FFT(spec); err != nil {
 		panic("modem: FFT size not power of two despite validation")
 	}
-	out := make([]complex128, len(m.bins))
 	for i, bin := range m.bins {
-		out[i] = spec[bin]
+		dst[i] = spec[bin]
 	}
-	return out
+	return dst[:len(m.bins)]
 }
 
 // headerPayload encodes the burst header fields.
@@ -271,13 +318,20 @@ func parseHeader(h []byte) (payloadLen, constBits int, err error) {
 
 // Modulate converts payload bytes into an audio burst:
 // [preamble][guard][reference symbol][header symbol][payload symbols].
+// The burst buffer is allocated once up front (BurstSamples sizes it
+// exactly), and symbol synthesis runs through pooled scratch, so the
+// call does a small constant number of allocations regardless of
+// payload size.
 func (m *OFDM) Modulate(payload []byte) []float64 {
-	var out []float64
+	sc := m.getScratch()
+	defer m.putScratch(sc)
+
+	out := make([]float64, 0, m.BurstSamples(len(payload)))
 	out = append(out, m.preamble...)
-	out = append(out, make([]float64, guardSamples)...)
+	out = out[:len(out)+guardSamples] // zeros: backing array is fresh
 
 	// Reference symbol: known values on every occupied bin.
-	out = append(out, m.synthesize(m.refSym)...)
+	out = m.synthesizeAppend(out, m.refSym, sc.spec)
 
 	// Header symbol: repetition-coded QPSK on data carriers.
 	hdrBits := fec.BytesToBits(headerPayload(len(payload), m.p.Constellation.Bits()))
@@ -285,32 +339,39 @@ func (m *OFDM) Modulate(payload []byte) []float64 {
 	for r := 0; r < headerRep; r++ {
 		repBits = append(repBits, hdrBits...)
 	}
-	out = append(out, m.modSymbols(repBits, m.header)...)
+	out = m.modSymbolsAppend(out, repBits, m.header, sc)
 
 	// Payload symbols.
-	out = append(out, m.modSymbols(fec.BytesToBits(payload), m.p.Constellation)...)
+	out = m.modSymbolsAppend(out, fec.BytesToBits(payload), m.p.Constellation, sc)
 
 	dsp.Normalize(out, m.p.Amplitude)
 	// Trailing guard so filters and channel tails flush cleanly.
-	out = append(out, make([]float64, guardSamples)...)
+	out = out[:len(out)+guardSamples]
 	return out
 }
 
-// modSymbols maps a bit stream onto as many OFDM symbols as needed, using
-// the given constellation on data carriers and pilots on pilot carriers.
-func (m *OFDM) modSymbols(bits []byte, c *Constellation) []float64 {
+// modSymbolsAppend maps a bit stream onto as many OFDM symbols as
+// needed, using the given constellation on data carriers and pilots on
+// pilot carriers, appending the synthesized samples to out.
+func (m *OFDM) modSymbolsAppend(out []float64, bits []byte, c *Constellation, sc *ofdmScratch) []float64 {
 	bps := m.p.DataCarriers * c.Bits()
-	var out []float64
 	for off := 0; off < len(bits); off += bps {
 		end := off + bps
 		var chunk []byte
 		if end <= len(bits) {
 			chunk = bits[off:end]
 		} else {
-			chunk = make([]byte, bps)
-			copy(chunk, bits[off:])
+			// Final partial symbol: zero-pad into scratch.
+			if cap(sc.bits) < bps {
+				sc.bits = make([]byte, bps)
+			}
+			chunk = sc.bits[:bps]
+			n := copy(chunk, bits[off:])
+			for i := n; i < bps; i++ {
+				chunk[i] = 0
+			}
 		}
-		values := make([]complex128, len(m.bins))
+		values := sc.vals
 		bi := 0
 		for i := range m.bins {
 			if m.isPilot[i] {
@@ -320,7 +381,7 @@ func (m *OFDM) modSymbols(bits []byte, c *Constellation) []float64 {
 			values[i] = c.Map(chunk[bi : bi+c.Bits()])
 			bi += c.Bits()
 		}
-		out = append(out, m.synthesize(values)...)
+		out = m.synthesizeAppend(out, values, sc.spec)
 	}
 	return out
 }
@@ -350,9 +411,9 @@ type burstHeader struct {
 }
 
 // decodePrologue synchronizes, estimates the channel, and reads the
-// repetition-coded header.
-func (m *OFDM) decodePrologue(samples []float64) (*burstHeader, error) {
-	start := m.findPreamble(samples)
+// repetition-coded header. sc provides the FFT and symbol workspaces.
+func (m *OFDM) decodePrologue(samples []float64, sc *ofdmScratch) (*burstHeader, error) {
+	start := m.findPreamble(samples, sc)
 	if start < 0 {
 		return nil, ErrNoPreamble
 	}
@@ -363,7 +424,7 @@ func (m *OFDM) decodePrologue(samples []float64) (*burstHeader, error) {
 	}
 
 	// Channel estimate from the reference symbol.
-	ref := m.analyze(samples[pos : pos+symLen])
+	ref := m.analyzeInto(sc.vals, samples[pos:pos+symLen], sc.spec)
 	h := make([]complex128, len(m.bins))
 	for i := range ref {
 		denom := m.refSym[i]
@@ -384,7 +445,7 @@ func (m *OFDM) decodePrologue(samples []float64) (*burstHeader, error) {
 		if pos+symLen > len(samples) {
 			return nil, ErrBadHeader
 		}
-		hdrVals, _ := m.eqSymbol(samples[pos:pos+symLen], h)
+		hdrVals, _ := m.eqSymbol(samples[pos:pos+symLen], h, sc)
 		hdrBits = m.demapInto(hdrBits, hdrVals, m.header)
 		pos += symLen
 	}
@@ -413,7 +474,9 @@ func (m *OFDM) decodePrologue(samples []float64) (*burstHeader, error) {
 // returns ErrNoPreamble when no sync is found and ErrBadHeader when sync
 // succeeded but the header cannot be trusted.
 func (m *OFDM) Demodulate(samples []float64) (*DemodResult, error) {
-	bh, err := m.decodePrologue(samples)
+	sc := m.getScratch()
+	defer m.putScratch(sc)
+	bh, err := m.decodePrologue(samples, sc)
 	if err != nil {
 		return nil, err
 	}
@@ -427,7 +490,7 @@ func (m *OFDM) Demodulate(samples []float64) (*DemodResult, error) {
 		if pos+bh.symLen > len(samples) {
 			return nil, fmt.Errorf("modem: burst truncated at symbol %d/%d", s, nSym)
 		}
-		vals, snr := m.eqSymbol(samples[pos:pos+bh.symLen], bh.h)
+		vals, snr := m.eqSymbol(samples[pos:pos+bh.symLen], bh.h, sc)
 		snrSum += snr
 		bits = m.demapInto(bits, vals, bh.c)
 		pos += bh.symLen
@@ -461,7 +524,9 @@ type SoftDemodResult struct {
 // DemodulateSoft is Demodulate with per-bit soft outputs (the header is
 // still decoded by hard majority vote — it is repetition-protected).
 func (m *OFDM) DemodulateSoft(samples []float64) (*SoftDemodResult, error) {
-	bh, err := m.decodePrologue(samples)
+	sc := m.getScratch()
+	defer m.putScratch(sc)
+	bh, err := m.decodePrologue(samples, sc)
 	if err != nil {
 		return nil, err
 	}
@@ -475,7 +540,7 @@ func (m *OFDM) DemodulateSoft(samples []float64) (*SoftDemodResult, error) {
 		if pos+bh.symLen > len(samples) {
 			return nil, fmt.Errorf("modem: burst truncated at symbol %d/%d", s, nSym)
 		}
-		vals, snr := m.eqSymbol(samples[pos:pos+bh.symLen], bh.h)
+		vals, snr := m.eqSymbol(samples[pos:pos+bh.symLen], bh.h, sc)
 		snrSum += snr
 		for i := range vals {
 			if m.isPilot[i] {
@@ -511,27 +576,59 @@ func (m *OFDM) DemodulateSoft(samples []float64) (*SoftDemodResult, error) {
 // early stop: once a window contains a confident peak (chirp correlation
 // sidelobes are low, so a >=0.25 normalized peak is genuine sync), later
 // audio — usually megabytes of payload symbols — is never scanned.
-func (m *OFDM) findPreamble(samples []float64) int {
+//
+// The correlation numerators come from the precomputed overlap-save FFT
+// correlator (O(N log N) instead of O(N * preamble)); the normalization
+// keeps the reference implementation's running window energy, threshold,
+// and first-maximum semantics, so the same peak is selected.
+func (m *OFDM) findPreamble(samples []float64, sc *ofdmScratch) int {
 	const (
 		window    = 1 << 16
 		threshold = 0.25
 	)
-	n := len(samples) - len(m.preamble) + 1
+	lp := len(m.preamble)
+	n := len(samples) - lp + 1
 	if n <= 0 {
 		return -1
 	}
 	for off := 0; off < n; off += window {
-		end := off + window + len(m.preamble) - 1
+		end := off + window + lp - 1
 		if end > len(samples) {
 			end = len(samples)
 		}
-		cc := dsp.NormalizedCrossCorrelate(samples[off:end], m.preamble)
+		hay := samples[off:end]
+		sc.cc = m.corr.Correlate(sc.cc[:0], hay)
+		cc := sc.cc
 		if cc == nil {
 			continue
 		}
-		idx := dsp.ArgMax(cc)
-		if idx >= 0 && cc[idx] >= threshold {
-			return off + idx
+		// Normalize by needle and running window energy, tracking the
+		// first maximum — exactly NormalizedCrossCorrelate + ArgMax.
+		var we float64
+		for j := 0; j < lp; j++ {
+			we += hay[j] * hay[j]
+		}
+		best := math.Inf(-1)
+		bestIdx := -1
+		for i := range cc {
+			v := 0.0
+			if denom := m.preambleEnergy * math.Sqrt(we); denom > 1e-12 {
+				v = cc[i] / denom
+			}
+			if v > best {
+				best, bestIdx = v, i
+			}
+			if i+1 < len(cc) {
+				old := hay[i]
+				next := hay[i+lp]
+				we += next*next - old*old
+				if we < 0 {
+					we = 0
+				}
+			}
+		}
+		if bestIdx >= 0 && best >= threshold {
+			return off + bestIdx
 		}
 	}
 	return -1
@@ -539,9 +636,10 @@ func (m *OFDM) findPreamble(samples []float64) int {
 
 // eqSymbol analyzes one symbol, equalizes with the channel estimate, and
 // applies common-phase correction from pilots. It returns the equalized
-// occupied-bin values and a pilot-based SNR estimate in dB.
-func (m *OFDM) eqSymbol(samples []float64, h []complex128) ([]complex128, float64) {
-	vals := m.analyze(samples)
+// occupied-bin values (aliasing sc.vals — valid until the next symbol)
+// and a pilot-based SNR estimate in dB.
+func (m *OFDM) eqSymbol(samples []float64, h []complex128, sc *ofdmScratch) ([]complex128, float64) {
+	vals := m.analyzeInto(sc.vals, samples, sc.spec)
 	for i := range vals {
 		if cmplx.Abs(h[i]) > 1e-9 {
 			vals[i] /= h[i]

@@ -84,6 +84,10 @@ type Config struct {
 	PageTTL time.Duration
 	// Epoch anchors simulation time to corpus hour 0.
 	Epoch time.Time
+	// Workers bounds the worker pool the SIC encoder uses when rendering
+	// pages. 0 means GOMAXPROCS; 1 forces the serial path. The encoded
+	// bitstream is identical for every value.
+	Workers int
 }
 
 // DefaultConfig returns the paper's settings.
@@ -236,7 +240,7 @@ func (s *Server) RenderPage(url string, now time.Time) (core.Bundle, error) {
 	rendered := webrender.Render(page)
 	img := rendered.Image.Crop(imagecodec.MaxPageHeight)
 	encSp := sp.StartChild("encode_sic")
-	enc, err := imagecodec.EncodeSIC(img, s.cfg.Quality)
+	enc, err := imagecodec.EncodeSICWorkers(img, s.cfg.Quality, s.cfg.Workers)
 	encSp.End()
 	if err != nil {
 		return core.Bundle{}, fmt.Errorf("server: encode %s: %w", url, err)

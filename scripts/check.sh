@@ -1,7 +1,7 @@
 #!/usr/bin/env bash
-# check.sh — the repo's full verification gate: build, vet, tests, and
-# the race detector over every package. CI runs exactly this script;
-# run it locally before pushing.
+# check.sh — the repo's full verification gate: build, vet, tests, the
+# race detector, and a one-iteration bench smoke over every package.
+# CI runs exactly this script; run it locally before pushing.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -24,5 +24,8 @@ go test ./...
 
 echo "==> go test -race ./..."
 go test -race ./...
+
+echo "==> bench smoke (one iteration per benchmark)"
+go test -run='^$' -bench=. -benchtime=1x ./...
 
 echo "all checks passed"
