@@ -37,6 +37,7 @@ func main() {
 		csvDir  = flag.String("csv", "", "directory for plotting-ready CSV exports")
 		seed    = flag.Int64("seed", 1, "experiment seed")
 		perf    = flag.String("perf", "", "write a hot-path perf report (spans + kernel timings) to this JSON file and exit")
+		workers = flag.Int("workers", 0, "worker count for -perf: sets GOMAXPROCS and the wN kernel variants (0 = current GOMAXPROCS)")
 		cpuProf = flag.String("cpuprofile", "", "write a CPU profile to this file")
 	)
 	flag.Parse()
@@ -56,7 +57,7 @@ func main() {
 	}
 
 	if *perf != "" {
-		if err := runPerf(*perf, *seed); err != nil {
+		if err := runPerf(*perf, *seed, *workers); err != nil {
 			pprof.StopCPUProfile()
 			fmt.Fprintf(os.Stderr, "perf: %v\n", err)
 			os.Exit(1)

@@ -10,6 +10,7 @@ import (
 
 	"sonic/internal/corpus"
 	"sonic/internal/fec"
+	"sonic/internal/fm"
 	"sonic/internal/imagecodec"
 	"sonic/internal/modem"
 	"sonic/internal/obsprobe"
@@ -35,6 +36,16 @@ type perfMicro struct {
 	NsPerOp float64 `json:"ns_per_op"`
 }
 
+// kernelWorkerCounts returns the worker counts the scaling variants run
+// at: always 1 (serial parity) and, when it differs, the effective
+// GOMAXPROCS n.
+func kernelWorkerCounts(n int) []int {
+	if n <= 1 {
+		return []int{1}
+	}
+	return []int{1, n}
+}
+
 // timeIt runs fn until both minIters iterations and ~300ms of wall clock
 // have accumulated, then reports the mean.
 func timeIt(minIters int, fn func()) perfMicro {
@@ -51,12 +62,19 @@ func timeIt(minIters int, fn func()) perfMicro {
 	return perfMicro{Iters: iters, NsPerOp: float64(total.Nanoseconds()) / float64(iters)}
 }
 
-// runPerf produces the perf report at path.
-func runPerf(path string, seed int64) error {
+// runPerf produces the perf report at path. workers > 0 pins GOMAXPROCS
+// (and so the wN kernel variants) to that count; 0 keeps the runtime
+// default. The recorded gomaxprocs field always reflects the effective
+// value the kernels ran under.
+func runPerf(path string, seed int64, workers int) error {
+	if workers > 0 {
+		runtime.GOMAXPROCS(workers)
+	}
+	nw := runtime.GOMAXPROCS(0)
 	rep := perfReport{
 		TakenAt:    time.Now(),
 		GoVersion:  runtime.Version(),
-		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		GOMAXPROCS: nw,
 		Micro:      map[string]perfMicro{},
 	}
 
@@ -91,7 +109,10 @@ func runPerf(path string, seed int64) error {
 		}
 	})
 
-	// SIC: a real rendered corpus page, the server's workload.
+	// SIC: a real rendered corpus page, the server's workload. The legacy
+	// sic_encode / sic_decode keys use the package-default worker count
+	// (what the server runs); the _w1 / _wN variants pin the count so the
+	// snapshot shows serial parity and scaling side by side.
 	page := corpus.Generate(corpus.Pages()[0], 0)
 	img := webrender.Render(page).Image.Crop(imagecodec.MaxPageHeight)
 	rep.Micro["sic_encode"] = timeIt(3, func() {
@@ -108,6 +129,35 @@ func runPerf(path string, seed int64) error {
 			panic(err)
 		}
 	})
+	for _, w := range kernelWorkerCounts(nw) {
+		rep.Micro[fmt.Sprintf("sic_encode_w%d", w)] = timeIt(3, func() {
+			if _, err := imagecodec.EncodeSICWorkers(img, 10, w); err != nil {
+				panic(err)
+			}
+		})
+		rep.Micro[fmt.Sprintf("sic_decode_w%d", w)] = timeIt(3, func() {
+			if _, err := imagecodec.DecodeSICWorkers(enc, w); err != nil {
+				panic(err)
+			}
+		})
+	}
+
+	// FM: one second of program audio through the full broadcast chain
+	// (composite build, modulate, RF noise, demodulate, split) at the
+	// probe's healthy RSSI, at 1 and N workers.
+	fmAudio := make([]float64, 48000)
+	for i := range fmAudio {
+		fmAudio[i] = 0.5 * rng.NormFloat64()
+	}
+	for _, w := range kernelWorkerCounts(nw) {
+		link := &fm.FMLink{
+			Model: fm.DefaultRSSIModel(), RSSIOverride: -70,
+			Rng: rng, Workers: w,
+		}
+		rep.Micro[fmt.Sprintf("fm_broadcast_w%d", w)] = timeIt(3, func() {
+			link.Transmit(fmAudio, 48000)
+		})
+	}
 
 	// OFDM: a 4 KiB payload burst.
 	m, err := modem.NewOFDM(modem.Sonic92())

@@ -322,13 +322,18 @@ func (p *Pipeline) EncodeImageCells(pageID uint16, img *imagecodec.Raster) ([]*f
 	if err != nil {
 		return nil, err
 	}
+	// All payloads marshal into one exactly-sized buffer (frame.Marshal
+	// copies the payload, so the sharing never escapes the frame layer).
+	buf := make([]byte, 0, imagecodec.CellsSize(cells))
 	frames := make([]*frame.Frame, len(cells))
-	for i, c := range cells {
+	for i := range cells {
+		start := len(buf)
+		buf = cells[i].AppendMarshal(buf)
 		frames[i] = &frame.Frame{
 			PageID:  pageID,
 			Seq:     uint32(i),
 			Total:   uint32(len(cells)),
-			Payload: c.Marshal(),
+			Payload: buf[start:len(buf):len(buf)],
 		}
 	}
 	return frames, nil

@@ -347,31 +347,53 @@ func ArgMax(x []float64) int {
 // It is adequate for the band-limited audio signals SONIC moves between
 // the 48 kHz modem rate and FM composite rates.
 func Resample(x []float64, srcRate, dstRate float64) []float64 {
-	if len(x) == 0 || srcRate <= 0 || dstRate <= 0 {
-		return nil
+	return ResampleInto(nil, x, srcRate, dstRate)
+}
+
+// ResampleLen returns the output length Resample produces for an input
+// of n samples, or 0 for invalid arguments.
+func ResampleLen(n int, srcRate, dstRate float64) int {
+	if n == 0 || srcRate <= 0 || dstRate <= 0 {
+		return 0
 	}
 	if srcRate == dstRate {
-		out := make([]float64, len(x))
-		copy(out, x)
-		return out
+		return n
+	}
+	out := int(float64(n) / (srcRate / dstRate))
+	if out < 1 {
+		out = 1
+	}
+	return out
+}
+
+// ResampleInto is Resample writing into dst (reallocated when its
+// capacity is too small); the possibly reallocated slice is returned.
+// dst must not alias x.
+func ResampleInto(dst, x []float64, srcRate, dstRate float64) []float64 {
+	n := ResampleLen(len(x), srcRate, dstRate)
+	if n == 0 {
+		return nil
+	}
+	if cap(dst) < n {
+		dst = make([]float64, n)
+	}
+	dst = dst[:n]
+	if srcRate == dstRate {
+		copy(dst, x)
+		return dst
 	}
 	ratio := srcRate / dstRate
-	n := int(float64(len(x)) / ratio)
-	if n < 1 {
-		n = 1
-	}
-	out := make([]float64, n)
-	for i := range out {
+	for i := range dst {
 		pos := float64(i) * ratio
 		i0 := int(pos)
 		if i0 >= len(x)-1 {
-			out[i] = x[len(x)-1]
+			dst[i] = x[len(x)-1]
 			continue
 		}
 		frac := pos - float64(i0)
-		out[i] = x[i0]*(1-frac) + x[i0+1]*frac
+		dst[i] = x[i0]*(1-frac) + x[i0+1]*frac
 	}
-	return out
+	return dst
 }
 
 // Goertzel computes the magnitude of the DFT bin closest to targetHz for

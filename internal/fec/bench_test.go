@@ -70,3 +70,26 @@ func BenchmarkViterbiSoftV29(b *testing.B) {
 		}
 	}
 }
+
+// BenchmarkRS8Decode measures the table-driven outer decoder over a
+// multi-codeword stream carrying a correctable scatter of symbol errors.
+func BenchmarkRS8Decode(b *testing.B) {
+	r := NewRS8()
+	rng := rand.New(rand.NewSource(43))
+	msg := make([]byte, 4*r.DataLen())
+	rng.Read(msg)
+	enc := r.Encode(msg)
+	for cw := 0; cw < 4; cw++ {
+		base := cw * (r.DataLen() + r.ParityLen())
+		for e := 0; e < 4; e++ {
+			enc[base+rng.Intn(r.DataLen())] ^= byte(1 + rng.Intn(255))
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := r.Decode(enc); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

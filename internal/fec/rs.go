@@ -3,6 +3,7 @@ package fec
 import (
 	"errors"
 	"fmt"
+	"sync"
 )
 
 // RS is a Reed-Solomon codec over GF(2^8) with N=255 total symbols and
@@ -11,11 +12,43 @@ import (
 // by zero-padding on encode and stripping on decode.
 //
 // The paper's "rs8" outer code corresponds to NewRS8().
+//
+// The hot loops are table-driven: NewRS precomputes, per instance, the
+// encoder feedback rows (fb -> fb·gen[1:]) and the per-root Horner
+// multiplier tables used for syndrome computation, so the per-byte work
+// is one table lookup + xor instead of log/exp arithmetic with zero
+// branches. Decoding scratch (syndromes, Berlekamp-Massey state, Chien/
+// Forney buffers, the codeword copy) comes from a per-instance pool, so
+// steady-state Decode performs a single output allocation. All of the
+// GF(2^8) arithmetic is exact, so outputs are byte-identical to the
+// straightforward implementation.
 type RS struct {
 	k      int    // data symbols per codeword
 	nroots int    // parity symbols per codeword
 	gen    []byte // generator polynomial, highest degree first
 	fcr    int    // first consecutive root exponent
+
+	// genTab[fb*nroots+i] = gfMul(fb, gen[i+1]): the parity feedback row
+	// for message byte feedback fb.
+	genTab []byte
+	// syndTab[i*256+v] = gfMul(v, alpha^(fcr+i)): the Horner multiplier
+	// table for syndrome/root i.
+	syndTab []byte
+
+	pool sync.Pool // *rsWork
+}
+
+// rsWork is the pooled per-decode scratch. Arrays are sized for the full
+// N=255 code so one workspace serves every (possibly shortened) block.
+type rsWork struct {
+	block  [rsN]byte // codeword copy used by Decode
+	synd   [rsN]byte
+	bufA   [rsN]byte // Berlekamp-Massey sigma/prev/scratch rotation
+	bufB   [rsN]byte
+	bufC   [rsN]byte
+	omega  [rsN]byte
+	exps   [rsN]int16 // Chien term exponents; -1 marks a zero coefficient
+	errPos [rsN]int
 }
 
 // Standard rs8 geometry: RS(255,223), 16 parity roots.
@@ -41,6 +74,22 @@ func NewRS(k int) (*RS, error) {
 		g = polyMul(g, []byte{1, gfPow(r.fcr + i)})
 	}
 	r.gen = g
+
+	r.genTab = make([]byte, 256*r.nroots)
+	for fb := 1; fb < 256; fb++ {
+		row := r.genTab[fb*r.nroots:]
+		for i := 0; i < r.nroots; i++ {
+			row[i] = gfMul(byte(fb), g[i+1])
+		}
+	}
+	r.syndTab = make([]byte, r.nroots*256)
+	for i := 0; i < r.nroots; i++ {
+		root := gfPow(r.fcr + i)
+		row := r.syndTab[i*256:]
+		for v := 1; v < 256; v++ {
+			row[v] = gfMul(byte(v), root)
+		}
+	}
 	return r, nil
 }
 
@@ -53,6 +102,15 @@ func NewRS8() *RS {
 	return r
 }
 
+func (r *RS) getWork() *rsWork {
+	if ws, ok := r.pool.Get().(*rsWork); ok {
+		return ws
+	}
+	return new(rsWork)
+}
+
+func (r *RS) putWork(ws *rsWork) { r.pool.Put(ws) }
+
 // DataLen returns the number of data symbols per codeword.
 func (r *RS) DataLen() int { return r.k }
 
@@ -62,6 +120,27 @@ func (r *RS) ParityLen() int { return r.nroots }
 // MaxErrors returns the number of symbol errors correctable per codeword.
 func (r *RS) MaxErrors() int { return r.nroots / 2 }
 
+// appendParity appends the nroots parity symbols for data to out.
+func (r *RS) appendParity(out []byte, data []byte) []byte {
+	// Systematic encoding: parity = (msg * x^nroots) mod gen, computed over
+	// the virtual full-length (zero-prefixed) message. Leading zeros do not
+	// change the remainder, so shortened messages need no explicit padding.
+	var parityArr [rsN]byte
+	parity := parityArr[:r.nroots]
+	for _, d := range data {
+		fb := d ^ parity[0]
+		copy(parity, parity[1:])
+		parity[r.nroots-1] = 0
+		if fb != 0 {
+			row := r.genTab[int(fb)*r.nroots:]
+			for i, g := range row[:r.nroots] {
+				parity[i] ^= g
+			}
+		}
+	}
+	return append(out, parity...)
+}
+
 // EncodeBlock appends the parity symbols for one codeword of data
 // (len(data) <= k; shorter input is treated as a shortened code) and
 // returns data||parity as a new slice.
@@ -69,25 +148,9 @@ func (r *RS) EncodeBlock(data []byte) ([]byte, error) {
 	if len(data) > r.k {
 		return nil, fmt.Errorf("fec: block of %d exceeds RS k=%d", len(data), r.k)
 	}
-	// Systematic encoding: parity = (msg * x^nroots) mod gen, computed over
-	// the virtual full-length (zero-prefixed) message. Leading zeros do not
-	// change the remainder, so shortened messages need no explicit padding.
-	parity := make([]byte, r.nroots)
-	for _, d := range data {
-		fb := d ^ parity[0]
-		copy(parity, parity[1:])
-		parity[r.nroots-1] = 0
-		if fb != 0 {
-			for i := 0; i < r.nroots; i++ {
-				// gen[0] is always 1, so feedback taps start at gen[1].
-				parity[i] ^= gfMul(fb, r.gen[i+1])
-			}
-		}
-	}
 	out := make([]byte, 0, len(data)+r.nroots)
 	out = append(out, data...)
-	out = append(out, parity...)
-	return out, nil
+	return r.appendParity(out, data), nil
 }
 
 // DecodeBlock corrects a codeword in place (data||parity as produced by
@@ -95,35 +158,56 @@ func (r *RS) EncodeBlock(data []byte) ([]byte, error) {
 // along with the number of symbol errors fixed. It returns
 // ErrTooManyErrors when the codeword cannot be corrected.
 func (r *RS) DecodeBlock(block []byte) (data []byte, corrected int, err error) {
+	ws := r.getWork()
+	data, corrected, err = r.decodeBlock(block, ws)
+	r.putWork(ws)
+	return data, corrected, err
+}
+
+// syndromes fills ws.synd from block and reports whether any syndrome is
+// non-zero. Each syndrome is a Horner evaluation at its root; the
+// multiply-by-root step is one precomputed table lookup.
+func (r *RS) syndromes(block []byte, ws *rsWork) bool {
+	synd := ws.synd[:r.nroots]
+	for i := range synd {
+		synd[i] = 0
+	}
+	for _, c := range block {
+		for i, s := range synd {
+			synd[i] = r.syndTab[i<<8|int(s)] ^ c
+		}
+	}
+	var nz byte
+	for _, s := range synd {
+		nz |= s
+	}
+	return nz != 0
+}
+
+func (r *RS) decodeBlock(block []byte, ws *rsWork) (data []byte, corrected int, err error) {
 	if len(block) < r.nroots+1 || len(block) > rsN {
 		return nil, 0, fmt.Errorf("fec: RS block length %d out of range", len(block))
 	}
 	pad := rsN - len(block) // virtual leading zeros of the shortened code
 
-	// Syndromes.
-	synd := make([]byte, r.nroots)
-	allZero := true
-	for i := 0; i < r.nroots; i++ {
-		s := polyEval(block, gfPow(r.fcr+i))
-		synd[i] = s
-		if s != 0 {
-			allZero = false
-		}
-	}
-	if allZero {
+	if !r.syndromes(block, ws) {
 		return block[:len(block)-r.nroots], 0, nil
 	}
+	synd := ws.synd[:r.nroots]
 
 	// Berlekamp-Massey: find the error locator polynomial sigma
-	// (lowest degree first here for convenience).
-	sigma := []byte{1}
-	prev := []byte{1}
+	// (lowest degree first here for convenience). sigma/prev/scratch
+	// rotate through the three pooled buffers; lengths are tracked
+	// explicitly.
+	sigma, prev, spare := ws.bufA[:], ws.bufB[:], ws.bufC[:]
+	sigma[0], prev[0] = 1, 1
+	ls, lp := 1, 1 // poly lengths (number of coefficients)
 	var l, m int = 0, 1
 	b := byte(1)
 	for n := 0; n < r.nroots; n++ {
 		var d byte = synd[n]
 		for i := 1; i <= l; i++ {
-			if i < len(sigma) {
+			if i < ls {
 				d ^= gfMul(sigma[i], synd[n-i])
 			}
 		}
@@ -131,18 +215,28 @@ func (r *RS) DecodeBlock(block []byte) (data []byte, corrected int, err error) {
 			m++
 			continue
 		}
+		coef := gfDiv(d, b)
+		// spare = sigma + coef * prev * x^m
+		lo := ls
+		if lp+m > lo {
+			lo = lp + m
+		}
+		copy(spare[:ls], sigma[:ls])
+		for i := ls; i < lo; i++ {
+			spare[i] = 0
+		}
+		for i := 0; i < lp; i++ {
+			spare[i+m] ^= gfMul(prev[i], coef)
+		}
 		if 2*l <= n {
-			tmp := make([]byte, len(sigma))
-			copy(tmp, sigma)
-			coef := gfDiv(d, b)
-			sigma = polyAddShift(sigma, prev, coef, m)
-			prev = tmp
+			sigma, prev, spare = spare, sigma, prev
+			ls, lp = lo, ls
 			l = n + 1 - l
 			b = d
 			m = 1
 		} else {
-			coef := gfDiv(d, b)
-			sigma = polyAddShift(sigma, prev, coef, m)
+			sigma, spare = spare, sigma
+			ls = lo
 			m++
 		}
 	}
@@ -150,15 +244,36 @@ func (r *RS) DecodeBlock(block []byte) (data []byte, corrected int, err error) {
 		return nil, 0, ErrTooManyErrors
 	}
 
-	// Chien search over valid positions of the (possibly shortened) code.
-	// Position p (0-based from the start of the full-length codeword)
-	// corresponds to root alpha^{-(254-p)}... we use the standard form:
-	// error at codeword index i (from the end, i.e. x^i term) iff
-	// sigma(alpha^{-i}) == 0.
-	var errPos []int // indexes into block
+	// Chien search over valid positions of the (possibly shortened) code:
+	// error at block[i] iff sigma(alpha^{-(rsN-1-pad-i)}) == 0. The root
+	// exponent advances by one per position, so each non-zero term
+	// sigma[k]·x^k advances by k in the exponent domain; the search keeps
+	// one log-domain accumulator per coefficient and never multiplies.
+	exps := ws.exps[:ls]
+	e0 := (pad + 1) % 255 // exponent of x at block[0]: -(rsN-1-pad) mod 255
+	for k := 0; k < ls; k++ {
+		if sigma[k] == 0 {
+			exps[k] = -1
+			continue
+		}
+		exps[k] = int16((int(gfLog[sigma[k]]) + k*e0) % 255)
+	}
+	errPos := ws.errPos[:0] // indexes into block
 	for i := 0; i < rsN-pad; i++ {
-		xinv := gfPow(-(rsN - 1 - pad - i)) // exponent of x for block[i]
-		if polyEvalLow(sigma, xinv) == 0 {
+		var acc byte
+		for k := 0; k < ls; k++ {
+			e := exps[k]
+			if e < 0 {
+				continue
+			}
+			acc ^= gfExp[e]
+			e += int16(k)
+			if e >= 255 {
+				e -= 255
+			}
+			exps[k] = e
+		}
+		if acc == 0 {
 			errPos = append(errPos, i)
 		}
 	}
@@ -167,10 +282,10 @@ func (r *RS) DecodeBlock(block []byte) (data []byte, corrected int, err error) {
 	}
 
 	// Forney algorithm: error evaluator omega = (synd * sigma) mod x^nroots.
-	omega := make([]byte, r.nroots)
+	omega := ws.omega[:r.nroots]
 	for i := 0; i < r.nroots; i++ {
 		var acc byte
-		for j := 0; j <= i && j < len(sigma); j++ {
+		for j := 0; j <= i && j < ls; j++ {
 			acc ^= gfMul(sigma[j], synd[i-j])
 		}
 		omega[i] = acc
@@ -188,7 +303,7 @@ func (r *RS) DecodeBlock(block []byte) (data []byte, corrected int, err error) {
 		}
 		// sigma'(xinv): sum over odd i of sigma[i]*x^(i-1)
 		var den byte
-		for i := 1; i < len(sigma); i += 2 {
+		for i := 1; i < ls; i += 2 {
 			p := byte(1)
 			for j := 0; j < i-1; j++ {
 				p = gfMul(p, xinv)
@@ -207,35 +322,10 @@ func (r *RS) DecodeBlock(block []byte) (data []byte, corrected int, err error) {
 	}
 
 	// Verify by recomputing syndromes.
-	for i := 0; i < r.nroots; i++ {
-		if polyEval(block, gfPow(r.fcr+i)) != 0 {
-			return nil, 0, ErrTooManyErrors
-		}
+	if r.syndromes(block, ws) {
+		return nil, 0, ErrTooManyErrors
 	}
 	return block[:len(block)-r.nroots], len(errPos), nil
-}
-
-// polyAddShift returns a + coef * b * x^shift for low-order-first polys.
-func polyAddShift(a, b []byte, coef byte, shift int) []byte {
-	n := len(a)
-	if len(b)+shift > n {
-		n = len(b) + shift
-	}
-	out := make([]byte, n)
-	copy(out, a)
-	for i, bv := range b {
-		out[i+shift] ^= gfMul(bv, coef)
-	}
-	return out
-}
-
-// polyEvalLow evaluates a low-order-first polynomial at x.
-func polyEvalLow(p []byte, x byte) byte {
-	var y byte
-	for i := len(p) - 1; i >= 0; i-- {
-		y = gfMul(y, x) ^ p[i]
-	}
-	return y
 }
 
 // Encode splits msg into codewords of up to DataLen() bytes each, RS
@@ -243,14 +333,17 @@ func polyEvalLow(p []byte, x byte) byte {
 // is [cw0 data||parity][cw1 data||parity]... with only the last codeword
 // possibly shortened.
 func (r *RS) Encode(msg []byte) []byte {
-	var out []byte
+	if len(msg) == 0 {
+		return nil
+	}
+	out := make([]byte, 0, r.EncodedLen(len(msg)))
 	for len(msg) > 0 {
 		n := r.k
 		if len(msg) < n {
 			n = len(msg)
 		}
-		cw, _ := r.EncodeBlock(msg[:n]) // n <= k, cannot fail
-		out = append(out, cw...)
+		out = append(out, msg[:n]...)
+		out = r.appendParity(out, msg[:n])
 		msg = msg[n:]
 	}
 	return out
@@ -262,6 +355,11 @@ func (r *RS) Encode(msg []byte) []byte {
 func (r *RS) Decode(stream []byte) ([]byte, int, error) {
 	full := r.k + r.nroots
 	var out []byte
+	if len(stream) > 0 {
+		out = make([]byte, 0, r.DecodedLen(len(stream)))
+	}
+	ws := r.getWork()
+	defer r.putWork(ws)
 	total := 0
 	for len(stream) > 0 {
 		n := full
@@ -271,9 +369,9 @@ func (r *RS) Decode(stream []byte) ([]byte, int, error) {
 		if n <= r.nroots {
 			return nil, total, fmt.Errorf("fec: trailing RS fragment of %d bytes", n)
 		}
-		block := make([]byte, n)
+		block := ws.block[:n]
 		copy(block, stream[:n])
-		data, c, err := r.DecodeBlock(block)
+		data, c, err := r.decodeBlock(block, ws)
 		if err != nil {
 			return nil, total, err
 		}
@@ -282,6 +380,17 @@ func (r *RS) Decode(stream []byte) ([]byte, int, error) {
 		stream = stream[n:]
 	}
 	return out, total, nil
+}
+
+// DecodedLen returns the data size recovered from an encoded stream of
+// encLen bytes (assuming a stream layout produced by Encode).
+func (r *RS) DecodedLen(encLen int) int {
+	full := r.k + r.nroots
+	n := (encLen / full) * r.k
+	if rem := encLen % full; rem > r.nroots {
+		n += rem - r.nroots
+	}
+	return n
 }
 
 // EncodedLen returns the encoded size of a message of msgLen bytes.

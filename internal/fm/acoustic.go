@@ -3,9 +3,10 @@ package fm
 import (
 	"math"
 	"math/rand"
-
-	"sonic/internal/dsp"
 )
+
+// speakerFilterTaps is the small-speaker rolloff FIR length.
+const speakerFilterTaps = 63
 
 // AcousticModel describes the over-the-air hop between an FM radio's
 // speaker and a phone's microphone — the distance axis of the paper's
@@ -101,10 +102,9 @@ func (a AcousticModel) Transmit(audio []float64, rate int, d float64, rng *rand.
 	if d <= 0 {
 		return out
 	}
-	// Speaker rolloff.
+	// Speaker rolloff (cached design + FFT convolution, in place).
 	if a.SpeakerCutoffHz > 0 && a.SpeakerCutoffHz < float64(rate)/2 {
-		f := dsp.NewFIRFilter(dsp.LowpassFIR(a.SpeakerCutoffHz, float64(rate), 63))
-		out = f.ProcessBlock(out)
+		out = lowpassConvolver(a.SpeakerCutoffHz, float64(rate), speakerFilterTaps).Apply(out, out)
 	}
 	// Single echo.
 	if a.EchoGain > 0 {
@@ -169,8 +169,7 @@ func (a AcousticModel) TransmitAtSNR(audio []float64, rate int, snrDB float64, r
 		return out
 	}
 	if a.SpeakerCutoffHz > 0 && a.SpeakerCutoffHz < float64(rate)/2 {
-		f := dsp.NewFIRFilter(dsp.LowpassFIR(a.SpeakerCutoffHz, float64(rate), 63))
-		out = f.ProcessBlock(out)
+		out = lowpassConvolver(a.SpeakerCutoffHz, float64(rate), speakerFilterTaps).Apply(out, out)
 	}
 	addNoise(out, snrDB, rng)
 	return out

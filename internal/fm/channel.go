@@ -39,11 +39,15 @@ type FMLink struct {
 	DistanceM    float64
 	RSSIOverride float64
 	Rng          *rand.Rand
+	// Workers bounds the data-parallel stages of the chain; 0 uses the
+	// package default (SetWorkers / GOMAXPROCS).
+	Workers int
 	// Telemetry, when non-nil, records per-transmit metrics: the
 	// fm_cnr_db / fm_rssi_dbm gauges, fm_transmits_total, composite
 	// clipping events (fm_clipped_samples_total — samples that exceed
 	// full deviation and would distort a real exciter), and an
-	// fm.transmit span.
+	// fm.transmit span with per-stage children (build_composite,
+	// modulate, add_noise, demodulate, split_composite).
 	Telemetry *telemetry.Registry
 }
 
@@ -70,25 +74,13 @@ func (l *FMLink) Transmit(audio []float64, rate int) []float64 {
 	sp := reg.StartSpan("fm.transmit")
 	defer sp.End()
 
-	// The same chain as Broadcast, opened up so the composite is
-	// observable for clipping accounting.
-	comp := BuildComposite(audio, rate, nil)
-	if reg != nil {
-		clipped := int64(0)
-		for _, v := range comp {
-			if v > 1 || v < -1 {
-				clipped++
-			}
-		}
-		reg.Counter("fm_clipped_samples_total").Add(clipped)
-	}
-	mod := (&Modulator{}).Modulate(comp)
-	if !math.IsInf(cnr, 1) {
-		mod = AddRFNoise(mod, cnr, rng)
-	}
-	rx := (&Demodulator{}).Demodulate(mod)
-	out, _ := SplitComposite(rx, rate)
-	return out
+	// The same chain as Broadcast, with clipping accounted inside the
+	// composite mix and per-stage child spans under fm.transmit.
+	return broadcastChain(audio, rate, cnr, rng, chainOpts{
+		workers: resolveWorkers(l.Workers),
+		reg:     reg,
+		span:    sp,
+	})
 }
 
 // AcousticLink is the speaker-to-microphone hop.

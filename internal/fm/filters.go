@@ -1,0 +1,144 @@
+package fm
+
+import (
+	"math"
+	"sync"
+
+	"sonic/internal/dsp"
+)
+
+// FIR design is pure function of (band edges, rate, tap count), yet the
+// pre-PR4 chain re-ran the windowed-sinc design — and paid the O(N·taps)
+// direct convolution — on every BuildComposite/SplitComposite call. Both
+// the designed taps and the FFT convolvers planned from them are
+// immutable, so they live in process-wide caches keyed by the design
+// parameters. Convolvers are safe for concurrent use (their scratch is
+// pooled internally), so one cached instance serves every goroutine.
+
+// filterKey identifies one FIR design. kind is 'l' (lowpass, hi unused)
+// or 'b' (bandpass).
+type filterKey struct {
+	kind   byte
+	lo, hi float64
+	rate   float64
+	taps   int
+}
+
+var (
+	tapsCache sync.Map // filterKey -> []float64
+	convCache sync.Map // filterKey -> *dsp.FFTConvolver
+)
+
+// cachedTaps returns the (shared, read-only) designed taps for key.
+func cachedTaps(key filterKey) []float64 {
+	if t, ok := tapsCache.Load(key); ok {
+		return t.([]float64)
+	}
+	var taps []float64
+	if key.kind == 'l' {
+		taps = dsp.LowpassFIR(key.lo, key.rate, key.taps)
+	} else {
+		taps = dsp.BandpassFIR(key.lo, key.hi, key.rate, key.taps)
+	}
+	t, _ := tapsCache.LoadOrStore(key, taps)
+	return t.([]float64)
+}
+
+// cachedConvolver returns the shared overlap-save convolver for key.
+func cachedConvolver(key filterKey) *dsp.FFTConvolver {
+	if c, ok := convCache.Load(key); ok {
+		return c.(*dsp.FFTConvolver)
+	}
+	conv := dsp.NewFFTConvolver(cachedTaps(key))
+	c, _ := convCache.LoadOrStore(key, conv)
+	return c.(*dsp.FFTConvolver)
+}
+
+// lowpassConvolver returns a cached convolver for a lowpass design.
+func lowpassConvolver(cutoff, rate float64, taps int) *dsp.FFTConvolver {
+	return cachedConvolver(filterKey{kind: 'l', lo: cutoff, rate: rate, taps: taps})
+}
+
+// bandpassConvolver returns a cached convolver for a bandpass design.
+func bandpassConvolver(lo, hi, rate float64, taps int) *dsp.FFTConvolver {
+	return cachedConvolver(filterKey{kind: 'b', lo: lo, hi: hi, rate: rate, taps: taps})
+}
+
+// monoConvolver is the 127-tap mono-channel lowpass at CompositeRate used
+// by both directions of the composite chain.
+func monoConvolver() *dsp.FFTConvolver {
+	return lowpassConvolver(MonoBandHigh, CompositeRate, monoFilterTaps)
+}
+
+// rdsConvolver is the 255-tap RDS-band bandpass at CompositeRate.
+func rdsConvolver() *dsp.FFTConvolver {
+	return bandpassConvolver(RDSCarrierHz-3000, RDSCarrierHz+3000, CompositeRate, rdsFilterTaps)
+}
+
+const (
+	monoFilterTaps = 127
+	rdsFilterTaps  = 255
+)
+
+// The 19 kHz pilot is exactly periodic in the 192 kHz composite clock:
+// gcd(19000, 192000) = 1000, so the waveform repeats every 192 samples.
+// A one-period table replaces a math.Sin call per composite sample —
+// and unlike a recurrence oscillator it cannot drift over long buffers.
+var (
+	pilotOnce sync.Once
+	pilotTab  []float64
+)
+
+// pilotTable returns the scaled one-period pilot waveform,
+// 0.09·sin(2π·PilotHz·i/CompositeRate) for i in [0, period).
+func pilotTable() []float64 {
+	pilotOnce.Do(func() {
+		g := gcd(PilotHz, CompositeRate)
+		period := CompositeRate / g
+		pilotTab = make([]float64, period)
+		for i := range pilotTab {
+			pilotTab[i] = 0.09 * math.Sin(2*math.Pi*PilotHz*float64(i)/CompositeRate)
+		}
+	})
+	return pilotTab
+}
+
+func gcd(a, b int) int {
+	for b != 0 {
+		a, b = b, a%b
+	}
+	return a
+}
+
+// Pooled sample buffers shared by the chain stages. Pools hold pointers
+// to slices (the usual sync.Pool idiom avoiding header allocations);
+// buffers grow monotonically to the largest request seen.
+
+var (
+	f64Pool  = sync.Pool{New: func() any { return new([]float64) }}
+	c128Pool = sync.Pool{New: func() any { return new([]complex128) }}
+)
+
+// getF64 returns a pooled float64 buffer of length n.
+func getF64(n int) *[]float64 {
+	p := f64Pool.Get().(*[]float64)
+	if cap(*p) < n {
+		*p = make([]float64, n)
+	}
+	*p = (*p)[:n]
+	return p
+}
+
+func putF64(p *[]float64) { f64Pool.Put(p) }
+
+// getC128 returns a pooled complex128 buffer of length n.
+func getC128(n int) *[]complex128 {
+	p := c128Pool.Get().(*[]complex128)
+	if cap(*p) < n {
+		*p = make([]complex128, n)
+	}
+	*p = (*p)[:n]
+	return p
+}
+
+func putC128(p *[]complex128) { c128Pool.Put(p) }

@@ -10,11 +10,18 @@
 // a faithful software RF chain so that frame-loss behaviour emerges from
 // channel physics (noise, FM threshold, band limits) rather than from a
 // hard-coded loss table.
+//
+// The chain is implemented as a block-streaming pipeline: band-limiting
+// runs through cached overlap-save FFT convolvers (dsp.FFTConvolver)
+// instead of per-sample direct FIR convolution, the oscillators use
+// math.Sincos and a one-period pilot table instead of cmplx.Rect /
+// math.Sin per sample, and the stages between resampling in and
+// resampling out operate in place on pooled buffers, so Broadcast
+// performs O(1) slice allocations per call regardless of signal length.
 package fm
 
 import (
 	"math"
-	"math/cmplx"
 	"math/rand"
 
 	"sonic/internal/dsp"
@@ -51,11 +58,19 @@ type Modulator struct {
 
 // Modulate frequency-modulates the composite signal.
 func (m *Modulator) Modulate(composite []float64) []complex128 {
+	out := make([]complex128, len(composite))
+	m.ModulateInto(out, composite)
+	return out
+}
+
+// ModulateInto frequency-modulates composite into dst, which must have
+// the same length. The phase accumulation is a serial recurrence, so this
+// stage always runs on one goroutine.
+func (m *Modulator) ModulateInto(dst []complex128, composite []float64) {
 	dev := m.Deviation
 	if dev == 0 {
 		dev = MaxDeviation
 	}
-	out := make([]complex128, len(composite))
 	var phase float64
 	k := 2 * math.Pi * dev / CompositeRate
 	for i, x := range composite {
@@ -65,9 +80,9 @@ func (m *Modulator) Modulate(composite []float64) []complex128 {
 		} else if phase < -math.Pi {
 			phase += 2 * math.Pi
 		}
-		out[i] = cmplx.Rect(1, phase)
+		s, c := math.Sincos(phase)
+		dst[i] = complex(c, s)
 	}
-	return out
 }
 
 // Demodulator recovers the composite baseband from a complex FM envelope
@@ -79,33 +94,88 @@ type Demodulator struct {
 // Demodulate returns the recovered composite signal. The first sample has
 // no phase predecessor and is emitted as zero.
 func (d *Demodulator) Demodulate(envelope []complex128) []float64 {
+	out := make([]float64, len(envelope))
+	d.DemodulateInto(out, envelope, 1)
+	return out
+}
+
+// DemodulateInto demodulates envelope into dst (same length), splitting
+// the work across up to workers goroutines. Each sample depends only on
+// its immediate predecessor, so block boundaries just re-read one
+// neighbouring sample and the output is identical for every worker count.
+func (d *Demodulator) DemodulateInto(dst []float64, envelope []complex128, workers int) {
 	dev := d.Deviation
 	if dev == 0 {
 		dev = MaxDeviation
 	}
-	out := make([]float64, len(envelope))
 	k := CompositeRate / (2 * math.Pi * dev)
-	var prev complex128 = 1
-	for i, s := range envelope {
-		if i > 0 {
-			out[i] = cmplx.Phase(s*cmplx.Conj(prev)) * k
+	parallelFor(workers, len(envelope), func(lo, hi int) {
+		var prev complex128 = 1
+		if lo > 0 {
+			prev = envelope[lo-1]
 		}
-		prev = s
-	}
-	return out
+		for i := lo; i < hi; i++ {
+			s := envelope[i]
+			if i > 0 {
+				z := s * complex(real(prev), -imag(prev))
+				dst[i] = math.Atan2(imag(z), real(z)) * k
+			} else {
+				dst[i] = 0
+			}
+			prev = s
+		}
+	})
 }
 
-// AddRFNoise adds complex AWGN to an FM envelope at the given
-// carrier-to-noise ratio (dB), measured against the unit-power carrier.
-// This is where the FM threshold effect comes from: below roughly 10 dB
-// CNR the discriminator output collapses into click noise.
+// AddRFNoise adds complex AWGN, in place, to an FM envelope at the given
+// carrier-to-noise ratio (dB), measured against the unit-power carrier,
+// and returns the envelope. This is where the FM threshold effect comes
+// from: below roughly 10 dB CNR the discriminator output collapses into
+// click noise. The rng draw order (real, imag, per sample in order) is
+// part of the contract: a caller seeding the rng identically gets an
+// identical channel realization.
 func AddRFNoise(envelope []complex128, cnrDB float64, rng *rand.Rand) []complex128 {
 	sigma := math.Sqrt(math.Pow(10, -cnrDB/10) / 2)
-	out := make([]complex128, len(envelope))
 	for i, s := range envelope {
-		out[i] = s + complex(sigma*rng.NormFloat64(), sigma*rng.NormFloat64())
+		envelope[i] = s + complex(sigma*rng.NormFloat64(), sigma*rng.NormFloat64())
 	}
-	return out
+	return envelope
+}
+
+// addRFNoiseWorkers is AddRFNoise with optional data parallelism. With
+// workers <= 1 it preserves the exact serial rng draw order. With more
+// workers each block draws from its own rng seeded from the parent (one
+// Int63 per block, drawn in block order), so the realization differs from
+// the serial one but remains deterministic for a given seed and worker
+// count, with the same noise statistics.
+func addRFNoiseWorkers(envelope []complex128, cnrDB float64, rng *rand.Rand, workers int) {
+	if workers <= 1 || len(envelope) < 2*parallelBlockMin {
+		AddRFNoise(envelope, cnrDB, rng)
+		return
+	}
+	sigma := math.Sqrt(math.Pow(10, -cnrDB/10) / 2)
+	n := len(envelope)
+	chunk := (n + workers - 1) / workers
+	type blk struct {
+		lo, hi int
+		seed   int64
+	}
+	blocks := make([]blk, 0, workers)
+	for lo := 0; lo < n; lo += chunk {
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		blocks = append(blocks, blk{lo, hi, rng.Int63()})
+	}
+	parallelFor(len(blocks), len(blocks), func(blo, bhi int) {
+		for _, b := range blocks[blo:bhi] {
+			r := rand.New(rand.NewSource(b.seed))
+			for i := b.lo; i < b.hi; i++ {
+				envelope[i] += complex(sigma*r.NormFloat64(), sigma*r.NormFloat64())
+			}
+		}
+	})
 }
 
 // monoDeviationFraction is the share of peak deviation given to the mono
@@ -118,14 +188,7 @@ const monoDeviationFraction = 0.85
 // program audio at the same rate. It is the paper's "FM transmitter +
 // radio receiver" pair with everything between antenna and speaker.
 func Broadcast(audio []float64, audioRate int, cnrDB float64, rng *rand.Rand) []float64 {
-	comp := BuildComposite(audio, audioRate, nil)
-	mod := (&Modulator{}).Modulate(comp)
-	if !math.IsInf(cnrDB, 1) {
-		mod = AddRFNoise(mod, cnrDB, rng)
-	}
-	rx := (&Demodulator{}).Demodulate(mod)
-	out, _ := SplitComposite(rx, audioRate)
-	return out
+	return broadcastChain(audio, audioRate, cnrDB, rng, chainOpts{workers: resolveWorkers(0)})
 }
 
 // BuildComposite assembles the FM composite baseband at CompositeRate from
@@ -133,18 +196,20 @@ func Broadcast(audio []float64, audioRate int, cnrDB float64, rng *rand.Rand) []
 // is non-nil, the RDS subcarrier samples (at CompositeRate, already
 // modulated around 57 kHz, unit scale).
 func BuildComposite(audio []float64, audioRate int, rds []float64) []float64 {
-	up := dsp.Resample(audio, float64(audioRate), CompositeRate)
+	comp := dsp.Resample(audio, float64(audioRate), CompositeRate)
 	// Band-limit program audio to the mono channel.
-	lp := dsp.NewFIRFilter(dsp.LowpassFIR(MonoBandHigh, CompositeRate, 127))
-	up = lp.ProcessBlock(up)
-	comp := make([]float64, len(up))
-	for i, v := range up {
-		comp[i] = monoDeviationFraction * v
-		// Stereo pilot at 9% deviation.
-		comp[i] += 0.09 * math.Sin(2*math.Pi*PilotHz*float64(i)/CompositeRate)
-		if rds != nil && i < len(rds) {
-			comp[i] += 0.05 * rds[i]
+	comp = monoConvolver().Apply(comp, comp)
+	pilot := pilotTable()
+	j := 0
+	for i, v := range comp {
+		c := monoDeviationFraction*v + pilot[j]
+		if j++; j == len(pilot) {
+			j = 0
 		}
+		if rds != nil && i < len(rds) {
+			c += 0.05 * rds[i]
+		}
+		comp[i] = c
 	}
 	return comp
 }
@@ -153,15 +218,15 @@ func BuildComposite(audio []float64, audioRate int, rds []float64) []float64 {
 // and the raw 57 kHz RDS band (still at CompositeRate) from a received
 // composite signal.
 func SplitComposite(composite []float64, audioRate int) (audio []float64, rdsBand []float64) {
-	lp := dsp.NewFIRFilter(dsp.LowpassFIR(MonoBandHigh, CompositeRate, 127))
-	mono := lp.ProcessBlock(composite)
+	monoBuf := getF64(len(composite))
+	mono := monoConvolver().Apply(*monoBuf, composite)
 	for i := range mono {
 		mono[i] /= monoDeviationFraction
 	}
-	audio = dsp.Resample(mono, CompositeRate, float64(audioRate))
+	audio = dsp.ResampleInto(nil, mono, CompositeRate, float64(audioRate))
+	putF64(monoBuf)
 
-	bp := dsp.NewFIRFilter(dsp.BandpassFIR(RDSCarrierHz-3000, RDSCarrierHz+3000, CompositeRate, 255))
-	rdsBand = bp.ProcessBlock(composite)
+	rdsBand = rdsConvolver().Apply(nil, composite)
 	for i := range rdsBand {
 		rdsBand[i] /= 0.05
 	}

@@ -1,0 +1,363 @@
+package fm
+
+import (
+	"math"
+	"math/cmplx"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"sonic/internal/dsp"
+	"sonic/internal/telemetry"
+)
+
+// Equivalence tests pinning the streaming FM chain to the
+// pre-optimization implementations, kept below as verbatim reference
+// copies (renamed ref*). The oscillator and noise stages are
+// deterministic given the rng and must match bit for bit; the filtered
+// stages run through FFT convolution and a periodic pilot table, so they
+// are pinned within floating-point tolerance, plus an SNR-parity
+// property test for the full noisy chain where sample-exact comparison
+// is not meaningful (an FM discriminator near a phase wrap amplifies
+// ulp-level input differences into 2π jumps).
+
+// --- verbatim pre-optimization reference implementations ---
+
+func refModulate(m *Modulator, composite []float64) []complex128 {
+	dev := m.Deviation
+	if dev == 0 {
+		dev = MaxDeviation
+	}
+	out := make([]complex128, len(composite))
+	var phase float64
+	k := 2 * math.Pi * dev / CompositeRate
+	for i, x := range composite {
+		phase += k * x
+		if phase > math.Pi {
+			phase -= 2 * math.Pi
+		} else if phase < -math.Pi {
+			phase += 2 * math.Pi
+		}
+		out[i] = cmplx.Rect(1, phase)
+	}
+	return out
+}
+
+func refDemodulate(d *Demodulator, envelope []complex128) []float64 {
+	dev := d.Deviation
+	if dev == 0 {
+		dev = MaxDeviation
+	}
+	out := make([]float64, len(envelope))
+	k := CompositeRate / (2 * math.Pi * dev)
+	var prev complex128 = 1
+	for i, s := range envelope {
+		if i > 0 {
+			out[i] = cmplx.Phase(s*cmplx.Conj(prev)) * k
+		}
+		prev = s
+	}
+	return out
+}
+
+func refAddRFNoise(envelope []complex128, cnrDB float64, rng *rand.Rand) []complex128 {
+	sigma := math.Sqrt(math.Pow(10, -cnrDB/10) / 2)
+	out := make([]complex128, len(envelope))
+	for i, s := range envelope {
+		out[i] = s + complex(sigma*rng.NormFloat64(), sigma*rng.NormFloat64())
+	}
+	return out
+}
+
+func refBuildComposite(audio []float64, audioRate int, rds []float64) []float64 {
+	up := dsp.Resample(audio, float64(audioRate), CompositeRate)
+	lp := dsp.NewFIRFilter(dsp.LowpassFIR(MonoBandHigh, CompositeRate, 127))
+	up = lp.ProcessBlock(up)
+	comp := make([]float64, len(up))
+	for i, v := range up {
+		comp[i] = monoDeviationFraction * v
+		comp[i] += 0.09 * math.Sin(2*math.Pi*PilotHz*float64(i)/CompositeRate)
+		if rds != nil && i < len(rds) {
+			comp[i] += 0.05 * rds[i]
+		}
+	}
+	return comp
+}
+
+func refSplitComposite(composite []float64, audioRate int) (audio []float64, rdsBand []float64) {
+	lp := dsp.NewFIRFilter(dsp.LowpassFIR(MonoBandHigh, CompositeRate, 127))
+	mono := lp.ProcessBlock(composite)
+	for i := range mono {
+		mono[i] /= monoDeviationFraction
+	}
+	audio = dsp.Resample(mono, CompositeRate, float64(audioRate))
+
+	bp := dsp.NewFIRFilter(dsp.BandpassFIR(RDSCarrierHz-3000, RDSCarrierHz+3000, CompositeRate, 255))
+	rdsBand = bp.ProcessBlock(composite)
+	for i := range rdsBand {
+		rdsBand[i] /= 0.05
+	}
+	return audio, rdsBand
+}
+
+func refBroadcast(audio []float64, audioRate int, cnrDB float64, rng *rand.Rand) []float64 {
+	comp := refBuildComposite(audio, audioRate, nil)
+	mod := refModulate(&Modulator{}, comp)
+	if !math.IsInf(cnrDB, 1) {
+		mod = refAddRFNoise(mod, cnrDB, rng)
+	}
+	rx := refDemodulate(&Demodulator{}, mod)
+	out, _ := refSplitComposite(rx, audioRate)
+	return out
+}
+
+// --- helpers ---
+
+func toneAudio(n int, rng *rand.Rand) []float64 {
+	audio := make([]float64, n)
+	for i := range audio {
+		audio[i] = 0.4*math.Sin(2*math.Pi*2000*float64(i)/48000) + 0.1*rng.NormFloat64()
+	}
+	return audio
+}
+
+func maxAbsDiffF(t *testing.T, a, b []float64) float64 {
+	t.Helper()
+	if len(a) != len(b) {
+		t.Fatalf("length mismatch: %d vs %d", len(a), len(b))
+	}
+	var m float64
+	for i := range a {
+		if d := math.Abs(a[i] - b[i]); d > m {
+			m = d
+		}
+	}
+	return m
+}
+
+// snrDB measures got against a clean reference signal.
+func snrDB(clean, got []float64) float64 {
+	var sig, noise float64
+	for i := range clean {
+		sig += clean[i] * clean[i]
+		d := got[i] - clean[i]
+		noise += d * d
+	}
+	if noise == 0 {
+		return math.Inf(1)
+	}
+	return 10 * math.Log10(sig/noise)
+}
+
+// --- oscillator stages: bit-identical ---
+
+func TestModulateMatchesReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	for _, dev := range []float64{0, 50000} {
+		comp := make([]float64, 30000)
+		for i := range comp {
+			comp[i] = 1.2 * math.Sin(float64(i)/11)
+		}
+		for i := range comp {
+			comp[i] += 0.05 * rng.NormFloat64()
+		}
+		m := &Modulator{Deviation: dev}
+		want := refModulate(m, comp)
+		got := m.Modulate(comp)
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("dev=%v: sample %d differs: %v vs %v", dev, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestDemodulateMatchesReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	comp := toneAudio(20000, rng)
+	env := (&Modulator{}).Modulate(comp)
+	AddRFNoise(env, 12, rng) // include click-noise territory
+	d := &Demodulator{}
+	want := refDemodulate(d, env)
+	got := d.Demodulate(env)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("sample %d differs: %v vs %v", i, got[i], want[i])
+		}
+	}
+	// Worker count must not change a single bit: each block re-reads its
+	// predecessor sample.
+	for _, w := range []int{2, 3, 8} {
+		dst := make([]float64, len(env))
+		d.DemodulateInto(dst, env, w)
+		for i := range want {
+			if dst[i] != want[i] {
+				t.Fatalf("workers=%d: sample %d differs", w, i)
+			}
+		}
+	}
+}
+
+func TestAddRFNoiseMatchesReference(t *testing.T) {
+	env := make([]complex128, 10000)
+	for i := range env {
+		s, c := math.Sincos(float64(i) / 7)
+		env[i] = complex(c, s)
+	}
+	want := refAddRFNoise(env, 15, rand.New(rand.NewSource(7)))
+	got := make([]complex128, len(env))
+	copy(got, env)
+	ret := AddRFNoise(got, 15, rand.New(rand.NewSource(7)))
+	if &ret[0] != &got[0] {
+		t.Fatal("AddRFNoise no longer operates in place")
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("sample %d differs: rng draw order changed", i)
+		}
+	}
+}
+
+// --- filtered stages: tolerance-pinned ---
+
+func TestBuildCompositeMatchesReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	audio := toneAudio(24000, rng) // 0.5 s at 48 kHz
+	rds := make([]float64, 50000)
+	for i := range rds {
+		rds[i] = math.Sin(2 * math.Pi * RDSCarrierHz * float64(i) / CompositeRate)
+	}
+	for _, rdsIn := range [][]float64{nil, rds} {
+		want := refBuildComposite(audio, 48000, rdsIn)
+		got := BuildComposite(audio, 48000, rdsIn)
+		if d := maxAbsDiffF(t, got, want); d > 1e-9 {
+			t.Errorf("rds=%v: max diff %g", rdsIn != nil, d)
+		}
+	}
+}
+
+func TestSplitCompositeMatchesReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	comp := BuildComposite(toneAudio(24000, rng), 48000, nil)
+	wantAudio, wantRDS := refSplitComposite(comp, 48000)
+	gotAudio, gotRDS := SplitComposite(comp, 48000)
+	if d := maxAbsDiffF(t, gotAudio, wantAudio); d > 1e-9 {
+		t.Errorf("audio max diff %g", d)
+	}
+	if d := maxAbsDiffF(t, gotRDS, wantRDS); d > 1e-9 {
+		t.Errorf("rds band max diff %g", d)
+	}
+}
+
+// --- full chain ---
+
+// At a CNR far above the FM threshold no discriminator sample sits near
+// a phase wrap, so the chain output tracks the reference within the
+// filters' rounding tolerance.
+func TestBroadcastMatchesReferenceCleanChannel(t *testing.T) {
+	rng := rand.New(rand.NewSource(14))
+	audio := toneAudio(24000, rng)
+	want := refBroadcast(audio, 48000, 40, rand.New(rand.NewSource(5)))
+	SetWorkers(1)
+	defer SetWorkers(0)
+	got := Broadcast(audio, 48000, 40, rand.New(rand.NewSource(5)))
+	if d := maxAbsDiffF(t, got, want); d > 1e-6 {
+		t.Errorf("max diff %g at 40 dB CNR", d)
+	}
+	// Noiseless: +Inf CNR skips the noise stage entirely.
+	wantClean := refBroadcast(audio, 48000, math.Inf(1), nil)
+	gotClean := Broadcast(audio, 48000, math.Inf(1), nil)
+	if d := maxAbsDiffF(t, gotClean, wantClean); d > 1e-6 {
+		t.Errorf("max diff %g on noiseless chain", d)
+	}
+}
+
+// Near the FM threshold individual samples diverge (phase wraps), but
+// the channel quality must be statistically indistinguishable from the
+// reference chain, for every worker count.
+func TestBroadcastSNRParity(t *testing.T) {
+	rng := rand.New(rand.NewSource(15))
+	audio := toneAudio(24000, rng)
+	clean := refBroadcast(audio, 48000, math.Inf(1), nil)
+	refSNR := snrDB(clean, refBroadcast(audio, 48000, 15, rand.New(rand.NewSource(9))))
+	for _, w := range []int{1, 2, 4} {
+		SetWorkers(w)
+		got := Broadcast(audio, 48000, 15, rand.New(rand.NewSource(9)))
+		gotSNR := snrDB(clean, got)
+		if math.Abs(gotSNR-refSNR) > 1.0 {
+			t.Errorf("workers=%d: SNR %0.2f dB vs reference %0.2f dB", w, gotSNR, refSNR)
+		}
+	}
+	SetWorkers(0)
+}
+
+// --- regression guards ---
+
+func TestBroadcastAllocs(t *testing.T) {
+	SetWorkers(1)
+	defer SetWorkers(0)
+	rng := rand.New(rand.NewSource(16))
+	audio := toneAudio(4800, rng)
+	Broadcast(audio, 48000, 30, rng) // warm pools
+	allocs := testing.AllocsPerRun(10, func() {
+		Broadcast(audio, 48000, 30, rng)
+	})
+	// Steady state: the returned audio slice plus a handful of fixed-size
+	// headers — independent of signal length. The old chain allocated a
+	// fresh slice per stage (≥10 signal-sized buffers per call). The
+	// bound leaves slack for -race runs, where sync.Pool sheds items;
+	// the tripwire is per-stage signal-sized buffers (dozens per call).
+	if allocs > 16 {
+		t.Errorf("Broadcast allocates %v objects per call, want <= 16", allocs)
+	}
+}
+
+func TestFMLinkTransmitChildSpans(t *testing.T) {
+	reg := telemetry.New()
+	link := &FMLink{Model: DefaultRSSIModel(), DistanceM: 100, Telemetry: reg}
+	rng := rand.New(rand.NewSource(17))
+	link.Transmit(toneAudio(4800, rng), 48000)
+	snap := reg.Snapshot()
+	for _, name := range []string{
+		"fm.transmit",
+		"fm.transmit/build_composite",
+		"fm.transmit/modulate",
+		"fm.transmit/add_noise",
+		"fm.transmit/demodulate",
+		"fm.transmit/split_composite",
+	} {
+		if _, ok := snap.Spans[name]; !ok {
+			t.Errorf("span %q missing from snapshot", name)
+		}
+	}
+}
+
+func TestBroadcastConcurrent(t *testing.T) {
+	SetWorkers(2)
+	defer SetWorkers(0)
+	rng := rand.New(rand.NewSource(18))
+	audio := toneAudio(9600, rng)
+	want := Broadcast(audio, 48000, math.Inf(1), nil)
+	var wg sync.WaitGroup
+	errs := make(chan int, 8)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for it := 0; it < 3; it++ {
+				got := Broadcast(audio, 48000, math.Inf(1), nil)
+				for i := range got {
+					if got[i] != want[i] {
+						errs <- i
+						return
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	if i, bad := <-errs; bad {
+		t.Fatalf("concurrent Broadcast diverged at sample %d", i)
+	}
+}

@@ -1,0 +1,107 @@
+package fm
+
+import (
+	"math"
+	"math/rand"
+	"sync/atomic"
+
+	"sonic/internal/dsp"
+	"sonic/internal/telemetry"
+)
+
+// chainOpts carries the cross-cutting knobs of one chain run. The zero
+// value is valid: serial, untraced.
+type chainOpts struct {
+	workers int
+	// reg, when non-nil, receives the composite clipping counter.
+	reg *telemetry.Registry
+	// span, when non-nil, is the parent ("fm.transmit") for the per-stage
+	// child spans (build_composite, modulate, add_noise, demodulate,
+	// split_composite). All span calls are nil-safe.
+	span *telemetry.Span
+}
+
+// broadcastChain is the fused modulator→channel→receiver pipeline behind
+// Broadcast and FMLink.Transmit. It differs from calling the exported
+// stages in sequence only in allocation behaviour, not math:
+//
+//   - the composite, envelope and received-composite signals live in two
+//     pooled buffers (one real, one complex) reused across calls;
+//   - every stage between the resample-in and resample-out operates in
+//     place, so a call performs O(1) slice allocations regardless of
+//     signal length;
+//   - the receiver skips the 57 kHz RDS bandpass entirely: this path
+//     returns only the program audio, and the 255-tap bandpass was the
+//     single most expensive filter of the old chain, run only to be
+//     discarded.
+func broadcastChain(audio []float64, audioRate int, cnrDB float64, rng *rand.Rand, o chainOpts) []float64 {
+	n := dsp.ResampleLen(len(audio), float64(audioRate), CompositeRate)
+	if n == 0 {
+		return nil
+	}
+	compBuf := getF64(n)
+	comp := *compBuf
+
+	// build_composite: upsample, band-limit, mix in the pilot.
+	sp := o.span.StartChild("build_composite")
+	comp = dsp.ResampleInto(comp, audio, float64(audioRate), CompositeRate)
+	comp = monoConvolver().Apply(comp, comp)
+	pilot := pilotTable()
+	var clipped int64
+	parallelFor(o.workers, len(comp), func(lo, hi int) {
+		j := lo % len(pilot)
+		local := int64(0)
+		for i := lo; i < hi; i++ {
+			v := monoDeviationFraction*comp[i] + pilot[j]
+			if j++; j == len(pilot) {
+				j = 0
+			}
+			if v > 1 || v < -1 {
+				local++
+			}
+			comp[i] = v
+		}
+		if local != 0 {
+			atomic.AddInt64(&clipped, local)
+		}
+	})
+	if o.reg != nil {
+		o.reg.Counter("fm_clipped_samples_total").Add(clipped)
+	}
+	sp.End()
+
+	// modulate: serial phase-accumulating oscillator.
+	sp = o.span.StartChild("modulate")
+	envBuf := getC128(n)
+	env := *envBuf
+	(&Modulator{}).ModulateInto(env, comp)
+	sp.End()
+
+	// add_noise: the RF hop.
+	if !math.IsInf(cnrDB, 1) {
+		sp = o.span.StartChild("add_noise")
+		addRFNoiseWorkers(env, cnrDB, rng, o.workers)
+		sp.End()
+	}
+
+	// demodulate: quadrature discriminator, reusing the composite buffer.
+	sp = o.span.StartChild("demodulate")
+	(&Demodulator{}).DemodulateInto(comp, env, o.workers)
+	putC128(envBuf)
+	sp.End()
+
+	// split_composite: mono lowpass, de-emphasis of the deviation share,
+	// downsample. The RDS band is discarded by this path, so its bandpass
+	// is never run.
+	sp = o.span.StartChild("split_composite")
+	comp = monoConvolver().Apply(comp, comp)
+	parallelFor(o.workers, len(comp), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			comp[i] /= monoDeviationFraction
+		}
+	})
+	out := dsp.ResampleInto(nil, comp, CompositeRate, float64(audioRate))
+	putF64(compBuf)
+	sp.End()
+	return out
+}

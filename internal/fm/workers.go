@@ -1,0 +1,80 @@
+package fm
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// The FM chain's per-sample stages (noise injection, discriminator
+// demodulation, composite mixing) are data-parallel across contiguous
+// sample blocks; modulation is a serial phase recurrence and stays on one
+// goroutine. The Workers knob below mirrors imagecodec's: explicit
+// per-link counts win, then the package default, then GOMAXPROCS, and
+// workers <= 1 runs inline with zero goroutine overhead so the
+// single-core path is as fast as a hand-written serial loop.
+
+// defaultWorkers is the pool size used when a caller passes workers <= 0.
+// 0 means GOMAXPROCS.
+var defaultWorkers atomic.Int32
+
+// SetWorkers sets the package-wide default worker count used by Broadcast
+// and FMLink.Transmit (when FMLink.Workers is zero). n <= 0 restores the
+// default (GOMAXPROCS).
+func SetWorkers(n int) {
+	if n < 0 {
+		n = 0
+	}
+	defaultWorkers.Store(int32(n))
+}
+
+// Workers reports the resolved package-wide default worker count.
+func Workers() int { return resolveWorkers(0) }
+
+// resolveWorkers maps a per-call worker request to a concrete pool size:
+// explicit n > 0 wins, then the package default, then GOMAXPROCS.
+func resolveWorkers(n int) int {
+	if n <= 0 {
+		n = int(defaultWorkers.Load())
+	}
+	if n <= 0 {
+		n = runtime.GOMAXPROCS(0)
+	}
+	return n
+}
+
+// parallelBlockMin is the smallest per-worker block worth a goroutine;
+// below it the fixed spawn/join cost dwarfs the loop body.
+const parallelBlockMin = 4096
+
+// parallelFor runs fn over contiguous chunks covering [0, n), using at
+// most workers goroutines. workers <= 1 (or a workload too small to
+// amortize goroutine startup) runs inline. Chunks are index-addressed, so
+// stages that write dst[i] from src[i] are deterministic regardless of
+// scheduling.
+func parallelFor(workers, n int, fn func(lo, hi int)) {
+	if n <= 0 {
+		return
+	}
+	if max := n / parallelBlockMin; workers > max {
+		workers = max
+	}
+	if workers <= 1 {
+		fn(0, n)
+		return
+	}
+	chunk := (n + workers - 1) / workers
+	var wg sync.WaitGroup
+	for lo := 0; lo < n; lo += chunk {
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			fn(lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+}

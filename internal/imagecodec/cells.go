@@ -31,12 +31,18 @@ const (
 
 // Marshal serializes the cell.
 func (c *Cell) Marshal() []byte {
-	out := make([]byte, CellHeaderSize+len(c.Data))
-	binary.BigEndian.PutUint16(out[0:2], c.Col)
-	binary.BigEndian.PutUint16(out[2:4], c.Y0)
-	binary.BigEndian.PutUint16(out[4:6], c.N)
-	copy(out[CellHeaderSize:], c.Data)
-	return out
+	return c.AppendMarshal(make([]byte, 0, CellHeaderSize+len(c.Data)))
+}
+
+// AppendMarshal appends the serialized cell to dst and returns the
+// extended slice, letting callers marshal many cells into one buffer.
+func (c *Cell) AppendMarshal(dst []byte) []byte {
+	var hdr [CellHeaderSize]byte
+	binary.BigEndian.PutUint16(hdr[0:2], c.Col)
+	binary.BigEndian.PutUint16(hdr[2:4], c.Y0)
+	binary.BigEndian.PutUint16(hdr[4:6], c.N)
+	dst = append(dst, hdr[:]...)
+	return append(dst, c.Data...)
 }
 
 // UnmarshalCell parses a marshaled cell.
@@ -87,16 +93,18 @@ func EncodeColumnsTolWorkers(r *Raster, maxCellBytes, tol, workers int) ([]Cell,
 	}
 	workers = resolveWorkers(workers)
 	if workers <= 1 {
+		var enc columnEncoder
 		var cells []Cell
 		for x := 0; x < r.W; x++ {
-			cells = appendColumnCells(cells, r, x, maxData, tol)
+			cells = enc.appendColumnCells(cells, r, x, maxData, tol)
 		}
 		return cells, nil
 	}
 	perCol := make([][]Cell, r.W)
 	parallelFor(workers, r.W, func(lo, hi int) {
+		var enc columnEncoder
 		for x := lo; x < hi; x++ {
-			perCol[x] = appendColumnCells(nil, r, x, maxData, tol)
+			perCol[x] = enc.appendColumnCells(nil, r, x, maxData, tol)
 		}
 	})
 	total := 0
@@ -121,12 +129,36 @@ func near(a, b RGB, tol int) bool {
 	return d(a.R, b.R) <= tol && d(a.G, b.G) <= tol && d(a.B, b.B) <= tol
 }
 
+// columnEncoder holds the scratch one worker reuses across columns: an
+// arena that backs every emitted cell's Data (one chunk allocation per
+// ~64 KiB of output instead of one slice per cell) and the literal
+// staging buffer (previously allocated per literal stretch).
+type columnEncoder struct {
+	arena []byte
+	lit   [255 * 3]byte
+}
+
+// cellData reserves a capacity-capped window at the arena's tail for one
+// cell's token stream. The three-index slice keeps later cells from
+// growing into it.
+func (e *columnEncoder) cellData(maxData int) []byte {
+	if cap(e.arena)-len(e.arena) < maxData {
+		chunk := 64 * 1024
+		if chunk < maxData {
+			chunk = maxData
+		}
+		e.arena = make([]byte, 0, chunk)
+	}
+	n := len(e.arena)
+	return e.arena[n : n : n+maxData]
+}
+
 // appendColumnCells encodes column x into one or more cells.
-func appendColumnCells(cells []Cell, r *Raster, x, maxData, tol int) []Cell {
+func (e *columnEncoder) appendColumnCells(cells []Cell, r *Raster, x, maxData, tol int) []Cell {
 	y := 0
 	for y < r.H {
 		cell := Cell{Col: uint16(x), Y0: uint16(y)}
-		data := make([]byte, 0, maxData)
+		data := e.cellData(maxData)
 		count := 0
 		for y < r.H {
 			// Measure the run starting at y.
@@ -146,7 +178,7 @@ func appendColumnCells(cells []Cell, r *Raster, x, maxData, tol int) []Cell {
 			}
 			// Literal stretch: gather pixels until a long run starts or
 			// the cell fills.
-			lit := make([]byte, 0, 3*16)
+			lit := e.lit[:0]
 			ly := y
 			for ly < r.H && len(lit) < 255*3 {
 				cc := r.At(x, ly)
@@ -178,6 +210,9 @@ func appendColumnCells(cells []Cell, r *Raster, x, maxData, tol int) []Cell {
 		}
 		cell.N = uint16(count)
 		cell.Data = data
+		// Commit the cell's window; the append checks above keep len(data)
+		// within maxData, so data never escaped the arena.
+		e.arena = e.arena[:len(e.arena)+len(data)]
 		if count > 0 {
 			cells = append(cells, cell)
 		} else {

@@ -8,6 +8,7 @@ import (
 	"fmt"
 	"io"
 	"math"
+	"sync"
 )
 
 // SIC (Sonic Image Codec) is the WebP substitute: a lossy block-transform
@@ -63,17 +64,19 @@ var zigzag = [64]int{
 
 // quantTable scales a base table by the JPEG quality mapping.
 func quantTable(base [64]int, quality int) [64]int {
-	if quality < 1 {
-		quality = 1
+	if quality < MinQuality {
+		quality = MinQuality
 	}
 	if quality > MaxQuality {
 		quality = MaxQuality
 	}
+	// Map SIC quality (0..95) onto the JPEG 1..100 scale region.
+	q := quality + 5
 	var scale int
-	if quality < 50 {
-		scale = 5000 / quality
+	if q < 50 {
+		scale = 5000 / q
 	} else {
-		scale = 200 - 2*quality
+		scale = 200 - 2*q
 	}
 	var out [64]int
 	for i, b := range base {
@@ -89,14 +92,75 @@ func quantTable(base [64]int, quality int) [64]int {
 	return out
 }
 
-// dctCos is the 8-point DCT-II basis.
 var dctCos [8][8]float64
+
+// Orthonormal DCT scale factors, hoisted out of the transform inner
+// loops (the old code recomputed the square roots per coefficient).
+var (
+	dctScale0 = math.Sqrt(1.0 / 8)
+	dctScaleK = math.Sqrt(2.0 / 8)
+)
+
+// AAN (Arai-Agui-Nakajima) butterfly constants: cos(4pi/16),
+// cos(6pi/16), and the sum/difference of cos(2pi/16) and cos(6pi/16).
+var (
+	aanC4   = math.Cos(4 * math.Pi / 16)
+	aanC6   = math.Cos(6 * math.Pi / 16)
+	aanC2m6 = math.Cos(2*math.Pi/16) - math.Cos(6*math.Pi/16)
+	aanC2p6 = math.Cos(2*math.Pi/16) + math.Cos(6*math.Pi/16)
+)
+
+// aanScale1D[k] maps aanFdct8's scaled output back to the orthonormal
+// basis of fdct8; aanScale2D is its separable 2-D product by block
+// position. Both are calibrated in init by transforming one generic
+// probe vector through both transforms (the transforms are linear and
+// differ by a diagonal scale, so any probe with non-zero coefficients
+// determines the ratios).
+var (
+	aanScale1D [8]float64
+	aanScale2D [64]float64
+)
+
+// Luma product tables: lumaR[v] == 0.299*float64(v) etc., so the color
+// transform replaces three multiplies per pixel with table reads. The
+// products are precomputed with the identical expression, so the sums
+// below are bit-identical to computing them inline.
+var lumaR, lumaG, lumaB [256]float64
+
+// Chroma transform coefficients with the 2x2 quad mean's /4 folded in:
+// c/4 is exact (exponent decrement) and (c/4)*s rounds identically to
+// c*(s/4), so applying these to the integer quad sum is bit-identical
+// to averaging first. Subtraction becomes addition of the negated
+// coefficient, which IEEE-754 defines as the same operation.
+const (
+	cbR4 = -0.168736 / 4
+	cbG4 = -0.331264 / 4
+	cbB4 = 0.5 / 4
+	crR4 = 0.5 / 4
+	crG4 = -0.418688 / 4
+	crB4 = -0.081312 / 4
+)
 
 func init() {
 	for k := 0; k < 8; k++ {
 		for n := 0; n < 8; n++ {
 			dctCos[k][n] = math.Cos(math.Pi * float64(k) * (2*float64(n) + 1) / 16)
 		}
+	}
+	for v := 0; v < 256; v++ {
+		lumaR[v] = 0.299 * float64(v)
+		lumaG[v] = 0.587 * float64(v)
+		lumaB[v] = 0.114 * float64(v)
+	}
+	probe := [8]float64{1, 2, 4, 8, 16, 32, 64, 128}
+	exact, scaled := probe, probe
+	fdct8(&exact)
+	aanFdct8(&scaled)
+	for k := range aanScale1D {
+		aanScale1D[k] = exact[k] / scaled[k]
+	}
+	for p := range aanScale2D {
+		aanScale2D[p] = aanScale1D[p/8] * aanScale1D[p%8]
 	}
 }
 
@@ -105,34 +169,149 @@ func init() {
 func fdct8(v *[8]float64) {
 	var out [8]float64
 	for k := 0; k < 8; k++ {
+		c := &dctCos[k]
 		var s float64
-		for n := 0; n < 8; n++ {
-			s += v[n] * dctCos[k][n]
-		}
+		s += v[0] * c[0]
+		s += v[1] * c[1]
+		s += v[2] * c[2]
+		s += v[3] * c[3]
+		s += v[4] * c[4]
+		s += v[5] * c[5]
+		s += v[6] * c[6]
+		s += v[7] * c[7]
 		if k == 0 {
-			out[k] = s * math.Sqrt(1.0/8)
+			out[k] = s * dctScale0
 		} else {
-			out[k] = s * math.Sqrt(2.0/8)
+			out[k] = s * dctScaleK
 		}
 	}
 	*v = out
 }
 
-// idct8 performs the inverse of fdct8.
+// idct8 performs the inverse of fdct8. Zero coefficients are skipped:
+// each skipped term contributes a signed zero to a sum that is never
+// negative zero (it starts at +0 and IEEE-754 round-to-nearest addition
+// of finite operands only yields -0 from (-0)+(-0)), so the result is
+// bit-identical to accumulating all eight terms in order. Dequantized
+// spectra are sparse, which makes this the decoder's main win.
 func idct8(v *[8]float64) {
-	var out [8]float64
-	for n := 0; n < 8; n++ {
-		var s float64
-		for k := 0; k < 8; k++ {
-			c := math.Sqrt(2.0 / 8)
-			if k == 0 {
-				c = math.Sqrt(1.0 / 8)
-			}
-			s += c * v[k] * dctCos[k][n]
+	var cv [8]float64
+	var ki [8]int
+	m := 0
+	for k := 0; k < 8; k++ {
+		x := v[k]
+		if x == 0 {
+			continue
 		}
-		out[n] = s
+		c := dctScaleK
+		if k == 0 {
+			c = dctScale0
+		}
+		cv[m] = c * x
+		ki[m] = k
+		m++
+	}
+	// DC-only vector: dctCos[0][n] is exactly 1.0 for every n, so each
+	// output is +0 + cv*1.0 == cv — a broadcast, bit for bit.
+	if m == 1 && ki[0] == 0 {
+		x := cv[0]
+		*v = [8]float64{x, x, x, x, x, x, x, x}
+		return
+	}
+	var out [8]float64
+	// Accumulate one coefficient's contribution across all samples per
+	// step: each out[n] still sums its terms in increasing-j order, so
+	// the result is bit-identical to the naive double loop.
+	for j := 0; j < m; j++ {
+		c := &dctCos[ki[j]]
+		x := cv[j]
+		out[0] += x * c[0]
+		out[1] += x * c[1]
+		out[2] += x * c[2]
+		out[3] += x * c[3]
+		out[4] += x * c[4]
+		out[5] += x * c[5]
+		out[6] += x * c[6]
+		out[7] += x * c[7]
 	}
 	*v = out
+}
+
+// aanFdct8 is the AAN scaled forward DCT: 29 additions and 5 multiplies
+// against fdct8's 64 multiply-adds. Its outputs are the orthonormal
+// coefficients divided by aanScale1D, which the quantizer folds into its
+// per-coefficient multiplier — so the transform itself never rescales.
+func aanFdct8(v *[8]float64) {
+	tmp0 := v[0] + v[7]
+	tmp7 := v[0] - v[7]
+	tmp1 := v[1] + v[6]
+	tmp6 := v[1] - v[6]
+	tmp2 := v[2] + v[5]
+	tmp5 := v[2] - v[5]
+	tmp3 := v[3] + v[4]
+	tmp4 := v[3] - v[4]
+
+	tmp10 := tmp0 + tmp3
+	tmp13 := tmp0 - tmp3
+	tmp11 := tmp1 + tmp2
+	tmp12 := tmp1 - tmp2
+	v[0] = tmp10 + tmp11
+	v[4] = tmp10 - tmp11
+	z1 := (tmp12 + tmp13) * aanC4
+	v[2] = tmp13 + z1
+	v[6] = tmp13 - z1
+
+	tmp10 = tmp4 + tmp5
+	tmp11 = tmp5 + tmp6
+	tmp12 = tmp6 + tmp7
+	z5 := (tmp10 - tmp12) * aanC6
+	z2 := aanC2m6*tmp10 + z5
+	z4 := aanC2p6*tmp12 + z5
+	z3 := tmp11 * aanC4
+	z11 := tmp7 + z3
+	z13 := tmp7 - z3
+	v[5] = z13 + z2
+	v[3] = z13 - z2
+	v[1] = z11 + z4
+	v[7] = z11 - z4
+}
+
+// aanFdctBlock applies the separable scaled 2-D DCT to an 8x8 block; the
+// output is the orthonormal spectrum divided by aanScale2D per position.
+// Flat vectors short-circuit both passes: with all eight inputs equal,
+// every AAN difference is an exact +0 (x-x rounds to +0, inputs are never
+// -0 here: raw samples are value-128 and first-pass outputs only cancel
+// to +0), every rotation of zeros stays +0, and the DC adder tree is
+// v+v=2v, 2v+2v=4v, 4v+4v=8v — doublings, all exact — so the transform
+// reduces to {8v, 0 x7} bit for bit. Text pages are full of blocks whose
+// rows are flat without the whole block being solid.
+func aanFdctBlock(b *[64]float64) {
+	for y := 0; y < 8; y++ {
+		r := (*[8]float64)(b[y*8 : y*8+8])
+		if v := r[0]; v == r[1] && v == r[2] && v == r[3] && v == r[4] && v == r[5] && v == r[6] && v == r[7] {
+			r[0] = 8 * v
+			r[1], r[2], r[3], r[4], r[5], r[6], r[7] = 0, 0, 0, 0, 0, 0, 0
+			continue
+		}
+		aanFdct8(r)
+	}
+	var col [8]float64
+	for x := 0; x < 8; x++ {
+		for y := 0; y < 8; y++ {
+			col[y] = b[y*8+x]
+		}
+		if v := col[0]; v == col[1] && v == col[2] && v == col[3] && v == col[4] && v == col[5] && v == col[6] && v == col[7] {
+			b[x] = 8 * v
+			for y := 1; y < 8; y++ {
+				b[y*8+x] = 0
+			}
+			continue
+		}
+		aanFdct8(&col)
+		for y := 0; y < 8; y++ {
+			b[y*8+x] = col[y]
+		}
+	}
 }
 
 // fdctBlock applies the separable 2-D DCT to an 8x8 block.
@@ -154,12 +333,21 @@ func fdctBlock(b *[64]float64) {
 	}
 }
 
-// idctBlock inverts fdctBlock.
+// idctBlock inverts fdctBlock. All-zero columns are left untouched: the
+// transform of a zero vector is +0 everywhere, which is what the block
+// already holds.
 func idctBlock(b *[64]float64) {
 	var row [8]float64
 	for x := 0; x < 8; x++ {
+		zero := true
 		for y := 0; y < 8; y++ {
 			row[y] = b[y*8+x]
+			if row[y] != 0 {
+				zero = false
+			}
+		}
+		if zero {
+			continue
 		}
 		idct8(&row)
 		for y := 0; y < 8; y++ {
@@ -183,6 +371,52 @@ func newPlane(w, h int) *plane {
 	return &plane{w: w, h: h, pix: make([]float64, w*h)}
 }
 
+// planePool recycles plane backing stores across codec calls. Callers
+// must overwrite every pixel before reading (both the color transform
+// and the block store do), so recycled planes are not zeroed.
+var planePool = sync.Pool{New: func() any { return new(plane) }}
+
+func getPlane(w, h int) *plane {
+	p := planePool.Get().(*plane)
+	n := w * h
+	if cap(p.pix) < n {
+		p.pix = make([]float64, n)
+	}
+	p.pix = p.pix[:n]
+	p.w, p.h = w, h
+	return p
+}
+
+func putPlane(p *plane) {
+	if p != nil {
+		planePool.Put(p)
+	}
+}
+
+// bytesPool recycles token buffers (encode emission, decode inflate).
+var bytesPool = sync.Pool{New: func() any { return new([]byte) }}
+
+func getBytes() *[]byte { return bytesPool.Get().(*[]byte) }
+
+func putBytes(p *[]byte) { bytesPool.Put(p) }
+
+// blocksPool recycles the quantized-block scratch used by the parallel
+// encode/decode paths. Blocks are not zeroed on reuse; both producers
+// write every field they later read.
+var blocksPool = sync.Pool{New: func() any { return new([]sicBlock) }}
+
+func getBlocks(n int) []sicBlock {
+	p := blocksPool.Get().(*[]sicBlock)
+	if cap(*p) < n {
+		*p = make([]sicBlock, n)
+	}
+	return (*p)[:n]
+}
+
+func putBlocks(b []sicBlock) {
+	blocksPool.Put(&b)
+}
+
 func (p *plane) at(x, y int) float64 {
 	if x >= p.w {
 		x = p.w - 1
@@ -193,75 +427,287 @@ func (p *plane) at(x, y int) float64 {
 	return p.pix[y*p.w+x]
 }
 
-// toYCbCr splits a raster into full-res Y and half-res Cb/Cr planes.
-// This is the per-pixel hot path of EncodeSIC, so it indexes Pix
-// directly instead of going through At(). Rows are independent, so both
-// loops parallelize over the worker pool; each goroutine writes disjoint
-// rows, keeping the result identical for any worker count.
-func toYCbCr(r *Raster, workers int) (yp, cb, cr *plane) {
-	yp = newPlane(r.W, r.H)
-	cw, ch := (r.W+1)/2, (r.H+1)/2
-	cb = newPlane(cw, ch)
-	cr = newPlane(cw, ch)
-	pix := r.Pix
-	parallelFor(workers, r.H, func(lo, hi int) {
-		for y := lo; y < hi; y++ {
-			row := pix[3*y*r.W : 3*(y+1)*r.W]
-			out := yp.pix[y*r.W : (y+1)*r.W]
-			for x := 0; x < r.W; x++ {
-				out[x] = 0.299*float64(row[3*x]) + 0.587*float64(row[3*x+1]) + 0.114*float64(row[3*x+2])
-			}
-		}
-	})
-	parallelFor(workers, ch, func(lo, hi int) {
-		for y := lo; y < hi; y++ {
-			for x := 0; x < cw; x++ {
-				// Average the 2x2 neighborhood.
-				var sr, sg, sb, n float64
-				for dy := 0; dy < 2; dy++ {
-					py := 2*y + dy
-					if py >= r.H {
-						continue
-					}
-					for dx := 0; dx < 2; dx++ {
-						px := 2*x + dx
-						if px >= r.W {
-							continue
-						}
-						i := 3 * (py*r.W + px)
-						sr += float64(pix[i])
-						sg += float64(pix[i+1])
-						sb += float64(pix[i+2])
-						n++
-					}
-				}
-				sr, sg, sb = sr/n, sg/n, sb/n
-				cb.pix[y*cw+x] = -0.168736*sr - 0.331264*sg + 0.5*sb + 128
-				cr.pix[y*cw+x] = 0.5*sr - 0.418688*sg - 0.081312*sb + 128
-			}
-		}
-	})
-	return yp, cb, cr
+// blockSource feeds 8x8 centered blocks to the encoder. The two
+// implementations read the RGB raster directly, fusing the YCbCr color
+// transform into block loading so the encoder never materializes the
+// float planes the old two-stage pipeline wrote and immediately re-read.
+type blockSource interface {
+	dims() (w, h int)
+	// load fills blk with the block's pixels minus 128 and reports the
+	// block's top-left sample value and whether the block is constant.
+	load(blk *[64]float64, bx, by int) (first float64, flat bool)
 }
 
-// fromYCbCr reassembles a raster from planes, parallel over rows.
+// lumaSource presents a raster's luma channel as encoder blocks.
+type lumaSource struct{ r *Raster }
+
+func (s lumaSource) dims() (int, int) { return s.r.W, s.r.H }
+
+// uniformRegion reports whether the w-pixel-wide, rows-deep RGB region
+// whose top-left byte offset is off is a single solid color. One
+// shifted self-compare proves the first row constant; the remaining
+// rows memcmp against it.
+func uniformRegion(pix []byte, off, stride, w, rows int) bool {
+	n := 3 * w
+	row0 := pix[off : off+n]
+	if !bytes.Equal(row0[3:], row0[:n-3]) {
+		return false
+	}
+	for y := 1; y < rows; y++ {
+		if !bytes.Equal(pix[off+y*stride:off+y*stride+n], row0) {
+			return false
+		}
+	}
+	return true
+}
+
+func (s lumaSource) load(blk *[64]float64, bx, by int) (float64, bool) {
+	w, h := s.r.W, s.r.H
+	pix := s.r.Pix
+	x0, y0 := bx*8, by*8
+	flat := true
+	if x0+8 <= w && y0+8 <= h {
+		i0 := 3 * (y0*w + x0)
+		// Solid-color block: flat in luma by construction, and only the
+		// first sample is needed. (A multi-color block could still be
+		// luma-flat; it takes the transform path instead, where its ACs
+		// quantize to zero anyway.)
+		if uniformRegion(pix, i0, 3*w, 8, 8) {
+			return lumaR[pix[i0]] + lumaG[pix[i0+1]] + lumaB[pix[i0+2]], true
+		}
+		for y := 0; y < 8; y++ {
+			row := pix[3*((y0+y)*w+x0):]
+			row = row[:24]
+			for x := 0; x < 8; x++ {
+				blk[y*8+x] = lumaR[row[3*x]] + lumaG[row[3*x+1]] + lumaB[row[3*x+2]] - 128
+			}
+		}
+		return 0, false
+	}
+	var first float64
+	for y := 0; y < 8; y++ {
+		py := y0 + y
+		if py >= h {
+			py = h - 1
+		}
+		for x := 0; x < 8; x++ {
+			px := x0 + x
+			if px >= w {
+				px = w - 1
+			}
+			i := 3 * (py*w + px)
+			v := lumaR[pix[i]] + lumaG[pix[i+1]] + lumaB[pix[i+2]]
+			blk[y*8+x] = v - 128
+			if y == 0 && x == 0 {
+				first = v
+			}
+			if v != first {
+				flat = false
+			}
+		}
+	}
+	return first, flat
+}
+
+// chromaSource presents one of a raster's half-resolution chroma
+// channels (Cb, or Cr when cr is set) as encoder blocks.
+type chromaSource struct {
+	r  *Raster
+	cr bool
+}
+
+func (s chromaSource) dims() (int, int) { return (s.r.W + 1) / 2, (s.r.H + 1) / 2 }
+
+// sample computes one chroma sample: the mean of the 2x2 source quad
+// (clipped at the raster edge) through the chroma transform.
+func (s chromaSource) sample(cx, cy int) float64 {
+	w, h := s.r.W, s.r.H
+	pix := s.r.Pix
+	var sr, sg, sb, n float64
+	for dy := 0; dy < 2; dy++ {
+		py := 2*cy + dy
+		if py >= h {
+			continue
+		}
+		for dx := 0; dx < 2; dx++ {
+			px := 2*cx + dx
+			if px >= w {
+				continue
+			}
+			i := 3 * (py*w + px)
+			sr += float64(pix[i])
+			sg += float64(pix[i+1])
+			sb += float64(pix[i+2])
+			n++
+		}
+	}
+	sr, sg, sb = sr/n, sg/n, sb/n
+	if s.cr {
+		return 0.5*sr - 0.418688*sg - 0.081312*sb + 128
+	}
+	return -0.168736*sr - 0.331264*sg + 0.5*sb + 128
+}
+
+func (s chromaSource) load(blk *[64]float64, bx, by int) (float64, bool) {
+	w, h := s.r.W, s.r.H
+	cw, ch := s.dims()
+	pix := s.r.Pix
+	x0, y0 := bx*8, by*8
+	flat := true
+	if 2*(x0+8) <= w && 2*(y0+8) <= h {
+		// Solid-color 16x16 source region: every quad averages to the
+		// same pixel, so one sample covers the block.
+		i0 := 3 * (2*y0*w + 2*x0)
+		if uniformRegion(pix, i0, 3*w, 16, 16) {
+			sr, sg, sb := float64(pix[i0]), float64(pix[i0+1]), float64(pix[i0+2])
+			if s.cr {
+				return 0.5*sr - 0.418688*sg - 0.081312*sb + 128, true
+			}
+			return -0.168736*sr - 0.331264*sg + 0.5*sb + 128, true
+		}
+		// Every chroma sample in the block has a complete 2x2 quad: the
+		// four samples sum exactly in an int, and the folded /4
+		// coefficients make the result identical to the general path.
+		var first float64
+		for y := 0; y < 8; y++ {
+			cy := y0 + y
+			row0 := pix[3*(2*cy)*w:]
+			row1 := pix[3*(2*cy+1)*w:]
+			for x := 0; x < 8; x++ {
+				i0 := 3 * 2 * (x0 + x)
+				i1 := i0 + 3
+				sr := float64(int(row0[i0]) + int(row0[i1]) + int(row1[i0]) + int(row1[i1]))
+				sg := float64(int(row0[i0+1]) + int(row0[i1+1]) + int(row1[i0+1]) + int(row1[i1+1]))
+				sb := float64(int(row0[i0+2]) + int(row0[i1+2]) + int(row1[i0+2]) + int(row1[i1+2]))
+				var v float64
+				if s.cr {
+					v = crR4*sr + crG4*sg + crB4*sb + 128
+				} else {
+					v = cbR4*sr + cbG4*sg + cbB4*sb + 128
+				}
+				blk[y*8+x] = v - 128
+				if y == 0 && x == 0 {
+					first = v
+				}
+				if v != first {
+					flat = false
+				}
+			}
+		}
+		return first, flat
+	}
+	var first float64
+	for y := 0; y < 8; y++ {
+		cy := y0 + y
+		if cy >= ch {
+			cy = ch - 1
+		}
+		for x := 0; x < 8; x++ {
+			cx := x0 + x
+			if cx >= cw {
+				cx = cw - 1
+			}
+			v := s.sample(cx, cy)
+			blk[y*8+x] = v - 128
+			if y == 0 && x == 0 {
+				first = v
+			}
+			if v != first {
+				flat = false
+			}
+		}
+	}
+	return first, flat
+}
+
+// fromYCbCr reassembles a raster from planes, parallel over rows. Each
+// chroma sample covers two output pixels, so the chroma products are
+// computed once per pair (the per-pixel expressions keep the original
+// association, so the rounding is unchanged).
 func fromYCbCr(yp, cb, cr *plane, workers int) *Raster {
 	out := NewBlackRaster(yp.w, yp.h)
+	w, cw := yp.w, cb.w
+	pix := out.Pix
 	parallelFor(workers, yp.h, func(lo, hi int) {
 		for y := lo; y < hi; y++ {
-			for x := 0; x < yp.w; x++ {
-				yy := yp.pix[y*yp.w+x]
-				cbb := cb.at(x/2, y/2) - 128
-				crr := cr.at(x/2, y/2) - 128
-				out.Set(x, y, RGB{
-					clamp8(yy + 1.402*crr),
-					clamp8(yy - 0.344136*cbb - 0.714136*crr),
-					clamp8(yy + 1.772*cbb),
-				})
+			yrow := yp.pix[y*w : (y+1)*w]
+			crow := (y / 2) * cw
+			cbrow := cb.pix[crow : crow+cw]
+			crrow := cr.pix[crow : crow+cw]
+			orow := pix[3*y*w : 3*(y+1)*w]
+			// Row dedup: flat regions are two-dimensional, so a row whose
+			// inputs match the previous row's converts to the same bytes —
+			// copy them instead. Only rows inside this worker's span are
+			// compared (the previous output row must already be written),
+			// so the result is identical for any worker count.
+			if y > lo {
+				pc := ((y - 1) / 2) * cw
+				if equalF64(yrow, yp.pix[(y-1)*w:y*w]) &&
+					(pc == crow || (equalF64(cbrow, cb.pix[pc:pc+cw]) && equalF64(crrow, cr.pix[pc:pc+cw]))) {
+					copy(orow, pix[3*(y-1)*w:3*y*w])
+					continue
+				}
+			}
+			// Run-stamped pixel conversion: web rasters are dominated by
+			// constant runs, where one conversion covers the whole run and
+			// the output bytes are stamped with a doubling copy. Chroma
+			// runs are found first (one compare per sample pair), then luma
+			// runs within them (one compare per pixel). Every pixel in a
+			// run has identical inputs, so the output is unchanged for any
+			// worker count.
+			for x := 0; x < w; {
+				ci := x >> 1
+				cbv, crv := cbrow[ci], crrow[ci]
+				ce := ci + 1
+				for ce < cw && cbrow[ce] == cbv && crrow[ce] == crv {
+					ce++
+				}
+				xe := 2 * ce
+				if xe > w {
+					xe = w
+				}
+				cbb := cbv - 128
+				crr := crv - 128
+				rAdd := 1.402 * crr
+				gSub1 := 0.344136 * cbb
+				gSub2 := 0.714136 * crr
+				bAdd := 1.772 * cbb
+				for x < xe {
+					yy := yrow[x]
+					x2 := x + 1
+					for x2 < xe && yrow[x2] == yy {
+						x2++
+					}
+					r8 := clamp8(yy + rAdd)
+					g8 := clamp8(yy - gSub1 - gSub2)
+					b8 := clamp8(yy + bAdd)
+					seg := orow[3*x : 3*x2]
+					seg[0], seg[1], seg[2] = r8, g8, b8
+					for filled := 3; filled < len(seg); filled *= 2 {
+						copy(seg[filled:], seg[:filled])
+					}
+					x = x2
+				}
 			}
 		}
 	})
 	return out
+}
+
+// equalF64 reports whether two float64 rows compare equal element-wise.
+// == equates +0 and -0, but every conversion below maps the two zeros to
+// the same bytes (clamp8 folds both to 0 and x+(-0) == x+(+0) for all
+// finite x), so rows that compare equal convert identically.
+func equalF64(a, b []float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i, v := range a {
+		if v != b[i] {
+			return false
+		}
+	}
+	return true
 }
 
 func clamp8(v float64) uint8 {
@@ -274,21 +720,65 @@ func clamp8(v float64) uint8 {
 	return uint8(v + 0.5)
 }
 
-// writeVarint writes a zigzag-encoded signed varint.
-func writeVarint(buf *bytes.Buffer, v int) {
+// appendVarint appends a zigzag-encoded signed varint, matching
+// binary.PutUvarint's byte layout.
+func appendVarint(dst []byte, v int) []byte {
 	u := uint64(v) << 1
 	if v < 0 {
 		u = ^u
 	}
-	var tmp [10]byte
-	n := binary.PutUvarint(tmp[:], u)
-	buf.Write(tmp[:n])
+	for u >= 0x80 {
+		dst = append(dst, byte(u)|0x80)
+		u >>= 7
+	}
+	return append(dst, byte(u))
 }
 
-func readVarint(r *bytes.Reader) (int, error) {
-	u, err := binary.ReadUvarint(r)
-	if err != nil {
-		return 0, err
+// byteCursor is a zero-allocation reader over the token stream, standing
+// in for bytes.Reader on the decode hot path.
+type byteCursor struct {
+	b []byte
+	i int
+}
+
+func (c *byteCursor) readByte() (byte, error) {
+	if c.i >= len(c.b) {
+		return 0, io.EOF
+	}
+	v := c.b[c.i]
+	c.i++
+	return v, nil
+}
+
+var errVarintOverflow = errors.New("imagecodec: varint overflows a 64-bit integer")
+
+// readVarint reads a zigzag-encoded signed varint, mirroring
+// binary.ReadUvarint's error behavior (io.EOF at a token boundary,
+// io.ErrUnexpectedEOF mid-varint).
+func (c *byteCursor) readVarint() (int, error) {
+	var u uint64
+	var shift uint
+	for n := 0; ; n++ {
+		if c.i >= len(c.b) {
+			if n > 0 {
+				return 0, io.ErrUnexpectedEOF
+			}
+			return 0, io.EOF
+		}
+		b := c.b[c.i]
+		c.i++
+		if b < 0x80 {
+			if n == 9 && b > 1 {
+				return 0, errVarintOverflow
+			}
+			u |= uint64(b) << shift
+			break
+		}
+		if n == 9 {
+			return 0, errVarintOverflow
+		}
+		u |= uint64(b&0x7f) << shift
+		shift += 7
 	}
 	v := int(u >> 1)
 	if u&1 != 0 {
@@ -305,182 +795,453 @@ type sicBlock struct {
 	q    [64]int32
 }
 
-// quantizeBlocks runs the compute stage of encodePlane — block load,
-// flatness check, forward DCT, quantization — for every block of p in
-// parallel, returning one sicBlock per block in raster scan order. The
-// serial emission stage consumes them in order, so the token stream is
-// byte-identical to the single-threaded codec.
-func quantizeBlocks(p *plane, qt [64]int, workers int) []sicBlock {
-	bw := (p.w + 7) / 8
-	bh := (p.h + 7) / 8
-	blocks := make([]sicBlock, bw*bh)
-	parallelFor(workers, bw*bh, func(lo, hi int) {
+// planeQuant is the per-plane quantization state. qf0 is the DC divisor
+// used by the flat-block shortcut; inv[i] folds the AAN descaling and
+// the quantizer divisor for zigzag index i into a single multiplier, so
+// quantizing one coefficient is a multiply, a zero test, and (rarely) a
+// round.
+type planeQuant struct {
+	qf0 float64
+	inv [64]float64
+}
+
+func newPlaneQuant(qt *[64]int) planeQuant {
+	var pq planeQuant
+	pq.qf0 = float64(qt[0])
+	for i := 0; i < 64; i++ {
+		p := zigzag[i]
+		pq.inv[i] = aanScale2D[p] / float64(qt[p])
+	}
+	return pq
+}
+
+// quantizeInto runs the compute stage of the parallel encode path —
+// block load, flatness check, forward DCT, quantization — for every
+// block of src in parallel, one sicBlock per block in raster scan order.
+// The serial emission stage consumes them in order, so the token stream
+// is byte-identical to the fused single-threaded path.
+func quantizeInto(blocks []sicBlock, src blockSource, pq *planeQuant, bw, workers int) {
+	parallelFor(workers, len(blocks), func(lo, hi int) {
 		var blk [64]float64
+		lastFlat, lastFlatDC := math.NaN(), int32(0)
 		for bi := lo; bi < hi; bi++ {
 			by, bx := bi/bw, bi%bw
-			flat := true
-			first := p.at(bx*8, by*8)
-			if bx*8+8 <= p.w && by*8+8 <= p.h {
-				// Interior block: direct row slices, no edge clamping.
-				for y := 0; y < 8; y++ {
-					row := p.pix[(by*8+y)*p.w+bx*8:]
-					for x := 0; x < 8; x++ {
-						v := row[x]
-						blk[y*8+x] = v - 128
-						if v != first {
-							flat = false
-						}
-					}
-				}
-			} else {
-				for y := 0; y < 8; y++ {
-					for x := 0; x < 8; x++ {
-						v := p.at(bx*8+x, by*8+y)
-						blk[y*8+x] = v - 128
-						if v != first {
-							flat = false
-						}
-					}
-				}
-			}
+			first, flat := src.load(&blk, bx, by)
 			b := &blocks[bi]
 			if flat {
 				// Constant block: only DC survives the DCT (value*8), so
-				// skip the transform — webpage rasters are mostly flat.
+				// skip the transform — webpage rasters are mostly flat. The
+				// memo only skips recomputing an identical value, so the
+				// result does not depend on the worker split.
 				b.flat = true
-				b.q[0] = int32(math.Round((first - 128) * 8 / float64(qt[0])))
+				if first != lastFlat {
+					lastFlat = first
+					lastFlatDC = int32(math.Round((first - 128) * 8 / pq.qf0))
+				}
+				b.q[0] = lastFlatDC
 				continue
 			}
-			fdctBlock(&blk)
-			for i := 0; i < 64; i++ {
-				b.q[i] = int32(math.Round(blk[zigzag[i]] / float64(qt[zigzag[i]])))
+			b.flat = false
+			aanFdctBlock(&blk)
+			b.q[0] = int32(math.Round(blk[0] * pq.inv[0]))
+			for i := 1; i < 64; i++ {
+				t := blk[zigzag[i]] * pq.inv[i]
+				if t < 0.5 && t > -0.5 {
+					b.q[i] = 0
+					continue
+				}
+				b.q[i] = int32(math.Round(t))
 			}
 		}
 	})
-	return blocks
 }
 
-// encodePlane DCT-encodes one plane into the token buffer: a parallel
-// quantize stage followed by the serial DC-prediction/token-emission
-// chain (the DC delta of each block depends on the previous block, so
-// emission cannot be split without changing the bitstream).
-func encodePlane(buf *bytes.Buffer, p *plane, qt [64]int, workers int) {
-	blocks := quantizeBlocks(p, qt, workers)
-	prevDC := 0
-	for bi := range blocks {
-		b := &blocks[bi]
-		if b.flat {
-			dc := int(b.q[0])
-			writeVarint(buf, dc-prevDC)
-			prevDC = dc
-			buf.WriteByte(0xFF)
+// emitAC appends the run-length tokens for one non-flat block's AC
+// coefficients: (run, value) pairs with 0xFF terminating the block.
+func emitAC(dst []byte, q *[64]int32) []byte {
+	run := 0
+	for i := 1; i < 64; i++ {
+		if q[i] == 0 {
+			run++
 			continue
 		}
-		// DC delta.
-		dc := int(b.q[0])
-		writeVarint(buf, dc-prevDC)
-		prevDC = dc
-		// AC run-length: (run, value) pairs, 0xFF-terminated run byte.
-		run := 0
-		for i := 1; i < 64; i++ {
-			if b.q[i] == 0 {
-				run++
+		for run > 62 {
+			dst = append(dst, 62, 0)
+			run -= 63
+		}
+		dst = append(dst, byte(run))
+		dst = appendVarint(dst, int(q[i]))
+		run = 0
+	}
+	return append(dst, 0xFF)
+}
+
+// encodePlaneTokens appends one plane's token stream to dst. The DC
+// delta of each block depends on the previous block, so emission is a
+// serial chain; with workers <= 1 it is fused with load/DCT/quantize
+// into a single pass that needs no per-plane block buffer, and with
+// workers > 1 the compute stage runs in parallel first. Both orders
+// perform identical per-block arithmetic, so the stream is byte-for-byte
+// the same for every worker count.
+func encodePlaneTokens(dst []byte, src blockSource, qt *[64]int, workers int) []byte {
+	w, h := src.dims()
+	bw := (w + 7) / 8
+	bh := (h + 7) / 8
+	pq := newPlaneQuant(qt)
+	prevDC := 0
+	if workers > 1 && bw*bh >= minParallelBlocks {
+		blocks := getBlocks(bw * bh)
+		quantizeInto(blocks, src, &pq, bw, workers)
+		for bi := range blocks {
+			b := &blocks[bi]
+			dc := int(b.q[0])
+			dst = appendVarint(dst, dc-prevDC)
+			prevDC = dc
+			if b.flat {
+				dst = append(dst, 0xFF)
 				continue
 			}
-			for run > 62 {
-				buf.WriteByte(62)
-				writeVarint(buf, 0)
-				run -= 63
-			}
-			buf.WriteByte(byte(run))
-			writeVarint(buf, int(b.q[i]))
-			run = 0
+			dst = emitAC(dst, &b.q)
 		}
-		buf.WriteByte(0xFF) // end of block
+		putBlocks(blocks)
+		return dst
+	}
+	var blk [64]float64
+	var q [64]int32
+	// Runs of identical flat blocks dominate webpage rasters; memoize the
+	// last flat value's quantized DC so a run costs no arithmetic.
+	lastFlat, lastFlatDC := math.NaN(), 0
+	for by := 0; by < bh; by++ {
+		for bx := 0; bx < bw; bx++ {
+			first, flat := src.load(&blk, bx, by)
+			if flat {
+				var dc int
+				if first == lastFlat {
+					dc = lastFlatDC
+				} else {
+					dc = int(math.Round((first - 128) * 8 / pq.qf0))
+					lastFlat, lastFlatDC = first, dc
+				}
+				dst = appendVarint(dst, dc-prevDC)
+				prevDC = dc
+				dst = append(dst, 0xFF)
+				continue
+			}
+			aanFdctBlock(&blk)
+			dc := int(math.Round(blk[0] * pq.inv[0]))
+			dst = appendVarint(dst, dc-prevDC)
+			prevDC = dc
+			for i := 1; i < 64; i++ {
+				t := blk[zigzag[i]] * pq.inv[i]
+				if t < 0.5 && t > -0.5 {
+					q[i] = 0
+					continue
+				}
+				q[i] = int32(math.Round(t))
+			}
+			dst = emitAC(dst, &q)
+		}
+	}
+	return dst
+}
+
+// minParallelBlocks gates the parallel quantize stage: below this many
+// blocks the fused serial pass wins on scheduling overhead alone.
+const minParallelBlocks = 256
+
+// loadChromaPair fills one Cb and one Cr block from the raster in a
+// single pass over the underlying 2x2 quads, sharing the quad sums the
+// per-plane sources would each recompute. Values are identical to
+// chromaSource.load's for both planes.
+func loadChromaPair(r *Raster, cbBlk, crBlk *[64]float64, bx, by int) (fCb float64, flatCb bool, fCr float64, flatCr bool) {
+	w, h := r.W, r.H
+	pix := r.Pix
+	x0, y0 := bx*8, by*8
+	if 2*(x0+8) <= w && 2*(y0+8) <= h {
+		i := 3 * (2*y0*w + 2*x0)
+		if uniformRegion(pix, i, 3*w, 16, 16) {
+			sr, sg, sb := float64(pix[i]), float64(pix[i+1]), float64(pix[i+2])
+			return -0.168736*sr - 0.331264*sg + 0.5*sb + 128, true,
+				0.5*sr - 0.418688*sg - 0.081312*sb + 128, true
+		}
+		flatCb, flatCr = true, true
+		for y := 0; y < 8; y++ {
+			cy := y0 + y
+			row0 := pix[3*(2*cy)*w:]
+			row1 := pix[3*(2*cy+1)*w:]
+			for x := 0; x < 8; x++ {
+				i0 := 3 * 2 * (x0 + x)
+				i1 := i0 + 3
+				sr := float64(int(row0[i0]) + int(row0[i1]) + int(row1[i0]) + int(row1[i1]))
+				sg := float64(int(row0[i0+1]) + int(row0[i1+1]) + int(row1[i0+1]) + int(row1[i1+1]))
+				sb := float64(int(row0[i0+2]) + int(row0[i1+2]) + int(row1[i0+2]) + int(row1[i1+2]))
+				vb := cbR4*sr + cbG4*sg + cbB4*sb + 128
+				vr := crR4*sr + crG4*sg + crB4*sb + 128
+				cbBlk[y*8+x] = vb - 128
+				crBlk[y*8+x] = vr - 128
+				if y == 0 && x == 0 {
+					fCb, fCr = vb, vr
+				}
+				if vb != fCb {
+					flatCb = false
+				}
+				if vr != fCr {
+					flatCr = false
+				}
+			}
+		}
+		return fCb, flatCb, fCr, flatCr
+	}
+	fCb, flatCb = chromaSource{r: r}.load(cbBlk, bx, by)
+	fCr, flatCr = chromaSource{r: r, cr: true}.load(crBlk, bx, by)
+	return fCb, flatCb, fCr, flatCr
+}
+
+// encodeChromaTokens appends the Cb plane's tokens to cbDst and the Cr
+// plane's to crDst in one pass over the shared source quads (the
+// per-plane encoder samples every quad twice). Each plane keeps its own
+// DC chain and flat memo, so both streams are byte-identical to
+// per-plane encodePlaneTokens output.
+func encodeChromaTokens(cbDst, crDst []byte, r *Raster, qt *[64]int) ([]byte, []byte) {
+	cw, ch := (r.W+1)/2, (r.H+1)/2
+	bw := (cw + 7) / 8
+	bh := (ch + 7) / 8
+	pq := newPlaneQuant(qt)
+	var cbBlk, crBlk [64]float64
+	var q [64]int32
+	prevCb, prevCr := 0, 0
+	lastFlatCb, lastFlatCbDC := math.NaN(), 0
+	lastFlatCr, lastFlatCrDC := math.NaN(), 0
+	emit := func(dst []byte, blk *[64]float64, first float64, flat bool, prevDC int, lastFlat *float64, lastFlatDC *int) ([]byte, int) {
+		if flat {
+			var dc int
+			if first == *lastFlat {
+				dc = *lastFlatDC
+			} else {
+				dc = int(math.Round((first - 128) * 8 / pq.qf0))
+				*lastFlat, *lastFlatDC = first, dc
+			}
+			dst = appendVarint(dst, dc-prevDC)
+			return append(dst, 0xFF), dc
+		}
+		aanFdctBlock(blk)
+		dc := int(math.Round(blk[0] * pq.inv[0]))
+		dst = appendVarint(dst, dc-prevDC)
+		for i := 1; i < 64; i++ {
+			t := blk[zigzag[i]] * pq.inv[i]
+			if t < 0.5 && t > -0.5 {
+				q[i] = 0
+				continue
+			}
+			q[i] = int32(math.Round(t))
+		}
+		return emitAC(dst, &q), dc
+	}
+	for by := 0; by < bh; by++ {
+		for bx := 0; bx < bw; bx++ {
+			fCb, flatCb, fCr, flatCr := loadChromaPair(r, &cbBlk, &crBlk, bx, by)
+			cbDst, prevCb = emit(cbDst, &cbBlk, fCb, flatCb, prevCb, &lastFlatCb, &lastFlatCbDC)
+			crDst, prevCr = emit(crDst, &crBlk, fCr, flatCr, prevCr, &lastFlatCr, &lastFlatCrDC)
+		}
+	}
+	return cbDst, crDst
+}
+
+// storeBlock writes the reconstructed block (already centered back to
+// 0..255) into the plane, clipping to the plane bounds.
+func storeBlock(p *plane, blk *[64]float64, bx, by int) {
+	w, h := p.w, p.h
+	if bx*8+8 <= w && by*8+8 <= h {
+		for y := 0; y < 8; y++ {
+			row := p.pix[(by*8+y)*w+bx*8:]
+			row = row[:8]
+			for x := 0; x < 8; x++ {
+				row[x] = blk[y*8+x] + 128
+			}
+		}
+		return
+	}
+	for y := 0; y < 8; y++ {
+		py := by*8 + y
+		if py >= h {
+			break
+		}
+		for x := 0; x < 8; x++ {
+			px := bx*8 + x
+			if px >= w {
+				continue
+			}
+			p.pix[py*w+px] = blk[y*8+x] + 128
+		}
 	}
 }
 
-// decodePlane reverses encodePlane: a serial token-parse stage (the DC
-// prediction chain must be unwound in order) followed by a parallel
-// dequantize/IDCT/store stage — each block writes a disjoint pixel
-// region, so the reconstruction is identical for any worker count.
-func decodePlane(r *bytes.Reader, w, h int, qt [64]int, workers int) (*plane, error) {
+// storeFlat fills the block's region with a constant value.
+func storeFlat(p *plane, v float64, bx, by int) {
+	w, h := p.w, p.h
+	if bx*8+8 <= w && by*8+8 <= h {
+		row0 := p.pix[by*8*w+bx*8:]
+		row0 = row0[:8]
+		for x := 0; x < 8; x++ {
+			row0[x] = v
+		}
+		for y := 1; y < 8; y++ {
+			copy(p.pix[(by*8+y)*w+bx*8:(by*8+y)*w+bx*8+8], row0)
+		}
+		return
+	}
+	for y := 0; y < 8; y++ {
+		py := by*8 + y
+		if py >= h {
+			break
+		}
+		for x := 0; x < 8; x++ {
+			px := bx*8 + x
+			if px >= w {
+				continue
+			}
+			p.pix[py*w+px] = v
+		}
+	}
+}
+
+// parseBlock unwinds one block's tokens into b (whose q must be zero on
+// entry for indices it does not set), returning the new DC predictor and
+// the number of non-zero AC coefficients.
+func parseBlock(c *byteCursor, b *sicBlock, prevDC int) (dc, nzAC int, err error) {
+	d, err := c.readVarint()
+	if err != nil {
+		return 0, 0, fmt.Errorf("imagecodec: truncated DC: %w", err)
+	}
+	dc = prevDC + d
+	b.q[0] = int32(dc)
+	idx := 1
+	for {
+		rb, err := c.readByte()
+		if err != nil {
+			return 0, 0, fmt.Errorf("imagecodec: truncated AC: %w", err)
+		}
+		if rb == 0xFF {
+			break
+		}
+		v, err := c.readVarint()
+		if err != nil {
+			return 0, 0, fmt.Errorf("imagecodec: truncated AC value: %w", err)
+		}
+		idx += int(rb)
+		if idx > 63 {
+			return 0, 0, errors.New("imagecodec: AC index overflow")
+		}
+		b.q[idx] = int32(v)
+		if v != 0 {
+			nzAC++
+		}
+		idx++
+	}
+	b.flat = nzAC == 0
+	return dc, nzAC, nil
+}
+
+// decodePlane reverses encodePlaneTokens. The DC prediction chain must
+// be unwound in order; with workers <= 1 parse, dequantize, IDCT, and
+// store are fused into one pass over a single scratch block, and with
+// workers > 1 the serial parse fills a block buffer whose
+// dequantize/IDCT/store stage runs in parallel — each block writes a
+// disjoint pixel region, so the reconstruction is identical for any
+// worker count. The returned plane comes from planePool.
+func decodePlane(c *byteCursor, w, h int, qt *[64]int, workers int) (*plane, error) {
 	bw := (w + 7) / 8
 	bh := (h + 7) / 8
-	blocks := make([]sicBlock, bw*bh)
-	prevDC := 0
-	for bi := range blocks {
-		b := &blocks[bi]
-		d, err := readVarint(r)
-		if err != nil {
-			return nil, fmt.Errorf("imagecodec: truncated DC: %w", err)
-		}
-		b.q[0] = int32(prevDC + d)
-		prevDC = int(b.q[0])
-		idx := 1
-		for {
-			rb, err := r.ReadByte()
+	var qz [64]int
+	for i := 0; i < 64; i++ {
+		qz[i] = qt[zigzag[i]]
+	}
+	p := getPlane(w, h)
+	if workers > 1 && bw*bh >= minParallelBlocks {
+		blocks := getBlocks(bw * bh)
+		prevDC := 0
+		for bi := range blocks {
+			b := &blocks[bi]
+			b.q = [64]int32{}
+			dc, _, err := parseBlock(c, b, prevDC)
 			if err != nil {
-				return nil, fmt.Errorf("imagecodec: truncated AC: %w", err)
+				putBlocks(blocks)
+				putPlane(p)
+				return nil, err
+			}
+			prevDC = dc
+		}
+		parallelFor(workers, bw*bh, func(lo, hi int) {
+			var blk [64]float64
+			for bi := lo; bi < hi; bi++ {
+				by, bx := bi/bw, bi%bw
+				b := &blocks[bi]
+				if b.flat {
+					// DC-only block: constant value, no inverse transform.
+					storeFlat(p, float64(int(b.q[0])*qt[0])/8+128, bx, by)
+					continue
+				}
+				for i := 0; i < 64; i++ {
+					blk[zigzag[i]] = float64(int(b.q[i]) * qz[i])
+				}
+				idctBlock(&blk)
+				storeBlock(p, &blk, bx, by)
+			}
+		})
+		putBlocks(blocks)
+		return p, nil
+	}
+	// Fused serial path: tokens dequantize straight into one scratch
+	// block (zero coefficients write nothing, so the block stays all-zero
+	// between uses), re-zeroed only after a non-flat block dirties it.
+	var blk [64]float64
+	prevDC := 0
+	fail := func(err error) (*plane, error) {
+		putPlane(p)
+		return nil, err
+	}
+	for bi := 0; bi < bw*bh; bi++ {
+		by, bx := bi/bw, bi%bw
+		d, err := c.readVarint()
+		if err != nil {
+			return fail(fmt.Errorf("imagecodec: truncated DC: %w", err))
+		}
+		dc := prevDC + d
+		prevDC = dc
+		idx := 1
+		nzAC := 0
+		for {
+			rb, err := c.readByte()
+			if err != nil {
+				return fail(fmt.Errorf("imagecodec: truncated AC: %w", err))
 			}
 			if rb == 0xFF {
 				break
 			}
-			v, err := readVarint(r)
+			v, err := c.readVarint()
 			if err != nil {
-				return nil, fmt.Errorf("imagecodec: truncated AC value: %w", err)
+				return fail(fmt.Errorf("imagecodec: truncated AC value: %w", err))
 			}
 			idx += int(rb)
 			if idx > 63 {
-				return nil, errors.New("imagecodec: AC index overflow")
+				return fail(errors.New("imagecodec: AC index overflow"))
 			}
-			b.q[idx] = int32(v)
+			if v != 0 {
+				blk[zigzag[idx]] = float64(v * qz[idx])
+				nzAC++
+			}
 			idx++
-			if idx > 64 {
-				return nil, errors.New("imagecodec: AC index overflow")
-			}
 		}
-		b.flat = true
-		for i := 1; i < 64; i++ {
-			if b.q[i] != 0 {
-				b.flat = false
-				break
-			}
+		if nzAC == 0 {
+			// DC-only block: constant value, no inverse transform.
+			storeFlat(p, float64(dc*qt[0])/8+128, bx, by)
+			continue
 		}
+		blk[0] = float64(dc * qz[0])
+		idctBlock(&blk)
+		storeBlock(p, &blk, bx, by)
+		blk = [64]float64{}
 	}
-	p := newPlane(w, h)
-	parallelFor(workers, bw*bh, func(lo, hi int) {
-		var blk [64]float64
-		for bi := lo; bi < hi; bi++ {
-			by, bx := bi/bw, bi%bw
-			b := &blocks[bi]
-			if b.flat {
-				// DC-only block: constant value, no inverse transform.
-				v := float64(int(b.q[0])*qt[0]) / 8
-				for i := range blk {
-					blk[i] = v
-				}
-			} else {
-				for i := 0; i < 64; i++ {
-					blk[zigzag[i]] = float64(int(b.q[i]) * qt[zigzag[i]])
-				}
-				idctBlock(&blk)
-			}
-			for y := 0; y < 8; y++ {
-				py := by*8 + y
-				if py >= h {
-					break
-				}
-				for x := 0; x < 8; x++ {
-					px := bx*8 + x
-					if px >= w {
-						continue
-					}
-					p.pix[py*w+px] = blk[y*8+x] + 128
-				}
-			}
-		}
-	})
 	return p, nil
 }
 
@@ -490,10 +1251,28 @@ func EncodeSIC(r *Raster, quality int) ([]byte, error) {
 	return EncodeSICWorkers(r, quality, 0)
 }
 
+// flateWriterPool recycles DEFLATE compressors (their window state is a
+// few hundred kB per instance); Reset re-targets one at a new output.
+var flateWriterPool = sync.Pool{New: func() any {
+	fw, _ := flate.NewWriter(io.Discard, flate.DefaultCompression)
+	return fw
+}}
+
+type flateResetReader interface {
+	io.ReadCloser
+	flate.Resetter
+}
+
+var flateReaderPool = sync.Pool{New: func() any {
+	return flate.NewReader(bytes.NewReader(nil)).(flateResetReader)
+}}
+
 // EncodeSICWorkers is EncodeSIC with an explicit worker count for the
-// data-parallel stages (color conversion, per-block DCT/quantize).
-// workers <= 0 selects the package default. The output is byte-identical
-// for every worker count.
+// data-parallel stages (color conversion, per-plane token emission,
+// per-block DCT/quantize). workers <= 0 selects the package default. The
+// output is byte-identical for every worker count: each plane's DC
+// prediction chain restarts at zero, so the three planes encode
+// independently and concatenate in a fixed order.
 func EncodeSICWorkers(r *Raster, quality, workers int) ([]byte, error) {
 	if r == nil || r.W < 1 || r.H < 1 {
 		return nil, ErrEmptyRaster
@@ -502,27 +1281,63 @@ func EncodeSICWorkers(r *Raster, quality, workers int) ([]byte, error) {
 		return nil, fmt.Errorf("imagecodec: quality %d out of [%d,%d]", quality, MinQuality, MaxQuality)
 	}
 	workers = resolveWorkers(workers)
-	yp, cb, cr := toYCbCr(r, workers)
-	var tokens bytes.Buffer
-	encodePlane(&tokens, yp, quantTable(lumaQBase, quality), workers)
-	encodePlane(&tokens, cb, quantTable(chromaQBase, quality), workers)
-	encodePlane(&tokens, cr, quantTable(chromaQBase, quality), workers)
+	ySrc := lumaSource{r}
+	cbSrc := chromaSource{r: r}
+	crSrc := chromaSource{r: r, cr: true}
+	lumaQT := quantTable(lumaQBase, quality)
+	chromaQT := quantTable(chromaQBase, quality)
+
+	tp := getBytes()
+	tokens := (*tp)[:0]
+	if workers <= 1 {
+		tokens = encodePlaneTokens(tokens, ySrc, &lumaQT, 1)
+		crp := getBytes()
+		var crTokens []byte
+		tokens, crTokens = encodeChromaTokens(tokens, (*crp)[:0], r, &chromaQT)
+		tokens = append(tokens, crTokens...)
+		*crp = crTokens
+		putBytes(crp)
+	} else {
+		// Per-plane pipeline: chroma planes encode on their own
+		// goroutines while the (4x larger) luma plane keeps the parallel
+		// quantize stage.
+		cbp, crp := getBytes(), getBytes()
+		var wg sync.WaitGroup
+		wg.Add(2)
+		go func() {
+			defer wg.Done()
+			*cbp = encodePlaneTokens((*cbp)[:0], cbSrc, &chromaQT, 1)
+		}()
+		go func() {
+			defer wg.Done()
+			*crp = encodePlaneTokens((*crp)[:0], crSrc, &chromaQT, 1)
+		}()
+		tokens = encodePlaneTokens(tokens, ySrc, &lumaQT, workers)
+		wg.Wait()
+		tokens = append(tokens, *cbp...)
+		tokens = append(tokens, *crp...)
+		putBytes(cbp)
+		putBytes(crp)
+	}
 
 	var out bytes.Buffer
+	out.Grow(len(tokens)/4 + 64)
 	out.WriteString(sicMagic)
 	var hdr [9]byte
 	binary.BigEndian.PutUint32(hdr[0:4], uint32(r.W))
 	binary.BigEndian.PutUint32(hdr[4:8], uint32(r.H))
 	hdr[8] = byte(quality)
 	out.Write(hdr[:])
-	fw, err := flate.NewWriter(&out, flate.DefaultCompression)
+	fw := flateWriterPool.Get().(*flate.Writer)
+	fw.Reset(&out)
+	if _, err := fw.Write(tokens); err != nil {
+		return nil, err
+	}
+	err := fw.Close()
+	*tp = tokens
+	putBytes(tp)
+	flateWriterPool.Put(fw)
 	if err != nil {
-		return nil, err
-	}
-	if _, err := fw.Write(tokens.Bytes()); err != nil {
-		return nil, err
-	}
-	if err := fw.Close(); err != nil {
 		return nil, err
 	}
 	return out.Bytes(), nil
@@ -549,24 +1364,64 @@ func DecodeSICWorkers(data []byte, workers int) (*Raster, error) {
 		return nil, errors.New("imagecodec: implausible SIC dimensions")
 	}
 	workers = resolveWorkers(workers)
-	fr := flate.NewReader(bytes.NewReader(data[13:]))
-	tokens, err := io.ReadAll(fr)
-	if err != nil {
+	fr := flateReaderPool.Get().(flateResetReader)
+	if err := fr.Reset(bytes.NewReader(data[13:]), nil); err != nil {
+		flateReaderPool.Put(fr)
 		return nil, fmt.Errorf("imagecodec: flate: %w", err)
 	}
-	br := bytes.NewReader(tokens)
-	yp, err := decodePlane(br, w, h, quantTable(lumaQBase, quality), workers)
+	tp := getBytes()
+	tokens := (*tp)[:0]
+	var rerr error
+	for {
+		if len(tokens) == cap(tokens) {
+			tokens = append(tokens, 0)[:len(tokens)]
+		}
+		n, err := fr.Read(tokens[len(tokens):cap(tokens)])
+		tokens = tokens[:len(tokens)+n]
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			rerr = err
+			break
+		}
+	}
+	flateReaderPool.Put(fr)
+	if rerr != nil {
+		*tp = tokens
+		putBytes(tp)
+		return nil, fmt.Errorf("imagecodec: flate: %w", rerr)
+	}
+	c := &byteCursor{b: tokens}
+	finish := func() {
+		*tp = tokens
+		putBytes(tp)
+	}
+	lumaQT := quantTable(lumaQBase, quality)
+	chromaQT := quantTable(chromaQBase, quality)
+	yp, err := decodePlane(c, w, h, &lumaQT, workers)
 	if err != nil {
+		finish()
 		return nil, err
 	}
 	cw, ch := (w+1)/2, (h+1)/2
-	cb, err := decodePlane(br, cw, ch, quantTable(chromaQBase, quality), workers)
+	cbp, err := decodePlane(c, cw, ch, &chromaQT, workers)
 	if err != nil {
+		finish()
+		putPlane(yp)
 		return nil, err
 	}
-	cr, err := decodePlane(br, cw, ch, quantTable(chromaQBase, quality), workers)
+	crp, err := decodePlane(c, cw, ch, &chromaQT, workers)
 	if err != nil {
+		finish()
+		putPlane(yp)
+		putPlane(cbp)
 		return nil, err
 	}
-	return fromYCbCr(yp, cb, cr, workers), nil
+	finish()
+	out := fromYCbCr(yp, cbp, crp, workers)
+	putPlane(yp)
+	putPlane(cbp)
+	putPlane(crp)
+	return out, nil
 }

@@ -1,7 +1,6 @@
 package imagecodec
 
 import (
-	"bytes"
 	"math"
 	"math/rand"
 	"testing"
@@ -210,9 +209,9 @@ func TestQuantTableScaling(t *testing.T) {
 
 func TestVarintRoundTrip(t *testing.T) {
 	for _, v := range []int{0, 1, -1, 127, -128, 300, -300, 1 << 20, -(1 << 20)} {
-		var buf bytes.Buffer
-		writeVarint(&buf, v)
-		got, err := readVarint(bytes.NewReader(buf.Bytes()))
+		buf := appendVarint(nil, v)
+		c := &byteCursor{b: buf}
+		got, err := c.readVarint()
 		if err != nil || got != v {
 			t.Errorf("varint %d -> %d, %v", v, got, err)
 		}

@@ -1,0 +1,42 @@
+#!/usr/bin/env bash
+# benchguard.sh — guards the checked-in perf history. Compares the micro
+# kernels shared between the two newest BENCH_*.json snapshots and fails
+# when any kernel slowed down by more than 2x, so a perf regression shows
+# up as a red check instead of a silently worse snapshot. With fewer than
+# two snapshots there is nothing to compare and the guard passes.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+mapfile -t snaps < <(ls BENCH_*.json 2>/dev/null | sort -V)
+if ((${#snaps[@]} < 2)); then
+    echo "benchguard: ${#snaps[@]} snapshot(s); nothing to compare"
+    exit 0
+fi
+prev=${snaps[-2]}
+curr=${snaps[-1]}
+
+python3 - "$prev" "$curr" <<'EOF'
+import json, sys
+
+prev_path, curr_path = sys.argv[1], sys.argv[2]
+prev = json.load(open(prev_path))["micro"]
+curr = json.load(open(curr_path))["micro"]
+shared = sorted(set(prev) & set(curr))
+if not shared:
+    print(f"benchguard: no shared kernels between {prev_path} and {curr_path}")
+    sys.exit(0)
+
+print(f"benchguard: {prev_path} -> {curr_path}")
+failed = False
+for k in shared:
+    old = prev[k]["ns_per_op"]
+    new = curr[k]["ns_per_op"]
+    ratio = new / old if old else float("inf")
+    flag = ""
+    if ratio > 2.0:
+        failed = True
+        flag = "  << REGRESSION (>2x)"
+    print(f"  {k:24s} {old / 1e6:10.3f} ms -> {new / 1e6:10.3f} ms  ({ratio:5.2f}x){flag}")
+if failed:
+    sys.exit(1)
+EOF

@@ -28,4 +28,7 @@ go test -race ./...
 echo "==> bench smoke (one iteration per benchmark)"
 go test -run='^$' -bench=. -benchtime=1x ./...
 
+echo "==> benchguard (checked-in snapshot comparison)"
+./scripts/benchguard.sh
+
 echo "all checks passed"
