@@ -8,12 +8,14 @@ import (
 	"runtime"
 	"time"
 
+	"sonic/internal/core"
 	"sonic/internal/corpus"
 	"sonic/internal/fec"
 	"sonic/internal/fm"
 	"sonic/internal/imagecodec"
 	"sonic/internal/modem"
 	"sonic/internal/obsprobe"
+	"sonic/internal/server"
 	"sonic/internal/telemetry"
 	"sonic/internal/webrender"
 )
@@ -170,6 +172,40 @@ func runPerf(path string, seed int64, workers int) error {
 	burst := m.Modulate(payload)
 	rep.Micro["ofdm_demodulate"] = timeIt(3, func() {
 		if _, err := m.Demodulate(burst); err != nil {
+			panic(err)
+		}
+	})
+
+	// Render: the server's page path. render_w1/_wN run the full cold miss
+	// pipeline (generate → raster → SIC encode → clickmap) with the SIC
+	// worker count pinned; render_cold is the same at the server default,
+	// and render_warm is the LRU hit path the steady state serves from.
+	pipe, err := core.NewPipeline(core.DefaultConfig())
+	if err != nil {
+		return err
+	}
+	renderURL := corpus.Pages()[0].URL
+	epoch := time.Unix(0, 0)
+	for _, w := range kernelWorkerCounts(nw) {
+		scfg := server.DefaultConfig()
+		scfg.Workers = w
+		srv := server.New(scfg, pipe)
+		rep.Micro[fmt.Sprintf("render_w%d", w)] = timeIt(3, func() {
+			srv.FlushRenderCache()
+			if _, err := srv.RenderPage(renderURL, epoch); err != nil {
+				panic(err)
+			}
+		})
+	}
+	srv := server.New(server.DefaultConfig(), pipe)
+	rep.Micro["render_cold"] = timeIt(3, func() {
+		srv.FlushRenderCache()
+		if _, err := srv.RenderPage(renderURL, epoch); err != nil {
+			panic(err)
+		}
+	})
+	rep.Micro["render_warm"] = timeIt(3, func() {
+		if _, err := srv.RenderPage(renderURL, epoch); err != nil {
 			panic(err)
 		}
 	})

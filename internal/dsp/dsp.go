@@ -13,6 +13,9 @@ import (
 	"errors"
 	"math"
 	"math/cmplx"
+	"sort"
+	"sync"
+	"sync/atomic"
 )
 
 // ErrNotPowerOfTwo is returned by FFT/IFFT when the input length is not a
@@ -369,6 +372,15 @@ func ResampleLen(n int, srcRate, dstRate float64) int {
 // ResampleInto is Resample writing into dst (reallocated when its
 // capacity is too small); the possibly reallocated slice is returned.
 // dst must not alias x.
+//
+// The interpolation coefficients (source index and fractional weight per
+// output sample) depend only on (srcRate, dstRate, i), so they are
+// precomputed once per rate pair and cached: the FM chain resamples
+// 48 kHz audio to the 192 kHz composite (and back) on every broadcast,
+// and recomputing the division-derived positions per sample dominated
+// build_composite. The cached path is bit-identical to the direct one —
+// the table stores the exact frac values the original expression
+// produces, and the apply loop evaluates the same lerp expression.
 func ResampleInto(dst, x []float64, srcRate, dstRate float64) []float64 {
 	n := ResampleLen(len(x), srcRate, dstRate)
 	if n == 0 {
@@ -383,7 +395,30 @@ func ResampleInto(dst, x []float64, srcRate, dstRate float64) []float64 {
 		return dst
 	}
 	ratio := srcRate / dstRate
-	for i := range dst {
+
+	m := 0 // prefix of dst served from the cached table
+	if tab := resampleCoefs(srcRate, dstRate, ratio, n); tab != nil {
+		m = len(tab.idx)
+		if m > n {
+			m = n
+		}
+		// Source indices are nondecreasing, so the clamp region (reads past
+		// the end of x collapse onto its last sample) is a suffix; find its
+		// start instead of testing every sample.
+		clamp := sort.Search(m, func(i int) bool { return tab.idx[i] >= len(x)-1 })
+		idx, frac := tab.idx[:clamp], tab.frac[:clamp]
+		for i, i0 := range idx {
+			f := frac[i]
+			dst[i] = x[i0]*(1-f) + x[i0+1]*f
+		}
+		last := x[len(x)-1]
+		for i := clamp; i < m; i++ {
+			dst[i] = last
+		}
+	}
+	// Tail past the cached table (or the whole signal when the rate pair
+	// is not cacheable): the original per-sample computation.
+	for i := m; i < n; i++ {
 		pos := float64(i) * ratio
 		i0 := int(pos)
 		if i0 >= len(x)-1 {
@@ -394,6 +429,95 @@ func ResampleInto(dst, x []float64, srcRate, dstRate float64) []float64 {
 		dst[i] = x[i0]*(1-frac) + x[i0+1]*frac
 	}
 	return dst
+}
+
+// maxResampleCoefs bounds one rate pair's coefficient table (16 B per
+// output sample — 1M entries is 16 MiB, over five seconds of composite),
+// and maxResampleKeys bounds how many rate pairs may cache at all; SONIC
+// only ever uses audio→composite and composite→audio.
+const (
+	maxResampleCoefs = 1 << 20
+	maxResampleKeys  = 16
+)
+
+// resampleTab holds the per-output-sample interpolation coefficients for
+// one rate pair: dst[i] = x[idx[i]]*(1-frac[i]) + x[idx[i]+1]*frac[i].
+// Tables are immutable once published; growth swaps in a new table.
+type resampleTab struct {
+	idx  []int
+	frac []float64
+}
+
+type resampleKey struct{ srcRate, dstRate float64 }
+
+type resampleEntry struct {
+	mu  sync.Mutex
+	tab atomic.Pointer[resampleTab]
+}
+
+var (
+	resampleCache    sync.Map // resampleKey -> *resampleEntry
+	resampleCacheLen atomic.Int64
+)
+
+// resampleCoefs returns a coefficient table for the rate pair covering
+// at least min(n, maxResampleCoefs) output samples, or nil when the
+// key cap is reached (callers then compute directly, bit-identically).
+func resampleCoefs(srcRate, dstRate, ratio float64, n int) *resampleTab {
+	k := resampleKey{srcRate, dstRate}
+	v, ok := resampleCache.Load(k)
+	if !ok {
+		if resampleCacheLen.Load() >= maxResampleKeys {
+			return nil
+		}
+		var loaded bool
+		v, loaded = resampleCache.LoadOrStore(k, &resampleEntry{})
+		if !loaded {
+			resampleCacheLen.Add(1)
+		}
+	}
+	e := v.(*resampleEntry)
+	want := n
+	if want > maxResampleCoefs {
+		want = maxResampleCoefs
+	}
+	if tab := e.tab.Load(); tab != nil && len(tab.idx) >= want {
+		return tab
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	tab := e.tab.Load()
+	if tab != nil && len(tab.idx) >= want {
+		return tab
+	}
+	// Grow in doubling steps so alternating signal lengths don't rebuild
+	// the table every call.
+	size := 1024
+	if tab != nil {
+		size = len(tab.idx)
+	}
+	for size < want {
+		size *= 2
+	}
+	if size > maxResampleCoefs {
+		size = maxResampleCoefs
+	}
+	next := &resampleTab{idx: make([]int, size), frac: make([]float64, size)}
+	start := 0
+	if tab != nil {
+		start = copy(next.idx, tab.idx)
+		copy(next.frac, tab.frac)
+	}
+	for i := start; i < size; i++ {
+		// Exactly the direct path's expressions: the stored frac is the
+		// value `pos - float64(i0)` produces, bit for bit.
+		pos := float64(i) * ratio
+		i0 := int(pos)
+		next.idx[i] = i0
+		next.frac[i] = pos - float64(i0)
+	}
+	e.tab.Store(next)
+	return next
 }
 
 // Goertzel computes the magnitude of the DFT bin closest to targetHz for

@@ -1,0 +1,147 @@
+package dsp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// refResampleInto is a verbatim copy of the pre-cache linear resampler.
+// The fm equivalence suite cannot pin the cached path (its reference
+// also calls dsp.Resample), so the resampler is pinned here at the bit
+// level against its own frozen implementation.
+func refResampleInto(dst, x []float64, srcRate, dstRate float64) []float64 {
+	n := ResampleLen(len(x), srcRate, dstRate)
+	if n == 0 {
+		return nil
+	}
+	if cap(dst) < n {
+		dst = make([]float64, n)
+	}
+	dst = dst[:n]
+	if srcRate == dstRate {
+		copy(dst, x)
+		return dst
+	}
+	ratio := srcRate / dstRate
+	for i := range dst {
+		pos := float64(i) * ratio
+		i0 := int(pos)
+		if i0 >= len(x)-1 {
+			dst[i] = x[len(x)-1]
+			continue
+		}
+		frac := pos - float64(i0)
+		dst[i] = x[i0]*(1-frac) + x[i0+1]*frac
+	}
+	return dst
+}
+
+func assertBitEqual(t *testing.T, got, want []float64, label string) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: len %d != %d", label, len(got), len(want))
+	}
+	for i := range got {
+		if math.Float64bits(got[i]) != math.Float64bits(want[i]) {
+			t.Fatalf("%s: sample %d: %v (%#x) != %v (%#x)",
+				label, i, got[i], math.Float64bits(got[i]), want[i], math.Float64bits(want[i]))
+		}
+	}
+}
+
+// TestResampleMatchesReference pins the table-cached resampler bit-for-
+// bit against the frozen direct implementation across the rate pairs
+// SONIC uses plus awkward irrational-ratio pairs, short signals that
+// live entirely in the clamp region, and repeated calls that exercise
+// table growth (small → large → small).
+func TestResampleMatchesReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(29))
+	rates := []struct{ src, dst float64 }{
+		{48000, 192000}, // audio → FM composite (the hot path)
+		{192000, 48000}, // composite → audio
+		{44100, 48000},  // non-integer ratio
+		{48000, 44100},
+		{8000, 6000},
+		{1234.5, 987.6}, // irrational-ish ratio
+		{48000, 48000},  // equal-rate copy path
+	}
+	lengths := []int{1, 2, 3, 7, 100, 1023, 4096, 48000}
+	for _, r := range rates {
+		for _, n := range lengths {
+			x := make([]float64, n)
+			for i := range x {
+				x[i] = rng.NormFloat64()
+			}
+			got := ResampleInto(nil, x, r.src, r.dst)
+			want := refResampleInto(nil, x, r.src, r.dst)
+			assertBitEqual(t, got, want, "resample")
+		}
+	}
+}
+
+// TestResampleTableGrowth replays a big-then-small-then-bigger length
+// sequence on one rate pair so the doubling growth path and the
+// cached-prefix reuse are both pinned.
+func TestResampleTableGrowth(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	for _, n := range []int{10, 50000, 100, 120000, 7} {
+		x := make([]float64, n)
+		for i := range x {
+			x[i] = rng.NormFloat64()
+		}
+		got := ResampleInto(nil, x, 48000, 192000)
+		want := refResampleInto(nil, x, 48000, 192000)
+		assertBitEqual(t, got, want, "growth")
+	}
+}
+
+// TestResampleBeyondTableCap forces an output longer than the table cap
+// so the direct-compute tail path is exercised and pinned too.
+func TestResampleBeyondTableCap(t *testing.T) {
+	if testing.Short() {
+		t.Skip("large allocation")
+	}
+	n := maxResampleCoefs/4 + 1000 // ×4 upsample overflows the cap
+	rng := rand.New(rand.NewSource(37))
+	x := make([]float64, n)
+	for i := range x {
+		x[i] = rng.NormFloat64()
+	}
+	got := ResampleInto(nil, x, 48000, 192000)
+	want := refResampleInto(nil, x, 48000, 192000)
+	if len(got) <= maxResampleCoefs {
+		t.Fatalf("test under-sized: output %d does not exceed table cap %d", len(got), maxResampleCoefs)
+	}
+	assertBitEqual(t, got, want, "beyond-cap")
+}
+
+func BenchmarkResample48kTo192k(b *testing.B) {
+	x := make([]float64, 48000)
+	rng := rand.New(rand.NewSource(41))
+	for i := range x {
+		x[i] = rng.NormFloat64()
+	}
+	dst := make([]float64, ResampleLen(len(x), 48000, 192000))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		dst = ResampleInto(dst, x, 48000, 192000)
+	}
+	_ = dst
+}
+
+func BenchmarkResampleReference48kTo192k(b *testing.B) {
+	x := make([]float64, 48000)
+	rng := rand.New(rand.NewSource(41))
+	for i := range x {
+		x[i] = rng.NormFloat64()
+	}
+	dst := make([]float64, ResampleLen(len(x), 48000, 192000))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		dst = refResampleInto(dst, x, 48000, 192000)
+	}
+	_ = dst
+}

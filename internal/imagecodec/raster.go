@@ -41,8 +41,8 @@ type Raster struct {
 // NewRaster allocates a W×H raster filled with white (webpage default).
 func NewRaster(w, h int) *Raster {
 	r := &Raster{W: w, H: h, Pix: make([]byte, 3*w*h)}
-	for i := range r.Pix {
-		r.Pix[i] = 0xFF
+	if len(r.Pix) > 0 {
+		fillRGB(r.Pix, RGB{R: 0xFF, G: 0xFF, B: 0xFF})
 	}
 	return r
 }
@@ -77,21 +77,60 @@ func (r *Raster) Set(x, y int, c RGB) {
 
 // Fill paints the whole raster with c.
 func (r *Raster) Fill(c RGB) {
-	for i := 0; i < len(r.Pix); i += 3 {
-		r.Pix[i], r.Pix[i+1], r.Pix[i+2] = c.R, c.G, c.B
+	if len(r.Pix) == 0 {
+		return
+	}
+	fillRGB(r.Pix, c)
+}
+
+// fillRGB stamps the 3-byte pattern c across p (len(p) divisible by 3)
+// by seeding one pixel and doubling the filled prefix with copy.
+func fillRGB(p []byte, c RGB) {
+	p[0], p[1], p[2] = c.R, c.G, c.B
+	for n := 3; n < len(p); n *= 2 {
+		copy(p[n:], p[:n])
 	}
 }
 
 // FillRect paints the rectangle [x0,x0+w)×[y0,y0+h), clipped to bounds.
+// The first covered row is stamped once and row-copied downward, so the
+// cost is one pattern fill plus h-1 memmoves instead of w*h bounds-checked
+// pixel stores.
 func (r *Raster) FillRect(x0, y0, w, h int, c RGB) {
-	for y := y0; y < y0+h; y++ {
-		if y < 0 || y >= r.H {
-			continue
-		}
-		for x := x0; x < x0+w; x++ {
-			r.Set(x, y, c)
-		}
+	x1, y1 := x0+w, y0+h
+	if x0 < 0 {
+		x0 = 0
 	}
+	if y0 < 0 {
+		y0 = 0
+	}
+	if x1 > r.W {
+		x1 = r.W
+	}
+	if y1 > r.H {
+		y1 = r.H
+	}
+	if x0 >= x1 || y0 >= y1 {
+		return
+	}
+	rowLen := 3 * (x1 - x0)
+	first := r.Pix[3*(y0*r.W+x0) : 3*(y0*r.W+x0)+rowLen]
+	fillRGB(first, c)
+	for y := y0 + 1; y < y1; y++ {
+		i := 3 * (y*r.W + x0)
+		copy(r.Pix[i:i+rowLen], first)
+	}
+}
+
+// Row returns the pixel bytes of row y (3 bytes per pixel), or nil when
+// y is out of bounds. The slice aliases the raster's storage; writing to
+// it writes the image. Scanline renderers use it to blit whole rows with
+// copy instead of per-pixel Set calls.
+func (r *Raster) Row(y int) []byte {
+	if y < 0 || y >= r.H {
+		return nil
+	}
+	return r.Pix[3*y*r.W : 3*(y+1)*r.W]
 }
 
 // Clone returns a deep copy.

@@ -1,0 +1,96 @@
+package server
+
+import (
+	"container/list"
+	"sync"
+
+	"sonic/internal/core"
+)
+
+// renderedPage is one render-cache entry: the encoded bundle plus the
+// content epoch (effective hour) it was rendered at and the cropped
+// raster geometry.
+type renderedPage struct {
+	bundle        core.Bundle
+	effectiveHour int
+	width, height int
+}
+
+// renderCache is a bounded LRU of rendered pages keyed by URL. Entries
+// are validated against the requested effective hour on every lookup —
+// a stale entry (the page's content changed since it was rendered) is
+// evicted immediately, which is the §3.1 hourly re-render policy
+// expressed as cache invalidation. It replaces the unbounded
+// map[string]renderedPage the server grew before: ad-hoc URL traffic
+// can no longer grow server memory without limit.
+type renderCache struct {
+	mu    sync.Mutex
+	cap   int        // max entries; <= 0 means unbounded
+	order *list.List // front = most recently used; values are *lruEntry
+	byURL map[string]*list.Element
+}
+
+type lruEntry struct {
+	url  string
+	page renderedPage
+}
+
+func newRenderCache(capacity int) *renderCache {
+	return &renderCache{
+		cap:   capacity,
+		order: list.New(),
+		byURL: make(map[string]*list.Element),
+	}
+}
+
+// get returns the cached bundle for url if present and rendered at the
+// wanted effective hour. A present-but-stale entry is dropped.
+func (c *renderCache) get(url string, effectiveHour int) (core.Bundle, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.byURL[url]
+	if !ok {
+		return core.Bundle{}, false
+	}
+	ent := el.Value.(*lruEntry)
+	if ent.page.effectiveHour != effectiveHour {
+		c.order.Remove(el)
+		delete(c.byURL, url)
+		return core.Bundle{}, false
+	}
+	c.order.MoveToFront(el)
+	return ent.page.bundle, true
+}
+
+// put stores (or refreshes) an entry and evicts the least recently used
+// entries beyond capacity.
+func (c *renderCache) put(url string, page renderedPage) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.byURL[url]; ok {
+		el.Value.(*lruEntry).page = page
+		c.order.MoveToFront(el)
+		return
+	}
+	c.byURL[url] = c.order.PushFront(&lruEntry{url: url, page: page})
+	for c.cap > 0 && c.order.Len() > c.cap {
+		last := c.order.Back()
+		c.order.Remove(last)
+		delete(c.byURL, last.Value.(*lruEntry).url)
+	}
+}
+
+// len reports the number of cached entries.
+func (c *renderCache) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.order.Len()
+}
+
+// flush drops every entry.
+func (c *renderCache) flush() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.order.Init()
+	clear(c.byURL)
+}

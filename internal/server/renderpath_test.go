@@ -1,0 +1,314 @@
+package server
+
+import (
+	"bytes"
+	"sync"
+	"testing"
+	"time"
+
+	"sonic/internal/core"
+	"sonic/internal/corpus"
+	"sonic/internal/telemetry"
+)
+
+func testPipeline() (*core.Pipeline, error) {
+	return core.NewPipeline(core.DefaultConfig())
+}
+
+// TestRenderThunderingHerd fires 32 goroutines at one cold URL and
+// asserts the miss was coalesced into exactly one render: one
+// server_render_cache_misses_total, every other caller counted as a hit
+// (direct or coalesced), and every caller handed the same bundle. Run
+// under -race this also proves the singleflight + LRU path is data-race
+// free.
+func TestRenderThunderingHerd(t *testing.T) {
+	s := testServer(t)
+	reg := telemetry.New()
+	s.Instrument(reg)
+	now := time.Unix(0, 0)
+	url := corpus.Pages()[0].URL
+
+	const n = 32
+	var (
+		start   sync.WaitGroup
+		done    sync.WaitGroup
+		bundles [n][]byte
+	)
+	start.Add(1)
+	for i := 0; i < n; i++ {
+		done.Add(1)
+		go func(i int) {
+			defer done.Done()
+			start.Wait() // line everyone up on the cold cache
+			b, err := s.RenderPage(url, now)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			bundles[i] = b.Image
+		}(i)
+	}
+	start.Done()
+	done.Wait()
+
+	snap := reg.Snapshot()
+	if got := snap.Counters["server_render_cache_misses_total"]; got != 1 {
+		t.Errorf("misses = %d, want exactly 1 (herd not coalesced)", got)
+	}
+	if got := snap.Counters["server_render_cache_hits_total"]; got != n-1 {
+		t.Errorf("hits = %d, want %d", got, n-1)
+	}
+	if co := snap.Counters["server_render_coalesced_total"]; co > n-1 {
+		t.Errorf("coalesced = %d, want <= %d", co, n-1)
+	}
+	for i := 1; i < n; i++ {
+		if !bytes.Equal(bundles[i], bundles[0]) {
+			t.Fatalf("caller %d got a different bundle than caller 0", i)
+		}
+	}
+	if got := snap.Gauges["server_render_inflight"]; got != 0 {
+		t.Errorf("inflight gauge = %v after drain, want 0", got)
+	}
+	if got := snap.Gauges["server_render_cache_size"]; got != 1 {
+		t.Errorf("cache size gauge = %v, want 1", got)
+	}
+}
+
+// TestConcurrentColdServe is the ISSUE acceptance scenario: 32
+// goroutines race over a set of cold corpus URLs; each URL must be
+// rendered exactly once.
+func TestConcurrentColdServe(t *testing.T) {
+	s := testServer(t)
+	reg := telemetry.New()
+	s.Instrument(reg)
+	now := time.Unix(0, 0)
+
+	urls := make([]string, 6)
+	for i := range urls {
+		urls[i] = corpus.Pages()[i].URL
+	}
+
+	const workers = 32
+	var start, done sync.WaitGroup
+	start.Add(1)
+	for w := 0; w < workers; w++ {
+		done.Add(1)
+		go func(w int) {
+			defer done.Done()
+			start.Wait()
+			for i := range urls {
+				if _, err := s.RenderPage(urls[(w+i)%len(urls)], now); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(w)
+	}
+	start.Done()
+	done.Wait()
+
+	snap := reg.Snapshot()
+	if got := snap.Counters["server_render_cache_misses_total"]; got != int64(len(urls)) {
+		t.Errorf("misses = %d, want %d (one render per cold URL)", got, len(urls))
+	}
+	wantHits := int64(workers*len(urls) - len(urls))
+	if got := snap.Counters["server_render_cache_hits_total"]; got != wantHits {
+		t.Errorf("hits = %d, want %d", got, wantHits)
+	}
+	if got := s.RenderCacheLen(); got != len(urls) {
+		t.Errorf("cache holds %d entries, want %d", got, len(urls))
+	}
+}
+
+// TestRenderCacheLRUBound proves the replacement for the unbounded map
+// actually bounds memory: with capacity 2, a third URL evicts the least
+// recently used entry, and re-requesting the evicted URL is a fresh miss
+// while the retained one still hits.
+func TestRenderCacheLRUBound(t *testing.T) {
+	p, err := testPipeline()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultConfig()
+	cfg.RenderCachePages = 2
+	s := New(cfg, p)
+	reg := telemetry.New()
+	s.Instrument(reg)
+	now := time.Unix(0, 0)
+
+	u0, u1, u2 := corpus.Pages()[0].URL, corpus.Pages()[1].URL, corpus.Pages()[2].URL
+	for _, u := range []string{u0, u1, u2} { // u2 evicts u0
+		if _, err := s.RenderPage(u, now); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := s.RenderCacheLen(); got != 2 {
+		t.Fatalf("cache len = %d, want 2", got)
+	}
+	if _, err := s.RenderPage(u2, now); err != nil { // still cached
+		t.Fatal(err)
+	}
+	if _, err := s.RenderPage(u0, now); err != nil { // evicted: re-render
+		t.Fatal(err)
+	}
+	snap := reg.Snapshot()
+	if got := snap.Counters["server_render_cache_misses_total"]; got != 4 {
+		t.Errorf("misses = %d, want 4 (3 cold + 1 evicted)", got)
+	}
+	if got := snap.Counters["server_render_cache_hits_total"]; got != 1 {
+		t.Errorf("hits = %d, want 1", got)
+	}
+}
+
+// TestRenderCacheEffectiveHourInvalidation proves the LRU honors the
+// §3.1 hourly content epochs: once a page's effective hour advances, the
+// cached render is stale and the server re-renders.
+func TestRenderCacheEffectiveHourInvalidation(t *testing.T) {
+	s := testServer(t)
+	reg := telemetry.New()
+	s.Instrument(reg)
+	ref := corpus.Pages()[0]
+
+	// Find the first hour at which the page's content actually changes.
+	changed := 0
+	for h := 1; h < 24*14; h++ {
+		if corpus.EffectiveHour(ref, h) != 0 {
+			changed = h
+			break
+		}
+	}
+	if changed == 0 {
+		t.Skip("page never changes in two weeks of simulated time")
+	}
+
+	epoch := time.Unix(0, 0)
+	if _, err := s.RenderPage(ref.URL, epoch); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.RenderPage(ref.URL, epoch.Add(30*time.Minute)); err != nil {
+		t.Fatal(err) // same epoch: hit
+	}
+	if _, err := s.RenderPage(ref.URL, epoch.Add(time.Duration(changed)*time.Hour)); err != nil {
+		t.Fatal(err) // content changed: stale entry dropped, re-render
+	}
+	snap := reg.Snapshot()
+	if got := snap.Counters["server_render_cache_misses_total"]; got != 2 {
+		t.Errorf("misses = %d, want 2 (cold + invalidated)", got)
+	}
+	if got := snap.Counters["server_render_cache_hits_total"]; got != 1 {
+		t.Errorf("hits = %d, want 1", got)
+	}
+	if got := s.RenderCacheLen(); got != 1 {
+		t.Errorf("cache len = %d, want 1 (stale entry replaced, not kept)", got)
+	}
+}
+
+// --- renderCache unit tests (no rendering involved) ------------------------
+
+func TestRenderCacheUnit(t *testing.T) {
+	c := newRenderCache(2)
+	mk := func(eff int) renderedPage { return renderedPage{effectiveHour: eff} }
+
+	if _, ok := c.get("a", 0); ok {
+		t.Fatal("empty cache hit")
+	}
+	c.put("a", mk(0))
+	c.put("b", mk(0))
+	if _, ok := c.get("a", 0); !ok {
+		t.Fatal("a missing")
+	}
+	c.put("c", mk(0)) // a was just used, so b is LRU and gets evicted
+	if _, ok := c.get("b", 0); ok {
+		t.Fatal("b should have been evicted")
+	}
+	if _, ok := c.get("a", 0); !ok {
+		t.Fatal("a should survive (recently used)")
+	}
+	if _, ok := c.get("a", 5); ok {
+		t.Fatal("stale effective hour served")
+	}
+	if _, ok := c.get("a", 0); ok {
+		t.Fatal("stale entry must be dropped, not kept")
+	}
+	if c.len() != 1 {
+		t.Fatalf("len = %d, want 1", c.len())
+	}
+	c.put("a", mk(5))
+	c.put("a", mk(6)) // refresh in place, no duplicate node
+	if c.len() != 2 {
+		t.Fatalf("len = %d, want 2", c.len())
+	}
+	if _, ok := c.get("a", 5); ok {
+		t.Fatal("refresh did not replace the epoch")
+	}
+	c.put("a", mk(6))
+	if _, ok := c.get("a", 6); !ok {
+		t.Fatal("refreshed entry missing")
+	}
+	c.flush()
+	if c.len() != 0 {
+		t.Fatal("flush left entries")
+	}
+}
+
+func TestRenderCacheUnboundedWhenNegative(t *testing.T) {
+	c := newRenderCache(-1)
+	for i := 0; i < 500; i++ {
+		c.put(corpus.Pages()[i%len(corpus.Pages())].URL+string(rune('a'+i/100)), renderedPage{})
+	}
+	if c.len() < 400 {
+		t.Fatalf("negative capacity should not evict, len = %d", c.len())
+	}
+}
+
+// --- refForURL index --------------------------------------------------------
+
+// refForURLLinear is a verbatim copy of the pre-index lookup the server
+// used to run on every RenderPage call: a linear scan over the whole
+// corpus. Kept as the benchmark baseline for the O(1) map index.
+func refForURLLinear(url string) corpus.PageRef {
+	for _, ref := range corpus.Pages() {
+		if ref.URL == url {
+			return ref
+		}
+	}
+	return corpus.PageRef{URL: url, Site: url, Rank: corpus.NumSites, Internal: true}
+}
+
+// TestRefForMatchesLinearScan pins the indexed lookup to the old linear
+// scan for every corpus URL plus an unknown one.
+func TestRefForMatchesLinearScan(t *testing.T) {
+	s := testServer(t)
+	for _, ref := range corpus.Pages() {
+		if got := s.refFor(ref.URL); got != refForURLLinear(ref.URL) {
+			t.Fatalf("refFor(%q) = %+v, want %+v", ref.URL, got, refForURLLinear(ref.URL))
+		}
+	}
+	adhoc := "http://example.invalid/x"
+	if got := s.refFor(adhoc); got != refForURLLinear(adhoc) {
+		t.Fatalf("ad-hoc refFor = %+v, want %+v", got, refForURLLinear(adhoc))
+	}
+}
+
+// BenchmarkRefForURL shows why the index matters: the old path was
+// O(corpus) per request (worst case: the last-ranked URL), the new one a
+// single map probe.
+func BenchmarkRefForURL(b *testing.B) {
+	pages := corpus.Pages()
+	last := pages[len(pages)-1].URL
+	b.Run("linear", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			refForURLLinear(last)
+		}
+	})
+	p, err := testPipeline()
+	if err != nil {
+		b.Fatal(err)
+	}
+	s := New(DefaultConfig(), p)
+	b.Run("map", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			s.refFor(last)
+		}
+	})
+}

@@ -12,13 +12,16 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"runtime"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"sonic/internal/core"
 	"sonic/internal/corpus"
 	"sonic/internal/imagecodec"
+	"sonic/internal/singleflight"
 	"sonic/internal/sms"
 	"sonic/internal/telemetry"
 	"sonic/internal/webrender"
@@ -69,13 +72,6 @@ type queuedPage struct {
 	Enqueued time.Time
 }
 
-// renderedPage is a server-side cache entry.
-type renderedPage struct {
-	bundle        core.Bundle
-	effectiveHour int
-	width, height int
-}
-
 // Config tunes the server.
 type Config struct {
 	Number  string // the SONIC SMS number users text
@@ -88,7 +84,19 @@ type Config struct {
 	// pages. 0 means GOMAXPROCS; 1 forces the serial path. The encoded
 	// bitstream is identical for every value.
 	Workers int
+	// RenderWorkers bounds how many cache-miss renders run at once across
+	// RenderPage/EnqueuePage/PushPopular callers. 0 means GOMAXPROCS.
+	RenderWorkers int
+	// RenderCachePages caps the render LRU (entries). 0 means
+	// DefaultRenderCachePages; negative means unbounded.
+	RenderCachePages int
 }
+
+// DefaultRenderCachePages is the render-cache capacity when
+// Config.RenderCachePages is 0. It comfortably holds the whole corpus
+// (corpus.NumSites sites × a handful of pages each) while bounding what
+// ad-hoc URL traffic can pin in memory.
+const DefaultRenderCachePages = 256
 
 // DefaultConfig returns the paper's settings.
 func DefaultConfig() Config {
@@ -105,10 +113,22 @@ type Server struct {
 	cfg      Config
 	pipeline *core.Pipeline
 
+	// refs indexes the corpus by URL once at construction so RenderPage
+	// resolves a PageRef in O(1) instead of scanning corpus.Pages().
+	refs map[string]corpus.PageRef
+
+	// cache and flight live outside s.mu: render misses must not hold the
+	// server mutex (SMS intake and queue ops keep flowing while pages
+	// render), and flight coalesces concurrent misses on one URL into a
+	// single render.
+	cache     *renderCache
+	flight    singleflight.Group
+	renderSem chan struct{} // bounds concurrent miss renders
+	inflight  atomic.Int64  // renders currently executing (gauge feed)
+
 	mu           sync.Mutex
 	transmitters []Transmitter
 	queues       map[string][]queuedPage // transmitter ID -> FIFO
-	rendered     map[string]renderedPage // URL -> cache
 	nextPageID   uint16
 	pageIDs      map[string]uint16
 	requests     int
@@ -122,8 +142,11 @@ type Server struct {
 	mNoCoverage  *telemetry.Counter // server_no_coverage_total
 	mCacheHits   *telemetry.Counter // server_render_cache_hits_total
 	mCacheMisses *telemetry.Counter // server_render_cache_misses_total
+	mCoalesced   *telemetry.Counter // server_render_coalesced_total
 	mEnqueued    *telemetry.Counter // server_pages_enqueued_total
 	mDequeued    *telemetry.Counter // server_pages_dequeued_total
+	gCacheSize   *telemetry.Gauge   // server_render_cache_size
+	gInflight    *telemetry.Gauge   // server_render_inflight
 }
 
 // Instrument registers the server's metric families on reg and starts
@@ -141,8 +164,12 @@ func (s *Server) Instrument(reg *telemetry.Registry) {
 	s.mNoCoverage = reg.Counter("server_no_coverage_total")
 	s.mCacheHits = reg.Counter("server_render_cache_hits_total")
 	s.mCacheMisses = reg.Counter("server_render_cache_misses_total")
+	s.mCoalesced = reg.Counter("server_render_coalesced_total")
 	s.mEnqueued = reg.Counter("server_pages_enqueued_total")
 	s.mDequeued = reg.Counter("server_pages_dequeued_total")
+	s.gCacheSize = reg.Gauge("server_render_cache_size")
+	s.gInflight = reg.Gauge("server_render_inflight")
+	s.gCacheSize.Set(float64(s.cache.len()))
 }
 
 // recordQueueDepth refreshes a transmitter's queue gauges; callers hold
@@ -162,12 +189,26 @@ func (s *Server) recordQueueDepth(txID string) {
 
 // New builds a server with the given transmission pipeline.
 func New(cfg Config, pipeline *core.Pipeline) *Server {
+	refs := make(map[string]corpus.PageRef)
+	for _, ref := range corpus.Pages() {
+		refs[ref.URL] = ref
+	}
+	capacity := cfg.RenderCachePages
+	if capacity == 0 {
+		capacity = DefaultRenderCachePages
+	}
+	workers := cfg.RenderWorkers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
 	return &Server{
-		cfg:      cfg,
-		pipeline: pipeline,
-		queues:   make(map[string][]queuedPage),
-		rendered: make(map[string]renderedPage),
-		pageIDs:  make(map[string]uint16),
+		cfg:       cfg,
+		pipeline:  pipeline,
+		refs:      refs,
+		cache:     newRenderCache(capacity),
+		renderSem: make(chan struct{}, workers),
+		queues:    make(map[string][]queuedPage),
+		pageIDs:   make(map[string]uint16),
 	}
 }
 
@@ -219,53 +260,117 @@ func (s *Server) pageIDFor(url string) uint16 {
 // the current simulation time. It mirrors §3.1: "either from its cache,
 // e.g., if recently requested by another user, or by directly accessing
 // it".
+//
+// Concurrency: the cache lookup is O(1) and lock-light; a miss is
+// coalesced per (url, effective hour) so N concurrent requests for one
+// cold URL render exactly once, and the render itself runs on a bounded
+// worker pool without holding the server mutex.
 func (s *Server) RenderPage(url string, now time.Time) (core.Bundle, error) {
 	hour := s.hourAt(now)
-	ref := refForURL(url)
+	ref := s.refFor(url)
 	eff := corpus.EffectiveHour(ref, hour)
 
-	s.mu.Lock()
-	if rp, ok := s.rendered[url]; ok && rp.effectiveHour == eff {
-		s.cacheHits++
-		s.mu.Unlock()
-		s.mCacheHits.Inc()
-		return rp.bundle, nil
+	if b, ok := s.cache.get(url, eff); ok {
+		s.noteCacheHit()
+		return b, nil
 	}
-	s.mu.Unlock()
-	s.mCacheMisses.Inc()
 
-	sp := s.tel.StartSpan("server.render_page")
-	defer sp.End()
-	page := corpus.Generate(ref, hour)
-	rendered := webrender.Render(page)
-	img := rendered.Image.Crop(imagecodec.MaxPageHeight)
-	encSp := sp.StartChild("encode_sic")
-	enc, err := imagecodec.EncodeSICWorkers(img, s.cfg.Quality, s.cfg.Workers)
-	encSp.End()
-	if err != nil {
-		return core.Bundle{}, fmt.Errorf("server: encode %s: %w", url, err)
-	}
-	cm, err := rendered.Clicks.MarshalJSON()
+	// The key carries the effective hour so a stale entry never satisfies
+	// a request from a later content epoch.
+	key := fmt.Sprintf("%s@%d", url, eff)
+	v, err, leader := s.flight.Do(key, func() (any, error) {
+		// Re-check under the flight: an earlier leader may have filled the
+		// cache between our miss and this call starting.
+		if b, ok := s.cache.get(url, eff); ok {
+			s.noteCacheHit()
+			return b, nil
+		}
+		s.mCacheMisses.Inc()
+		return s.renderMiss(url, ref, hour, eff)
+	})
 	if err != nil {
 		return core.Bundle{}, err
 	}
+	if !leader {
+		// Followers piggybacked on the leader's render: for cache
+		// accounting that is a hit (§3.1 "recently requested by another
+		// user"), tracked separately so the coalescing rate is visible.
+		s.mCoalesced.Inc()
+		s.noteCacheHit()
+	}
+	return v.(core.Bundle), nil
+}
+
+// renderMiss does the expensive miss work: generate → raster → SIC
+// encode → clickmap, each as a child span of server.render_page. It runs
+// outside s.mu on the bounded render pool.
+func (s *Server) renderMiss(url string, ref corpus.PageRef, hour, eff int) (core.Bundle, error) {
+	s.renderSem <- struct{}{}
+	defer func() { <-s.renderSem }()
+	s.gInflight.Set(float64(s.inflight.Add(1)))
+	defer func() { s.gInflight.Set(float64(s.inflight.Add(-1))) }()
+
+	sp := s.tel.StartSpan("server.render_page")
+	defer sp.End()
+
+	genSp := sp.StartChild("generate")
+	page := corpus.Generate(ref, hour)
+	genSp.End()
+
+	rasterSp := sp.StartChild("raster")
+	rendered := webrender.RenderCropped(page, imagecodec.MaxPageHeight)
+	rasterSp.End()
+
+	encSp := sp.StartChild("encode_sic")
+	enc, err := imagecodec.EncodeSICWorkers(rendered.Image, s.cfg.Quality, s.cfg.Workers)
+	encSp.End()
+	if err != nil {
+		rendered.Release()
+		return core.Bundle{}, fmt.Errorf("server: encode %s: %w", url, err)
+	}
+
+	cmSp := sp.StartChild("clickmap")
+	cm, err := rendered.Clicks.MarshalJSON()
+	cmSp.End()
+	w, h := rendered.Image.W, rendered.Image.H
+	rendered.Release()
+	if err != nil {
+		return core.Bundle{}, err
+	}
+
 	b := core.Bundle{Image: enc, ClickMap: cm}
-	s.mu.Lock()
-	s.rendered[url] = renderedPage{bundle: b, effectiveHour: eff, width: img.W, height: img.H}
-	s.mu.Unlock()
+	s.cache.put(url, renderedPage{bundle: b, effectiveHour: eff, width: w, height: h})
+	s.gCacheSize.Set(float64(s.cache.len()))
 	return b, nil
 }
 
-// refForURL maps any URL onto a corpus PageRef (known corpus pages keep
-// their rank; unknown URLs become ad-hoc unranked pages).
-func refForURL(url string) corpus.PageRef {
-	for _, ref := range corpus.Pages() {
-		if ref.URL == url {
-			return ref
-		}
+// noteCacheHit bumps both the legacy Stats counter and the metric.
+func (s *Server) noteCacheHit() {
+	s.mu.Lock()
+	s.cacheHits++
+	s.mu.Unlock()
+	s.mCacheHits.Inc()
+}
+
+// refFor maps any URL onto a corpus PageRef via the construction-time
+// index (known corpus pages keep their rank; unknown URLs become ad-hoc
+// unranked pages).
+func (s *Server) refFor(url string) corpus.PageRef {
+	if ref, ok := s.refs[url]; ok {
+		return ref
 	}
 	return corpus.PageRef{URL: url, Site: url, Rank: corpus.NumSites, Internal: true}
 }
+
+// FlushRenderCache drops every cached render. Benchmarks use it to
+// measure the cold path; operators could use it to force a re-render.
+func (s *Server) FlushRenderCache() {
+	s.cache.flush()
+	s.gCacheSize.Set(0)
+}
+
+// RenderCacheLen reports how many rendered pages are cached.
+func (s *Server) RenderCacheLen() int { return s.cache.len() }
 
 // Errors from request handling.
 var (

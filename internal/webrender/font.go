@@ -7,7 +7,12 @@
 // reference width, and emits the click map for each hyperlink.
 package webrender
 
-import "sonic/internal/imagecodec"
+import (
+	"sync"
+	"sync/atomic"
+
+	"sonic/internal/imagecodec"
+)
 
 // Glyph geometry: a classic 5x7 bitmap font, scaled at draw time.
 const (
@@ -98,25 +103,115 @@ func TextWidth(s string, scale int) int {
 // TextHeight returns the pixel height of text at the given scale.
 func TextHeight(scale int) int { return glyphH * scale }
 
+// glyphKey identifies one cached glyph sprite. Keying on the resolved
+// bitmap (not the rune) dedupes case folding and the unknown-rune box.
+type glyphKey struct {
+	g     [glyphH]uint8
+	scale int
+	c     imagecodec.RGB
+}
+
+// glyphSprite is the blit-ready form of one (glyph, scale, color): the
+// scaled [start, end) pixel runs of each glyph row, plus one solid color
+// row long enough to copy any run from. Because every run is the same
+// solid color, clipped blits never need a source offset.
+type glyphSprite struct {
+	spans    [glyphH][]int // flattened pairs of scaled x offsets
+	colorRow []byte        // 3*glyphW*scale bytes of c
+}
+
+// glyphAtlas caches sprites across renders. The working set is tiny
+// (≈50 glyphs × 4 scales × a handful of theme colors), but the count is
+// capped so adversarial inputs (arbitrary colors) cannot grow it without
+// bound — over the cap, sprites are built per call and not stored.
+var (
+	glyphAtlas      sync.Map // glyphKey -> *glyphSprite
+	glyphAtlasSize  atomic.Int64
+	maxAtlasSprites = int64(4096)
+)
+
+// buildSprite rasterizes the spans and color row for a key.
+func buildSprite(k glyphKey) *glyphSprite {
+	sp := &glyphSprite{colorRow: make([]byte, 3*glyphW*k.scale)}
+	for i := 0; i < glyphW*k.scale; i++ {
+		sp.colorRow[3*i], sp.colorRow[3*i+1], sp.colorRow[3*i+2] = k.c.R, k.c.G, k.c.B
+	}
+	for row := 0; row < glyphH; row++ {
+		bits := k.g[row]
+		for col := 0; col < glyphW; {
+			if bits&(1<<uint(glyphW-1-col)) == 0 {
+				col++
+				continue
+			}
+			run := col
+			for run < glyphW && bits&(1<<uint(glyphW-1-run)) != 0 {
+				run++
+			}
+			sp.spans[row] = append(sp.spans[row], col*k.scale, run*k.scale)
+			col = run
+		}
+	}
+	return sp
+}
+
+// spriteFor returns the cached sprite for a key, building (and, under the
+// atlas cap, storing) it on first use.
+func spriteFor(g [glyphH]uint8, scale int, c imagecodec.RGB) *glyphSprite {
+	k := glyphKey{g: g, scale: scale, c: c}
+	if v, ok := glyphAtlas.Load(k); ok {
+		return v.(*glyphSprite)
+	}
+	sp := buildSprite(k)
+	if glyphAtlasSize.Load() < maxAtlasSprites {
+		if _, loaded := glyphAtlas.LoadOrStore(k, sp); !loaded {
+			glyphAtlasSize.Add(1)
+		}
+	}
+	return sp
+}
+
+// blitSprite stamps a sprite with its top-left corner at (x, y), clipped
+// to the raster. Each covered raster row receives one copy per pixel run.
+func blitSprite(r *imagecodec.Raster, x, y, scale int, sp *glyphSprite) {
+	for row := 0; row < glyphH; row++ {
+		spans := sp.spans[row]
+		if len(spans) == 0 {
+			continue
+		}
+		base := y + row*scale
+		for dy := 0; dy < scale; dy++ {
+			yy := base + dy
+			if yy < 0 || yy >= r.H {
+				continue
+			}
+			dst := r.Pix[3*yy*r.W : 3*(yy+1)*r.W]
+			for i := 0; i < len(spans); i += 2 {
+				x0, x1 := x+spans[i], x+spans[i+1]
+				if x0 < 0 {
+					x0 = 0
+				}
+				if x1 > r.W {
+					x1 = r.W
+				}
+				if x0 < x1 {
+					copy(dst[3*x0:3*x1], sp.colorRow)
+				}
+			}
+		}
+	}
+}
+
 // DrawText renders s onto r with its top-left corner at (x, y), each font
 // pixel drawn as a scale×scale block. It returns the x coordinate just
-// past the rendered text.
+// past the rendered text. Glyphs blit from the sprite atlas row-wise
+// instead of plotting scale×scale rectangles per font pixel.
 func DrawText(r *imagecodec.Raster, x, y int, s string, scale int, c imagecodec.RGB) int {
 	if scale < 1 {
 		scale = 1
 	}
 	cx := x
 	for _, ch := range s {
-		g := glyphFor(ch)
-		for row := 0; row < glyphH; row++ {
-			bits := g[row]
-			for col := 0; col < glyphW; col++ {
-				if bits&(1<<uint(glyphW-1-col)) == 0 {
-					continue
-				}
-				r.FillRect(cx+col*scale, y+row*scale, scale, scale, c)
-			}
-		}
+		blitSprite(r, cx, y, scale, spriteFor(glyphFor(ch), scale, c))
 		cx += (glyphW + 1) * scale
 	}
 	return cx

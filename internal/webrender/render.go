@@ -2,6 +2,7 @@ package webrender
 
 import (
 	"math/rand"
+	"sync"
 
 	"sonic/internal/clickmap"
 	"sonic/internal/imagecodec"
@@ -29,6 +30,35 @@ type Rendered struct {
 	Clicks *clickmap.Map
 	// Rows[y] is the kind of block that painted row y.
 	Rows []BlockKind
+
+	// buf is the pooled backing store, returned by Release.
+	buf *renderBuf
+}
+
+// renderBuf is the reusable backing store of one render: the raster
+// pixels (~1080×10k×3 bytes for a tall page) and the per-row block
+// classification. Pooling them turns repeated renders from ~50 MB of
+// fresh allocations each into near-zero steady-state allocation.
+type renderBuf struct {
+	pix  []byte
+	rows []BlockKind
+}
+
+var renderPool = sync.Pool{New: func() any { return new(renderBuf) }}
+
+// Release returns the rendering's pooled buffers for reuse. After the
+// call, Image and Rows must no longer be used; callers that keep the
+// raster (experiments, examples) simply never call Release and the
+// buffers stay theirs.
+func (r *Rendered) Release() {
+	if r == nil || r.buf == nil {
+		return
+	}
+	buf := r.buf
+	r.buf = nil
+	r.Image = nil
+	r.Rows = nil
+	renderPool.Put(buf)
 }
 
 // TextRow reports whether row y is dominated by text (headings,
@@ -48,11 +78,37 @@ func (r *Rendered) TextRow(y int) bool {
 // the content needs; callers apply Raster.Crop(MaxPageHeight) to enforce
 // the paper's PH:10k policy.
 func Render(p *Page) *Rendered {
-	h := measure(p)
-	img := imagecodec.NewRaster(imagecodec.PageWidth, h)
+	return RenderCropped(p, 0)
+}
+
+// RenderCropped rasterizes the page directly into a raster of at most
+// maxH rows (0 = uncropped). The pixels are byte-identical to
+// Render(p).Image.Crop(maxH) and the click map matches the full render's
+// (regions below the crop are kept — §3.2 crops the image, not the
+// links) — but blocks below the crop line never paint, so the server
+// skips both the wasted rasterization of rows the PH:10k policy would
+// discard and the 30 MB copy Crop makes.
+func RenderCropped(p *Page, maxH int) *Rendered {
+	fullH := measure(p)
+	h := fullH
+	if maxH > 0 && h > maxH {
+		h = maxH
+	}
+	buf := renderPool.Get().(*renderBuf)
+	n := 3 * imagecodec.PageWidth * h
+	if cap(buf.pix) < n {
+		buf.pix = make([]byte, n)
+	}
+	if cap(buf.rows) < h {
+		buf.rows = make([]BlockKind, h)
+	}
+	img := &imagecodec.Raster{W: imagecodec.PageWidth, H: h, Pix: buf.pix[:n]}
 	img.Fill(p.Theme.PageBG)
 	clicks := &clickmap.Map{PageURL: p.URL}
-	rows := make([]BlockKind, h)
+	rows := buf.rows[:h]
+	for i := range rows {
+		rows[i] = 0
+	}
 
 	y := 0
 	for bi := range p.Blocks {
@@ -63,7 +119,7 @@ func Render(p *Page) *Rendered {
 		}
 		y = next
 	}
-	return &Rendered{Page: p, Image: img, Clicks: clicks, Rows: rows}
+	return &Rendered{Page: p, Image: img, Clicks: clicks, Rows: rows, buf: buf}
 }
 
 // measure computes the total rendered height and stores each block's
@@ -203,14 +259,49 @@ func renderTable(img *imagecodec.Raster, p *Page, b *Block, y int) {
 	img.FillRect(margin+w-1, y+2, 1, bottom-y-2, line)
 }
 
+// photoGrid is the control-point grid of the pseudo-photo generator.
+const photoGrid = 4
+
+// photoScratch holds the per-photo scanline state: the horizontal lerp of
+// every control row at every x (lerp[gy][3*x+c]) and one staging row of
+// output pixels. Pooled because a full-width photo needs ~125 KB of it.
+type photoScratch struct {
+	lerp [photoGrid + 1][]float64
+	row  []byte
+}
+
+var photoPool = sync.Pool{New: func() any { return new(photoScratch) }}
+
+func getPhotoScratch(w int) *photoScratch {
+	sc := photoPool.Get().(*photoScratch)
+	for gy := range sc.lerp {
+		if cap(sc.lerp[gy]) < 3*w {
+			sc.lerp[gy] = make([]float64, 3*w)
+		}
+		sc.lerp[gy] = sc.lerp[gy][:3*w]
+	}
+	if cap(sc.row) < 3*w {
+		sc.row = make([]byte, 3*w)
+	}
+	sc.row = sc.row[:3*w]
+	return sc
+}
+
 // drawPseudoPhoto paints a photo-like region: low-frequency color patches
 // with mild per-pixel noise, matching how real news imagery stresses the
 // codec more than flat UI chrome. The thumbnail is intentionally not
 // clickable (§3.4: videos are replaced by non-clickable thumbnails).
+//
+// The bilinear interpolation runs scanline-wise: the horizontal lerp of
+// each control row is computed once per x (it is identical for every
+// scanline), each output row folds just the vertical lerp plus grain, and
+// rows are staged in a scratch buffer and blitted with copy. Every
+// floating-point expression and the rng consumption order match the
+// per-pixel reference exactly, so output is byte-identical per seed.
 func drawPseudoPhoto(img *imagecodec.Raster, x0, y0, w, h int, seed int64) {
 	rng := rand.New(rand.NewSource(seed))
 	// 4x4 control grid, bilinear interpolation between random colors.
-	const grid = 4
+	const grid = photoGrid
 	var ctrl [grid + 1][grid + 1][3]float64
 	for gy := 0; gy <= grid; gy++ {
 		for gx := 0; gx <= grid; gx++ {
@@ -219,38 +310,81 @@ func drawPseudoPhoto(img *imagecodec.Raster, x0, y0, w, h int, seed int64) {
 			}
 		}
 	}
+	if w <= 0 || h <= 0 {
+		return
+	}
+	// Fully clipped photos skip rasterization entirely: the rng is private
+	// to this photo (seeded per block), so nothing else observes the
+	// skipped draws and the visible output is unchanged.
+	if y0 >= img.H || y0+h <= 0 || x0 >= img.W || x0+w <= 0 {
+		return
+	}
+	sc := getPhotoScratch(w)
+	defer photoPool.Put(sc)
+	for x := 0; x < w; x++ {
+		fx := float64(x) / float64(w) * grid
+		ix := int(fx)
+		if ix >= grid {
+			ix = grid - 1
+		}
+		rx := fx - float64(ix)
+		for gy := 0; gy <= grid; gy++ {
+			for c := 0; c < 3; c++ {
+				sc.lerp[gy][3*x+c] = ctrl[gy][ix][c]*(1-rx) + ctrl[gy][ix+1][c]*rx
+			}
+		}
+	}
+	// Horizontal clip of the staged row against the raster; the full row
+	// is always computed so the grain rng stays in reference order even
+	// when part of the photo falls outside the raster.
+	dx0, sx0 := x0, 0
+	if dx0 < 0 {
+		sx0, dx0 = -dx0, 0
+	}
+	dx1 := x0 + w
+	if dx1 > img.W {
+		dx1 = img.W
+	}
+	row := sc.row
 	for y := 0; y < h; y++ {
+		if y0+y >= img.H {
+			// Rows only get lower from here; nothing below the raster is
+			// visible and this photo's rng feeds nothing else.
+			break
+		}
 		fy := float64(y) / float64(h) * grid
 		iy := int(fy)
 		if iy >= grid {
 			iy = grid - 1
 		}
 		ry := fy - float64(iy)
-		for x := 0; x < w; x++ {
-			fx := float64(x) / float64(w) * grid
-			ix := int(fx)
-			if ix >= grid {
-				ix = grid - 1
-			}
-			rx := fx - float64(ix)
-			var px [3]float64
-			for c := 0; c < 3; c++ {
-				top := ctrl[iy][ix][c]*(1-rx) + ctrl[iy][ix+1][c]*rx
-				bot := ctrl[iy+1][ix][c]*(1-rx) + ctrl[iy+1][ix+1][c]*rx
-				px[c] = top*(1-ry) + bot*ry
-			}
+		omy := 1 - ry
+		top, bot := sc.lerp[iy][:len(row)], sc.lerp[iy+1][:len(row)]
+		if y%3 == 0 {
 			// Mild, horizontally-correlated grain (like the JPEG-smoothed
 			// photos on real pages) rather than per-pixel noise.
-			var n float64
-			if y%3 == 0 && x%4 == 0 {
-				n = float64(rng.Intn(7)) - 3
+			for x := 0; x < w; x++ {
+				var n float64
+				if x%4 == 0 {
+					n = float64(rng.Intn(7)) - 3
+				}
+				i := 3 * x
+				row[i] = clampU8(top[i]*omy + bot[i]*ry + n)
+				row[i+1] = clampU8(top[i+1]*omy + bot[i+1]*ry + n)
+				row[i+2] = clampU8(top[i+2]*omy + bot[i+2]*ry + n)
 			}
-			img.Set(x0+x, y0+y, imagecodec.RGB{
-				R: clampU8(px[0] + n),
-				G: clampU8(px[1] + n),
-				B: clampU8(px[2] + n),
-			})
+		} else {
+			for i := 0; i+2 < len(row); i += 3 {
+				row[i] = clampU8(top[i]*omy + bot[i]*ry)
+				row[i+1] = clampU8(top[i+1]*omy + bot[i+1]*ry)
+				row[i+2] = clampU8(top[i+2]*omy + bot[i+2]*ry)
+			}
 		}
+		yy := y0 + y
+		if yy < 0 || dx0 >= dx1 {
+			continue
+		}
+		copy(img.Pix[3*(yy*img.W+dx0):3*(yy*img.W+dx1)], row[3*sx0:])
 	}
 }
 

@@ -28,6 +28,7 @@ if not shared:
 
 print(f"benchguard: {prev_path} -> {curr_path}")
 failed = False
+rows = []
 for k in shared:
     old = prev[k]["ns_per_op"]
     new = curr[k]["ns_per_op"]
@@ -36,7 +37,31 @@ for k in shared:
     if ratio > 2.0:
         failed = True
         flag = "  << REGRESSION (>2x)"
+    rows.append((k, old, new, ratio, flag))
     print(f"  {k:24s} {old / 1e6:10.3f} ms -> {new / 1e6:10.3f} ms  ({ratio:5.2f}x){flag}")
+
+# Kernels that first appear in the newer snapshot (e.g. the render_*
+# family) have no baseline to guard against yet; list them so the
+# snapshot diff is self-describing, and so a kernel silently vanishing
+# from the suite is visible too.
+added = sorted(set(curr) - set(prev))
+if added:
+    print("benchguard: new kernels (baseline established by this snapshot):")
+    for k in added:
+        print(f"  {k:24s} {'':>10s}       {curr[k]['ns_per_op'] / 1e6:10.3f} ms  (new)")
+removed = sorted(set(prev) - set(curr))
+if removed:
+    print("benchguard: kernels dropped from the newer snapshot: " + ", ".join(removed))
+
 if failed:
     sys.exit(1)
+
+# Success: print the delta table summary — biggest improvements first —
+# so a green run still shows what the PR bought.
+rows.sort(key=lambda r: r[3])
+improved = sum(1 for r in rows if r[3] < 0.98)
+print(f"benchguard: OK — {len(rows)} shared kernels, {improved} improved, {len(added)} new")
+for k, old, new, ratio, _ in rows:
+    if ratio < 0.98:
+        print(f"  {k:24s} {1 / ratio:5.2f}x faster")
 EOF
