@@ -35,17 +35,21 @@ func main() {
 		listen = flag.String("listen", "127.0.0.1:7333", "control-link listen address")
 		push   = flag.Int("push", 10, "popular pages to pre-queue in -serve mode")
 		tel    = flag.String("telemetry", "", "serve the ops endpoint (/metrics, /metrics.json, /debug/pprof) on this address, e.g. :7380")
+		sloAir = flag.Duration("slo-on-air", 0, "request->on-air SLO budget (0 disables the evaluator)")
 	)
 	flag.Parse()
 
 	var reg *telemetry.Registry // nil unless -telemetry: all records are no-ops
 	if *tel != "" {
 		reg = telemetry.New()
+		telemetry.NewLifecycle(reg, telemetry.LifecycleConfig{
+			SLOTargets: telemetry.SLOTargets{RequestToOnAir: *sloAir},
+		})
 		bound, err := telemetry.Serve(*tel, reg)
 		if err != nil {
 			fatalf("telemetry: %v", err)
 		}
-		fmt.Printf("telemetry: http://%s/metrics (JSON at /metrics.json, profiles at /debug/pprof)\n", bound)
+		fmt.Printf("telemetry: http://%s/metrics (prom at /metrics?format=prom, JSON at /metrics.json, traces at /trace/<id>, profiles at /debug/pprof)\n", bound)
 	}
 
 	pipe, err := core.NewPipeline(core.DefaultConfig())

@@ -36,18 +36,27 @@ func main() {
 		uplinkPct = flag.Int("uplink", 20, "percent of listeners with SMS uplink (user-C)")
 		seed      = flag.Int64("seed", 1, "simulation seed")
 		telAddr   = flag.String("telemetry", "", "serve the ops endpoint (/metrics, /metrics.json, /debug/pprof) on this address, e.g. :7380; keeps the process alive after the report")
+		sloAir    = flag.Duration("slo-on-air", 45*time.Minute, "request->on-air SLO budget (0 disables the evaluator)")
+		sloDeliv  = flag.Duration("slo-delivered", time.Hour, "request->delivered SLO budget (0 disables the evaluator)")
 	)
 	flag.Parse()
 
 	var reg *telemetry.Registry // nil unless -telemetry: all records below are no-ops
+	var lc *telemetry.Lifecycle
 	if *telAddr != "" {
 		reg = telemetry.New()
+		lc = telemetry.NewLifecycle(reg, telemetry.LifecycleConfig{
+			SLOTargets: telemetry.SLOTargets{
+				RequestToOnAir:     *sloAir,
+				RequestToDelivered: *sloDeliv,
+			},
+		})
 		bound, err := telemetry.Serve(*telAddr, reg)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
-		fmt.Printf("telemetry: http://%s/metrics (JSON at /metrics.json, profiles at /debug/pprof)\n", bound)
+		fmt.Printf("telemetry: http://%s/metrics (prom at /metrics?format=prom, JSON at /metrics.json, traces at /trace/<id>, profiles at /debug/pprof)\n", bound)
 	}
 
 	pipe, err := core.NewPipeline(core.DefaultConfig())
@@ -104,13 +113,27 @@ func main() {
 	// nothing per page).
 	sched := car.Schedule(100000)
 	entries := car.Entries()
+	// Lifecycle traces are stamped in simulation time: second 0 of the
+	// sim is the Unix epoch, so request→on-air latencies land on the
+	// histograms at their simulated (minutes-scale) values.
+	base := time.Unix(0, 0)
+	simTime := func(s float64) time.Time {
+		return base.Add(time.Duration(s * float64(time.Second)))
+	}
+	type pendingReq struct {
+		t0 float64
+		tr *telemetry.Trace
+	}
 	var (
 		simT         float64 // seconds
 		horizonS     = float64(*hours) * 3600
 		transmission int
 		freshAt      = map[string]int{} // url -> hour of content last aired
 		requests     []float64          // request-to-delivery latencies
-		pending      = map[string][]float64{}
+		pending      = map[string][]pendingReq{}
+		pendingN     int
+		gPending     = reg.Gauge("sim_pending_requests")
+		gSimHours    = reg.Gauge("sim_clock_hours")
 	)
 	for _, idx := range sched {
 		if simT >= horizonS {
@@ -120,6 +143,7 @@ func main() {
 		hour := int(simT / 3600)
 		bytes := size(e.Ref, hour)
 		air := float64(bytes) * 8 / *rate
+		airStart := simT
 		simT += air
 		transmission++
 		freshAt[e.Ref.URL] = hour
@@ -134,8 +158,12 @@ func main() {
 			}
 		}
 		// Outstanding requests for this page are satisfied now.
-		for _, t0 := range pending[e.Ref.URL] {
-			requests = append(requests, simT-t0)
+		for _, p := range pending[e.Ref.URL] {
+			requests = append(requests, simT-p.t0)
+			p.tr.StampAt(telemetry.StageOnAirStart, simTime(airStart))
+			p.tr.StampAt(telemetry.StageOnAirDone, simTime(simT))
+			p.tr.StampAt(telemetry.StageDelivered, simTime(simT))
+			pendingN--
 		}
 		delete(pending, e.Ref.URL)
 
@@ -144,9 +172,25 @@ func main() {
 			who := rng.Intn(len(pop))
 			if pop[who].uplink {
 				ref := pages[rng.Intn(10)] // popular head
-				pending[ref.URL] = append(pending[ref.URL], simT)
+				at := simTime(simT)
+				tr := lc.BeginAt(ref.URL, fmt.Sprintf("sim-user-%d", who), at)
+				tr.StampAt(telemetry.StageAdmitted, at)
+				// The carousel broadcasts pre-rendered content, so the
+				// request is queue-bound from admission on.
+				tr.StampAt(telemetry.StageEnqueued, at)
+				pending[ref.URL] = append(pending[ref.URL], pendingReq{t0: simT, tr: tr})
+				pendingN++
 			}
 		}
+		gPending.Set(float64(pendingN))
+		gSimHours.Set(simT / 3600)
+	}
+	// Requests never aired within the horizon are aborted, not leaked.
+	for url, reqs := range pending {
+		for _, p := range reqs {
+			p.tr.Abort(simTime(horizonS), "sim horizon reached")
+		}
+		delete(pending, url)
 	}
 
 	// --- report -----------------------------------------------------------
@@ -183,6 +227,23 @@ func main() {
 	wait := car.ExpectedWaitSeconds(*rate)
 	fmt.Printf("carousel expected wait for a random popular page: %s\n",
 		time.Duration(wait*float64(time.Second)).Round(time.Second))
+
+	if reg != nil {
+		snap := reg.Snapshot()
+		if h, ok := snap.Histograms["request_to_on_air_seconds"]; ok && h.Count > 0 {
+			fmt.Printf("lifecycle: request->on-air p50 %s p99 %s over %d traced requests\n",
+				time.Duration(h.P50*float64(time.Second)).Round(time.Second),
+				time.Duration(h.P99*float64(time.Second)).Round(time.Second), h.Count)
+		}
+		breaches := int64(0)
+		for k, v := range snap.Counters {
+			if name, _ := telemetry.ParseMetricKey(k); name == "lifecycle_slo_breach_total" {
+				breaches += v
+			}
+		}
+		fmt.Printf("lifecycle: %d SLO breaches (budgets: on-air %s, delivered %s)\n",
+			breaches, *sloAir, *sloDeliv)
+	}
 
 	if reg != nil {
 		// The discrete-event loop above models the channel analytically,

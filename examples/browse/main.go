@@ -16,6 +16,7 @@ import (
 	"sonic/internal/corpus"
 	"sonic/internal/server"
 	"sonic/internal/sms"
+	"sonic/internal/telemetry"
 )
 
 func main() {
@@ -25,7 +26,10 @@ func main() {
 	}
 
 	// --- infrastructure ---------------------------------------------------
+	reg := telemetry.New()
+	telemetry.NewLifecycle(reg, telemetry.LifecycleConfig{})
 	srv := sonic.NewServer(sonic.DefaultServerConfig(), pipe)
+	srv.Instrument(reg)
 	srv.AddTransmitter(sonic.Transmitter{
 		ID: "tx-karachi", FreqMHz: 93.7, Lat: 24.86, Lon: 67.00, RadiusKm: 40,
 	})
@@ -51,6 +55,7 @@ func main() {
 		Capability: sonic.UplinkSMS,
 	})
 	userC.AttachSMSC(smsc)
+	userC.Instrument(reg)
 	// User-A: downlink only, radio across the room (0.5 m of air).
 	userA := sonic.NewClient(sonic.ClientConfig{ScreenWidth: 540})
 
@@ -121,6 +126,11 @@ func main() {
 		}
 	}
 
-	reqs, hits := srv.Stats()
-	fmt.Printf("[server] requests=%d cacheHits=%d\n", reqs, hits)
+	snap := reg.Snapshot()
+	fmt.Printf("[server] requests=%d cacheHits=%d\n",
+		snap.Counters["server_sms_requests_total"],
+		snap.Counters["server_render_cache_hits_total"])
+	if h, ok := snap.Histograms["request_to_on_air_seconds"]; ok && h.Count > 0 {
+		fmt.Printf("[server] request->on-air p50 %.1fs over %d requests\n", h.P50, h.Count)
+	}
 }

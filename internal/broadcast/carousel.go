@@ -18,18 +18,31 @@ import (
 type Carousel struct {
 	entries []CarouselEntry
 	policy  CarouselPolicy
+	rateBps float64 // set by Instrument; converts bytes to airtime
 
 	// Telemetry (nil handles = off; see internal/telemetry).
 	mScheduled *telemetry.Counter // broadcast_scheduled_total
+	mDepth     *telemetry.Gauge   // carousel_depth_pages
+	mMaxPeriod *telemetry.Gauge   // carousel_max_period_seconds
+	mHorizon   *telemetry.Gauge   // carousel_schedule_horizon_seconds
 }
 
 // Instrument registers the carousel's metric families on reg: the
 // broadcast_airtime_share{url=...} gauge for the top entries by demand,
 // the broadcast_expected_wait_seconds histogram (per-entry expected wait
-// for a random arrival at rateBps), and broadcast_scheduled_total, bumped
-// once per transmission slot emitted by Schedule. Call once at setup.
+// for a random arrival at rateBps), broadcast_scheduled_total (bumped
+// once per transmission slot emitted by Schedule), and the rotation's
+// depth/age pair: carousel_depth_pages (pages in rotation) and
+// carousel_max_period_seconds (the longest gap between re-airs of any
+// page — the oldest a carousel listener's copy can get before refresh).
+// Schedule refreshes carousel_schedule_horizon_seconds, the airtime the
+// most recently planned slots cover. Call once at setup.
 func (c *Carousel) Instrument(reg *telemetry.Registry, rateBps float64) {
 	c.mScheduled = reg.Counter("broadcast_scheduled_total")
+	c.mDepth = reg.Gauge("carousel_depth_pages")
+	c.mMaxPeriod = reg.Gauge("carousel_max_period_seconds")
+	c.mHorizon = reg.Gauge("carousel_schedule_horizon_seconds")
+	c.rateBps = rateBps
 	if reg == nil {
 		return
 	}
@@ -37,12 +50,18 @@ func (c *Carousel) Instrument(reg *telemetry.Registry, rateBps float64) {
 	for _, e := range c.TopNByDemand(topN) {
 		reg.Gauge("broadcast_airtime_share", "url", e.Ref.URL).Set(e.share)
 	}
+	c.mDepth.Set(float64(len(c.entries)))
 	if rateBps > 0 {
 		h := reg.Histogram("broadcast_expected_wait_seconds", telemetry.SecondsBuckets)
+		var worst float64
 		for _, e := range c.entries {
 			airSec := float64(e.Bytes) * 8 / rateBps
 			h.Observe(airSec/e.share/2 + airSec)
+			if period := airSec / e.share; period > worst {
+				worst = period
+			}
 		}
+		c.mMaxPeriod.Set(worst)
 	}
 }
 
@@ -139,6 +158,7 @@ func (c *Carousel) Schedule(n int) []int {
 		next[i] = period[i] * (1 + float64(i)/float64(len(c.entries))) / 2
 	}
 	out := make([]int, 0, n)
+	var planned int64
 	for len(out) < n {
 		best := 0
 		for i := 1; i < len(next); i++ {
@@ -147,9 +167,13 @@ func (c *Carousel) Schedule(n int) []int {
 			}
 		}
 		out = append(out, best)
+		planned += int64(c.entries[best].Bytes)
 		next[best] += period[best]
 	}
 	c.mScheduled.Add(int64(len(out)))
+	if c.rateBps > 0 {
+		c.mHorizon.Set(float64(planned) * 8 / c.rateBps)
+	}
 	return out
 }
 

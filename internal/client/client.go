@@ -50,21 +50,23 @@ type Client struct {
 	pending map[string]time.Time // URL -> ack ETA deadline
 	smsc    *sms.SMSC
 
-	received  int
-	requested int
-
 	// Telemetry (nil handles = off; see internal/telemetry).
 	mReceived  *telemetry.Counter // client_pages_received_total
 	mRequested *telemetry.Counter // client_requests_sent_total
 	mOpened    *telemetry.Counter // client_pages_opened_total
+	lc         *telemetry.Lifecycle
 }
 
-// Instrument registers the client's metric families on reg. Call once at
-// setup, before the client starts handling broadcasts.
+// Instrument registers the client's metric families on reg. If a
+// request lifecycle tracker is installed on reg, every ingested
+// broadcast also confirms delivery on the matching open traces —
+// the decode-side receipt that closes the request loop end to end.
+// Call once at setup, before the client starts handling broadcasts.
 func (c *Client) Instrument(reg *telemetry.Registry) {
 	c.mReceived = reg.Counter("client_pages_received_total")
 	c.mRequested = reg.Counter("client_requests_sent_total")
 	c.mOpened = reg.Counter("client_pages_opened_total")
+	c.lc = reg.Lifecycle()
 }
 
 // New builds a client.
@@ -116,8 +118,8 @@ func (c *Client) HandleBroadcast(url string, b core.Bundle, now time.Time, ttl t
 		Popularity: popularity,
 	})
 	delete(c.pending, url)
-	c.received++
 	c.mReceived.Inc()
+	c.lc.DeliveredAt(url, now)
 }
 
 // Page is a browsable cached page, decoded and scaled for this device.
@@ -205,9 +207,6 @@ func (c *Client) Request(url string, now time.Time) error {
 	if err := smsc.Submit(now, c.cfg.Number, c.cfg.SonicNumber, body); err != nil {
 		return err
 	}
-	c.mu.Lock()
-	c.requested++
-	c.mu.Unlock()
 	c.mRequested.Inc()
 	return nil
 }
@@ -218,15 +217,4 @@ func (c *Client) PendingETA(url string) (time.Time, bool) {
 	defer c.mu.Unlock()
 	t, ok := c.pending[url]
 	return t, ok
-}
-
-// Stats returns (pages received, requests sent).
-//
-// Deprecated: prefer Instrument and the client_* telemetry families,
-// which cover more events and export over the ops endpoint. Stats reads
-// its counters under c.mu and remains race-safe for existing callers.
-func (c *Client) Stats() (received, requested int) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.received, c.requested
 }

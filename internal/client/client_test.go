@@ -8,6 +8,7 @@ import (
 	"sonic/internal/core"
 	"sonic/internal/imagecodec"
 	"sonic/internal/sms"
+	"sonic/internal/telemetry"
 )
 
 // makeBundle builds a small page bundle with one link region.
@@ -105,6 +106,8 @@ func TestClickUncachedRequestsViaSMS(t *testing.T) {
 		ScreenWidth: 1080, Capability: UplinkSMS,
 		Lat: 24.86, Lon: 67.0,
 	})
+	reg := telemetry.New()
+	c.Instrument(reg)
 	c.AttachSMSC(smsc)
 	now := time.Unix(0, 0)
 	c.HandleBroadcast("a.pk/", makeBundle(t, "a.pk/", "a.pk/story"), now, time.Hour, 1)
@@ -120,7 +123,7 @@ func TestClickUncachedRequestsViaSMS(t *testing.T) {
 	if err != nil || req.URL != "a.pk/story" {
 		t.Errorf("request = %+v %v", req, err)
 	}
-	if _, requested := c.Stats(); requested != 1 {
+	if requested := reg.Snapshot().Counters["client_requests_sent_total"]; requested != 1 {
 		t.Error("request counter wrong")
 	}
 }

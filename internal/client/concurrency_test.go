@@ -10,12 +10,13 @@ import (
 )
 
 // TestConcurrentClientUse drives broadcast ingest, page opens, catalog
-// reads, and the deprecated Stats from many goroutines. Under -race it
-// proves the instrumented counters and the legacy mutex-guarded ones
-// stay data-race free.
+// reads, and registry snapshots from many goroutines. Under -race it
+// proves the instrumented counters and the lifecycle delivery
+// confirmation path stay data-race free.
 func TestConcurrentClientUse(t *testing.T) {
 	c := New(Config{Number: "+9201", SonicNumber: "+92111", ScreenWidth: 720})
 	reg := telemetry.New()
+	telemetry.NewLifecycle(reg, telemetry.LifecycleConfig{})
 	c.Instrument(reg)
 	now := time.Unix(0, 0)
 
@@ -35,7 +36,7 @@ func TestConcurrentClientUse(t *testing.T) {
 					return
 				}
 				c.Catalog(now)
-				c.Stats()
+				reg.Snapshot()
 			}
 		}(w)
 	}
@@ -48,8 +49,7 @@ func TestConcurrentClientUse(t *testing.T) {
 	if got := snap.Counters["client_pages_opened_total"]; got != workers*10 {
 		t.Errorf("opened counter = %d, want %d", got, workers*10)
 	}
-	received, requested := c.Stats()
-	if received != workers*10 || requested != 0 {
-		t.Errorf("Stats() = (%d, %d), want (%d, 0)", received, requested, workers*10)
+	if requested := snap.Counters["client_requests_sent_total"]; requested != 0 {
+		t.Errorf("requests sent = %d, want 0", requested)
 	}
 }

@@ -18,6 +18,7 @@ import (
 	"sonic/internal/corpus"
 	"sonic/internal/fm"
 	"sonic/internal/server"
+	"sonic/internal/sms"
 	"sonic/internal/telemetry"
 )
 
@@ -27,13 +28,23 @@ const sampleRate = 48000
 // Run drives the probe workload against reg. Every layer is touched at
 // least once: a page render (cache miss then hit), queue churn on a
 // transmitter, a full encode → FM channel → decode round trip of a
-// synthetic bundle, a client broadcast ingest, and a carousel schedule.
+// synthetic bundle, a client broadcast ingest, a carousel schedule, and
+// a complete SMS request → enqueue → on-air → decode-side delivery loop
+// so the request lifecycle histograms (request_to_on_air_seconds,
+// request_to_delivered_seconds, per-stage waits) are all populated.
 func Run(reg *telemetry.Registry) error {
 	pipe, err := core.NewPipeline(core.DefaultConfig())
 	if err != nil {
 		return fmt.Errorf("obsprobe: pipeline: %w", err)
 	}
 	pipe.Instrument(reg)
+
+	// Lifecycle tracing: reuse the process's tracker when one is already
+	// installed, otherwise install one so the probe populates the
+	// lifecycle families too.
+	if reg != nil && reg.Lifecycle() == nil {
+		telemetry.NewLifecycle(reg, telemetry.LifecycleConfig{})
+	}
 
 	// Server: render the same page twice (miss, then hit), queue churn.
 	srv := server.New(server.DefaultConfig(), pipe)
@@ -79,13 +90,36 @@ func Run(reg *telemetry.Registry) error {
 		return fmt.Errorf("obsprobe: probe page incomplete (%d frames lost)", res.FramesLost)
 	}
 
-	// Client: ingest the rendered bundle as a broadcast and open it.
-	cl := client.New(client.Config{Number: "+920000000001", SonicNumber: "+92111", ScreenWidth: 720})
+	// Client: ingest the rendered bundle as a broadcast and open it. The
+	// ingest confirms delivery of the enqueue/dequeue churn above, closing
+	// that trace end to end.
+	cl := client.New(client.Config{
+		Number: "+920000000001", SonicNumber: "+92111",
+		ScreenWidth: 720, Lat: 24.87, Lon: 67.01,
+		Capability: client.UplinkSMS,
+	})
 	cl.Instrument(reg)
 	cl.HandleBroadcast(url, bundle, now, srv.PageTTL(), 1.0)
 	if _, err := cl.Open(url, now); err != nil {
 		return fmt.Errorf("obsprobe: client open: %w", err)
 	}
+
+	// Lifecycle loop: a real SMS request travels the whole stack —
+	// uplink delivery, admission, render, enqueue, transmitter dequeue
+	// (on air), and a broadcast ingest that confirms delivery.
+	smsc := sms.NewSMSC(time.Second, 2*time.Second, 11)
+	smsc.Register("+92111", srv.HandleSMS(smsc))
+	cl.AttachSMSC(smsc)
+	reqURL := corpus.Pages()[1].URL
+	if err := cl.Request(reqURL, now); err != nil {
+		return fmt.Errorf("obsprobe: sms request: %w", err)
+	}
+	smsc.Advance(now.Add(3 * time.Second)) // deliver request; server queues + acks
+	gotURL, _, reqBundle, ok := srv.DequeuePage("tx-probe")
+	if !ok || gotURL != reqURL {
+		return fmt.Errorf("obsprobe: sms-requested page not queued (got %q ok=%v)", gotURL, ok)
+	}
+	cl.HandleBroadcast(gotURL, reqBundle, now.Add(10*time.Second), srv.PageTTL(), 1.0)
 
 	// Broadcast: a carousel over the corpus, instrumented at the
 	// pipeline's net goodput, emitting one schedule round.

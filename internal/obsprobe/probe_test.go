@@ -73,3 +73,52 @@ func TestRunPopulatesAllFamilies(t *testing.T) {
 		}
 	}
 }
+
+// TestRunPopulatesLifecycle pins the acceptance contract the ops smoke
+// relies on: one probe run yields non-zero request→on-air latency
+// quantiles, a delivery confirmation, and reconstructable traces in the
+// event ring.
+func TestRunPopulatesLifecycle(t *testing.T) {
+	if testing.Short() {
+		t.Skip("DSP-heavy probe")
+	}
+	reg := telemetry.New()
+	if err := Run(reg); err != nil {
+		t.Fatal(err)
+	}
+	snap := reg.Snapshot()
+
+	h, ok := snap.Histograms["request_to_on_air_seconds"]
+	if !ok || h.Count == 0 {
+		t.Fatalf("request_to_on_air_seconds not populated: %+v", h)
+	}
+	if h.P50 <= 0 || h.P99 <= 0 {
+		t.Errorf("request->on-air p50=%g p99=%g, want > 0", h.P50, h.P99)
+	}
+	if snap.Counters["lifecycle_delivered_total"] == 0 {
+		t.Error("no decode-side delivery confirmations recorded")
+	}
+	if snap.Counters["lifecycle_requests_total"] < 2 {
+		t.Errorf("lifecycle requests = %d, want >= 2 (queue churn + SMS loop)",
+			snap.Counters["lifecycle_requests_total"])
+	}
+
+	ring := reg.Lifecycle().Ring()
+	events := ring.Events("")
+	if len(events) == 0 {
+		t.Fatal("event ring empty after probe")
+	}
+	// Every event belongs to a trace that /trace/<id> can reconstruct.
+	byTrace := map[string]int{}
+	for _, e := range events {
+		if e.Trace == "" {
+			t.Fatalf("event without trace ID: %+v", e)
+		}
+		byTrace[e.Trace]++
+	}
+	for id, n := range byTrace {
+		if got := ring.Events(id); len(got) != n {
+			t.Errorf("trace %s: filter returned %d events, want %d", id, len(got), n)
+		}
+	}
+}

@@ -10,12 +10,13 @@ import (
 )
 
 // TestConcurrentServerUse hammers the server's public surface — render,
-// queue churn, queue-depth reads, and the deprecated Stats — from many
+// queue churn, queue-depth reads, and registry snapshots — from many
 // goroutines at once. Run under -race it proves the instrumented paths
-// and the legacy mutex-guarded counters stay data-race free.
+// (including lifecycle stamping) stay data-race free.
 func TestConcurrentServerUse(t *testing.T) {
 	s := testServer(t)
 	reg := telemetry.New()
+	telemetry.NewLifecycle(reg, telemetry.LifecycleConfig{})
 	s.Instrument(reg)
 	now := time.Unix(0, 0)
 	urls := []string{
@@ -49,7 +50,7 @@ func TestConcurrentServerUse(t *testing.T) {
 				}
 				s.DequeuePage("khi-1")
 				s.QueueDepth("khi-1")
-				s.Stats()
+				reg.Snapshot()
 			}
 		}(w)
 	}
@@ -67,8 +68,12 @@ func TestConcurrentServerUse(t *testing.T) {
 	if snap.Counters["server_pages_enqueued_total"] != int64(workers*20) {
 		t.Errorf("enqueued = %d, want %d", snap.Counters["server_pages_enqueued_total"], workers*20)
 	}
-	requests, hits := s.Stats()
-	if requests != 0 || hits < len(urls) {
-		t.Errorf("Stats() = (%d, %d) inconsistent with workload", requests, hits)
+	if requests, hits := snap.Counters["server_sms_requests_total"], snap.Counters["server_render_cache_hits_total"]; requests != 0 || hits < int64(len(urls)) {
+		t.Errorf("counters = (%d, %d) inconsistent with workload", requests, hits)
+	}
+	// Every enqueue began a lifecycle trace and every dequeue stamped it
+	// on-air; under -race this also proves trace stamping is thread-safe.
+	if snap.Counters["lifecycle_requests_total"] != int64(workers*20) {
+		t.Errorf("lifecycle requests = %d, want %d", snap.Counters["lifecycle_requests_total"], workers*20)
 	}
 }

@@ -70,6 +70,9 @@ type queuedPage struct {
 	Bundle   core.Bundle
 	Bytes    int
 	Enqueued time.Time
+	// Trace is the lifecycle trace of the request that queued the page
+	// (nil when tracing is off or the page was pushed preemptively).
+	Trace *telemetry.Trace
 }
 
 // Config tunes the server.
@@ -131,11 +134,16 @@ type Server struct {
 	queues       map[string][]queuedPage // transmitter ID -> FIFO
 	nextPageID   uint16
 	pageIDs      map[string]uint16
-	requests     int
-	cacheHits    int
+	// lastNow is the most recent caller-supplied timestamp (HandleSMS /
+	// EnqueuePage / PushPopular). Dequeue has no time parameter, so the
+	// lifecycle on-air stamps and queue-age gauges read this to stay in
+	// the caller's clock domain (wall time live, simulation time in
+	// tests and sims).
+	lastNow time.Time
 
 	// Telemetry (nil handles = off; see internal/telemetry).
 	tel          *telemetry.Registry
+	lc           *telemetry.Lifecycle
 	mRequests    *telemetry.Counter // server_sms_requests_total
 	mReplies     *telemetry.Counter // server_sms_replies_total
 	mBadRequests *telemetry.Counter // server_sms_bad_requests_total
@@ -153,11 +161,15 @@ type Server struct {
 // recording: SMS intake and reply counters, render-cache hit/miss
 // counters, a server.render_page span (the render-latency histogram),
 // a server.handle_sms span (the SMS round-trip histogram), and per-
-// transmitter queue depth gauges (server_queue_depth_pages{tx=...},
-// server_queue_depth_bytes{tx=...}). Call it once at setup, before the
-// server starts handling traffic.
+// transmitter queue depth and age gauges (server_queue_depth_pages,
+// server_queue_depth_bytes, server_queue_age_seconds, all {tx=...}).
+// If a request lifecycle tracker is installed on reg (see
+// telemetry.NewLifecycle), the server also stamps every SMS request
+// through received → admitted → render → enqueued → on-air. Call it
+// once at setup, before the server starts handling traffic.
 func (s *Server) Instrument(reg *telemetry.Registry) {
 	s.tel = reg
+	s.lc = reg.Lifecycle()
 	s.mRequests = reg.Counter("server_sms_requests_total")
 	s.mReplies = reg.Counter("server_sms_replies_total")
 	s.mBadRequests = reg.Counter("server_sms_bad_requests_total")
@@ -172,8 +184,9 @@ func (s *Server) Instrument(reg *telemetry.Registry) {
 	s.gCacheSize.Set(float64(s.cache.len()))
 }
 
-// recordQueueDepth refreshes a transmitter's queue gauges; callers hold
-// s.mu.
+// recordQueueDepth refreshes a transmitter's queue depth and age
+// gauges; callers hold s.mu. Queue age is how long the head page has
+// waited, measured against the last caller-supplied timestamp.
 func (s *Server) recordQueueDepth(txID string) {
 	if s.tel == nil {
 		return
@@ -185,6 +198,22 @@ func (s *Server) recordQueueDepth(txID string) {
 	}
 	s.tel.Gauge("server_queue_depth_pages", "tx", txID).Set(float64(pages))
 	s.tel.Gauge("server_queue_depth_bytes", "tx", txID).Set(float64(bytes))
+	age := 0.0
+	if q := s.queues[txID]; len(q) > 0 {
+		if d := s.lastNow.Sub(q[0].Enqueued); d > 0 {
+			age = d.Seconds()
+		}
+	}
+	s.tel.Gauge("server_queue_age_seconds", "tx", txID).Set(age)
+}
+
+// noteNow advances the server's view of the caller clock; callers hold
+// s.mu. Timestamps only move forward so an out-of-order caller cannot
+// drag the queue-age gauges backwards.
+func (s *Server) noteNow(now time.Time) {
+	if now.After(s.lastNow) {
+		s.lastNow = now
+	}
 }
 
 // New builds a server with the given transmission pipeline.
@@ -344,11 +373,8 @@ func (s *Server) renderMiss(url string, ref corpus.PageRef, hour, eff int) (core
 	return b, nil
 }
 
-// noteCacheHit bumps both the legacy Stats counter and the metric.
+// noteCacheHit bumps the render-cache hit counter.
 func (s *Server) noteCacheHit() {
-	s.mu.Lock()
-	s.cacheHits++
-	s.mu.Unlock()
 	s.mCacheHits.Inc()
 }
 
@@ -379,21 +405,42 @@ var (
 
 // EnqueuePage renders a URL and appends it to the covering transmitter's
 // broadcast queue. It returns the estimated time until the page has been
-// fully broadcast (the ETA included in the SMS ack).
+// fully broadcast (the ETA included in the SMS ack). With lifecycle
+// tracing on, the call opens its own trace (an API request, admitted on
+// arrival); SMS requests flow through HandleSMS, which traces from the
+// actual SMS delivery instead.
 func (s *Server) EnqueuePage(url string, lat, lon float64, now time.Time) (time.Duration, error) {
+	tr := s.lc.BeginAt(url, "api", now)
+	tr.StampAt(telemetry.StageAdmitted, now)
+	return s.enqueueTraced(url, lat, lon, now, tr)
+}
+
+// enqueueTraced is EnqueuePage with the caller's lifecycle trace: stamps
+// render_start/render_done around the (possibly cached) render and
+// enqueued on the queue append, aborting the trace on failure. The
+// render is measured on the wall clock and projected into the caller's
+// clock domain, so a simulated timeline still shows the real render
+// cost.
+func (s *Server) enqueueTraced(url string, lat, lon float64, now time.Time, tr *telemetry.Trace) (time.Duration, error) {
 	tx, ok := s.transmitterFor(lat, lon)
 	if !ok {
 		s.mNoCoverage.Inc()
+		tr.Abort(now, "no coverage")
 		return 0, ErrNoCoverage
 	}
+	tr.StampAt(telemetry.StageRenderStart, now)
+	renderT0 := time.Now()
 	b, err := s.RenderPage(url, now)
 	if err != nil {
+		tr.Abort(now, "render: "+err.Error())
 		return 0, err
 	}
+	rendered := now.Add(time.Since(renderT0))
+	tr.StampAt(telemetry.StageRenderDone, rendered)
 	blobLen := len(core.MarshalBundle(b))
 
 	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.noteNow(now)
 	// Queue delay = airtime of everything ahead plus this page, divided
 	// across the station's parallel frequencies.
 	pending := 0
@@ -406,25 +453,50 @@ func (s *Server) EnqueuePage(url string, lat, lon float64, now time.Time) (time.
 		Bundle:   b,
 		Bytes:    blobLen,
 		Enqueued: now,
+		Trace:    tr,
 	})
 	s.mEnqueued.Inc()
 	s.recordQueueDepth(tx.ID)
 	eta := s.pipeline.AirtimeSeconds(pending+blobLen) / float64(tx.FrequencyCount())
+	s.mu.Unlock()
+	tr.StampAt(telemetry.StageEnqueued, rendered)
 	return time.Duration(eta * float64(time.Second)), nil
 }
 
-// DequeuePage pops the next page to broadcast on a transmitter.
+// DequeuePage pops the next page to broadcast on a transmitter. With
+// lifecycle tracing on, dequeue is the handoff to the transmitter, so
+// the page's trace is stamped on_air_start here and on_air_done at the
+// projected end of its airtime (the same channel model the SMS-ack ETA
+// uses), at the server's last observed caller timestamp.
 func (s *Server) DequeuePage(transmitterID string) (url string, pageID uint16, b core.Bundle, ok bool) {
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	q := s.queues[transmitterID]
 	if len(q) == 0 {
+		s.mu.Unlock()
 		return "", 0, core.Bundle{}, false
 	}
 	head := q[0]
 	s.queues[transmitterID] = q[1:]
 	s.mDequeued.Inc()
 	s.recordQueueDepth(transmitterID)
+	at := s.lastNow
+	freq := 1
+	for _, t := range s.transmitters {
+		if t.ID == transmitterID {
+			freq = t.FrequencyCount()
+			break
+		}
+	}
+	s.mu.Unlock()
+	if head.Trace != nil {
+		if at.Before(head.Enqueued) {
+			at = head.Enqueued
+		}
+		head.Trace.StampAt(telemetry.StageOnAirStart, at)
+		airSec := s.pipeline.AirtimeSeconds(head.Bytes) / float64(freq)
+		head.Trace.StampAt(telemetry.StageOnAirDone,
+			at.Add(time.Duration(airSec*float64(time.Second))))
+	}
 	return head.URL, head.PageID, head.Bundle, true
 }
 
@@ -454,6 +526,7 @@ func (s *Server) PushPopular(n int, now time.Time) error {
 	for _, tx := range s.Transmitters() {
 		queued := map[string]bool{}
 		s.mu.Lock()
+		s.noteNow(now)
 		for _, q := range s.queues[tx.ID] {
 			queued[q.URL] = true
 		}
@@ -483,15 +556,17 @@ func (s *Server) PushPopular(n int, now time.Time) error {
 }
 
 // HandleSMS is the uplink entry point: parse the request, enqueue the
-// page, and reply with an ack (or error) through the SMSC.
+// page, and reply with an ack (or error) through the SMSC. With
+// lifecycle tracing on, the request's trace opens at the SMS delivery
+// timestamp ("received") and is stamped "admitted" once it parses.
 func (s *Server) HandleSMS(smsc *sms.SMSC) sms.Handler {
 	return func(m sms.Message) {
 		sp := s.tel.StartSpan("server.handle_sms")
 		defer sp.End()
-		s.mu.Lock()
-		s.requests++
-		s.mu.Unlock()
 		s.mRequests.Inc()
+		s.mu.Lock()
+		s.noteNow(m.DeliverAt)
+		s.mu.Unlock()
 		req, err := sms.ParseRequest(m.Body)
 		if err != nil {
 			s.mBadRequests.Inc()
@@ -499,7 +574,9 @@ func (s *Server) HandleSMS(smsc *sms.SMSC) sms.Handler {
 			_ = smsc.Submit(m.DeliverAt, s.cfg.Number, m.From, "ERR bad request")
 			return
 		}
-		eta, err := s.EnqueuePage(req.URL, req.Lat, req.Lon, m.DeliverAt)
+		tr := s.lc.BeginAt(req.URL, m.From, m.DeliverAt)
+		tr.StampAt(telemetry.StageAdmitted, m.DeliverAt)
+		eta, err := s.enqueueTraced(req.URL, req.Lat, req.Lon, m.DeliverAt, tr)
 		if err != nil {
 			s.mReplies.Inc()
 			_ = smsc.Submit(m.DeliverAt, s.cfg.Number, m.From, "ERR no coverage")
@@ -508,19 +585,6 @@ func (s *Server) HandleSMS(smsc *sms.SMSC) sms.Handler {
 		s.mReplies.Inc()
 		_ = smsc.Submit(m.DeliverAt, s.cfg.Number, m.From, sms.FormatAck(req.URL, eta))
 	}
-}
-
-// Stats returns lifetime counters.
-//
-// Deprecated: Stats predates the telemetry registry and only covers two
-// counters. Call Instrument and read the server_* families from a
-// telemetry.Registry snapshot instead; this accessor remains for
-// backward compatibility and reads its counters under s.mu, so it is
-// safe against concurrent HandleSMS/RenderPage callers.
-func (s *Server) Stats() (requests, cacheHits int) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.requests, s.cacheHits
 }
 
 // PageTTL exposes the configured expiry for broadcast metadata.

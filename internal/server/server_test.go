@@ -8,6 +8,7 @@ import (
 	"sonic/internal/core"
 	"sonic/internal/corpus"
 	"sonic/internal/sms"
+	"sonic/internal/telemetry"
 )
 
 func testServer(t *testing.T) *Server {
@@ -49,6 +50,8 @@ func TestHaversineSanity(t *testing.T) {
 
 func TestRenderPageCaches(t *testing.T) {
 	s := testServer(t)
+	reg := telemetry.New()
+	s.Instrument(reg)
 	now := time.Unix(0, 0)
 	url := corpus.Pages()[0].URL
 	b1, err := s.RenderPage(url, now)
@@ -63,7 +66,7 @@ func TestRenderPageCaches(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, hits := s.Stats(); hits != 1 {
+	if hits := reg.Snapshot().Counters["server_render_cache_hits_total"]; hits != 1 {
 		t.Errorf("cache hits = %d, want 1", hits)
 	}
 }

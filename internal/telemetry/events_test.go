@@ -1,0 +1,134 @@
+package telemetry
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestEventRingBoundsAndOrder(t *testing.T) {
+	r := NewEventRing(4)
+	for i := 0; i < 10; i++ {
+		r.Append(Event{Trace: fmt.Sprintf("t-%d", i), Stage: "received"})
+	}
+	if got := r.Len(); got != 4 {
+		t.Fatalf("Len = %d, want 4", got)
+	}
+	events := r.Events("")
+	if len(events) != 4 {
+		t.Fatalf("Events returned %d, want 4", len(events))
+	}
+	// Oldest-first, holding the final 4 appends with monotonic Seq.
+	for i, e := range events {
+		if wantSeq := uint64(6 + i); e.Seq != wantSeq {
+			t.Errorf("event %d Seq = %d, want %d", i, e.Seq, wantSeq)
+		}
+		if want := fmt.Sprintf("t-%d", 6+i); e.Trace != want {
+			t.Errorf("event %d trace = %q, want %q", i, e.Trace, want)
+		}
+	}
+}
+
+func TestEventRingTraceFilterAndJSON(t *testing.T) {
+	r := NewEventRing(16)
+	at := time.Unix(50, 0)
+	r.Append(Event{Trace: "t-a", Stage: "received", URL: "x.pk/", At: at})
+	r.Append(Event{Trace: "t-b", Stage: "received", URL: "y.pk/", At: at})
+	r.Append(Event{Trace: "t-a", Stage: "enqueued", URL: "x.pk/", At: at.Add(time.Second), WaitSeconds: 1})
+
+	if got := r.Events("t-a"); len(got) != 2 || got[0].Stage != "received" || got[1].Stage != "enqueued" {
+		t.Fatalf("trace filter returned %+v", got)
+	}
+
+	var buf bytes.Buffer
+	if err := r.WriteJSON(&buf, "t-a"); err != nil {
+		t.Fatal(err)
+	}
+	var decoded []Event
+	if err := json.Unmarshal(buf.Bytes(), &decoded); err != nil {
+		t.Fatalf("round trip: %v\n%s", err, buf.String())
+	}
+	if len(decoded) != 2 || decoded[1].WaitSeconds != 1 || !decoded[0].At.Equal(at) {
+		t.Fatalf("decoded %+v", decoded)
+	}
+
+	// Empty filter result still emits a valid (empty) JSON array.
+	buf.Reset()
+	if err := r.WriteJSON(&buf, "t-missing"); err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(buf.Bytes(), &decoded); err != nil || len(decoded) != 0 {
+		t.Fatalf("empty filter: %v %v", decoded, err)
+	}
+}
+
+// TestEventRingConcurrent exercises appends, reads, and JSON export from
+// many goroutines; under -race it proves the ring's locking. Every read
+// must observe internally consistent state (monotonic Seq, bounded
+// length).
+func TestEventRingConcurrent(t *testing.T) {
+	r := NewEventRing(64)
+	const writers, perWriter = 8, 200
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			id := fmt.Sprintf("t-%d", w)
+			for i := 0; i < perWriter; i++ {
+				r.Append(Event{Trace: id, Stage: "received"})
+			}
+		}(w)
+	}
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				events := r.Events("")
+				if len(events) > 64 {
+					t.Errorf("ring overflow: %d events", len(events))
+					return
+				}
+				for j := 1; j < len(events); j++ {
+					if events[j].Seq != events[j-1].Seq+1 {
+						t.Errorf("non-monotonic Seq: %d after %d", events[j].Seq, events[j-1].Seq)
+						return
+					}
+				}
+				var buf bytes.Buffer
+				if err := r.WriteJSON(&buf, ""); err != nil {
+					t.Error(err)
+					return
+				}
+				var decoded []Event
+				if err := json.Unmarshal(buf.Bytes(), &decoded); err != nil {
+					t.Errorf("invalid JSON under concurrency: %v", err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if got := r.Len(); got != 64 {
+		t.Fatalf("Len = %d, want full ring (64)", got)
+	}
+}
+
+func TestEventRingNilSafe(t *testing.T) {
+	var r *EventRing
+	r.Append(Event{Trace: "t"})
+	if r.Len() != 0 || r.Events("") != nil {
+		t.Fatal("nil ring not inert")
+	}
+	var buf bytes.Buffer
+	if err := r.WriteJSON(&buf, ""); err != nil {
+		t.Fatal(err)
+	}
+	if buf.String() != "[]\n" {
+		t.Fatalf("nil ring JSON = %q", buf.String())
+	}
+}

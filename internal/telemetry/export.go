@@ -9,6 +9,7 @@ import (
 	"net/http"
 	"net/http/pprof"
 	"sort"
+	"strings"
 	"sync/atomic"
 	"time"
 
@@ -176,14 +177,53 @@ func (s Snapshot) WriteText(w io.Writer) {
 	}
 }
 
+// TraceView is the /trace/<id> response: one request's stage timeline
+// reconstructed from the lifecycle event ring.
+type TraceView struct {
+	Trace        string  `json:"trace"`
+	URL          string  `json:"url,omitempty"`
+	Events       []Event `json:"events"`
+	TotalSeconds float64 `json:"total_seconds"`
+	LastStage    string  `json:"last_stage"`
+}
+
+// traceView reconstructs a trace timeline from ring events (oldest
+// first). ok is false when the ring retains no events for the ID.
+func traceView(ring *EventRing, id string) (TraceView, bool) {
+	events := ring.Events(id)
+	if len(events) == 0 {
+		return TraceView{}, false
+	}
+	v := TraceView{Trace: id, Events: events}
+	for _, e := range events {
+		if e.URL != "" {
+			v.URL = e.URL
+		}
+		v.LastStage = e.Stage
+	}
+	v.TotalSeconds = events[len(events)-1].At.Sub(events[0].At).Seconds()
+	if v.TotalSeconds < 0 {
+		v.TotalSeconds = 0
+	}
+	return v, true
+}
+
 // Handler returns the live ops endpoint for a registry:
 //
-//	/metrics        fixed-width text snapshot
-//	/metrics.json   JSON snapshot
-//	/debug/pprof/*  the standard Go profiler
+//	/metrics             fixed-width text snapshot
+//	/metrics?format=prom Prometheus text exposition
+//	/metrics.json        JSON snapshot
+//	/trace/<id>          one request's lifecycle timeline (event ring)
+//	/events.json         the lifecycle event ring (?trace= filters)
+//	/debug/pprof/*       the standard Go profiler
 func Handler(r *Registry) http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, req *http.Request) {
+		if req.URL.Query().Get("format") == "prom" {
+			w.Header().Set("Content-Type", PromContentType)
+			r.Snapshot().WriteProm(w)
+			return
+		}
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		r.Snapshot().WriteText(w)
 	})
@@ -192,6 +232,27 @@ func Handler(r *Registry) http.Handler {
 		enc := json.NewEncoder(w)
 		enc.SetIndent("", "  ")
 		_ = enc.Encode(r.Snapshot())
+	})
+	mux.HandleFunc("/trace/", func(w http.ResponseWriter, req *http.Request) {
+		id := strings.TrimPrefix(req.URL.Path, "/trace/")
+		ring := r.Lifecycle().Ring()
+		if id == "" || ring == nil {
+			http.Error(w, "trace: want /trace/<id> (lifecycle tracing must be enabled)", http.StatusNotFound)
+			return
+		}
+		view, ok := traceView(ring, id)
+		if !ok {
+			http.Error(w, fmt.Sprintf("trace %q: no retained events", id), http.StatusNotFound)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(view)
+	})
+	mux.HandleFunc("/events.json", func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		_ = r.Lifecycle().Ring().WriteJSON(w, req.URL.Query().Get("trace"))
 	})
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
@@ -203,7 +264,7 @@ func Handler(r *Registry) http.Handler {
 			http.NotFound(w, req)
 			return
 		}
-		fmt.Fprintln(w, "sonic telemetry: /metrics /metrics.json /debug/pprof/")
+		fmt.Fprintln(w, "sonic telemetry: /metrics /metrics?format=prom /metrics.json /trace/<id> /events.json /debug/pprof/")
 	})
 	return mux
 }

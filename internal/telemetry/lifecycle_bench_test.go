@@ -1,0 +1,61 @@
+package telemetry
+
+import (
+	"testing"
+	"time"
+)
+
+// TestDisabledLifecycleZeroAllocs is the "leave it compiled in" contract
+// for lifecycle tracing: with telemetry off (nil handles), beginning,
+// stamping, aborting, and delivering cost zero allocations. This is what
+// keeps the render-miss hot path overhead under the acceptance budget
+// when -telemetry is not set.
+func TestDisabledLifecycleZeroAllocs(t *testing.T) {
+	var lc *Lifecycle
+	at := time.Unix(0, 0)
+	if n := testing.AllocsPerRun(100, func() {
+		tr := lc.BeginAt("a.pk/", "api", at)
+		tr.StampAt(StageAdmitted, at)
+		tr.StampAt(StageEnqueued, at)
+		tr.StampAt(StageOnAirDone, at)
+		tr.Abort(at, "x")
+		lc.DeliveredAt("a.pk/", at)
+	}); n != 0 {
+		t.Fatalf("disabled lifecycle allocates %v per request, want 0", n)
+	}
+}
+
+// BenchmarkLifecycleDisabled measures the nil-handle fast path — the
+// cost every un-instrumented request pays (a few nil checks).
+func BenchmarkLifecycleDisabled(b *testing.B) {
+	var lc *Lifecycle
+	at := time.Unix(0, 0)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tr := lc.BeginAt("a.pk/", "api", at)
+		tr.StampAt(StageAdmitted, at)
+		tr.StampAt(StageEnqueued, at)
+		tr.StampAt(StageOnAirStart, at)
+		tr.StampAt(StageOnAirDone, at)
+		lc.DeliveredAt("a.pk/", at)
+	}
+}
+
+// BenchmarkLifecycleEnabled measures a full traced request: begin, five
+// stamps, delivery confirmation, ring appends, histogram observes.
+func BenchmarkLifecycleEnabled(b *testing.B) {
+	reg := New()
+	lc := NewLifecycle(reg, LifecycleConfig{})
+	t0 := time.Unix(0, 0)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		at := t0.Add(time.Duration(i) * time.Second)
+		tr := lc.BeginAt("a.pk/", "api", at)
+		tr.StampAt(StageAdmitted, at)
+		tr.StampAt(StageEnqueued, at.Add(time.Millisecond))
+		tr.StampAt(StageOnAirStart, at.Add(time.Second))
+		tr.StampAt(StageOnAirDone, at.Add(2*time.Second))
+		lc.DeliveredAt("a.pk/", at.Add(3*time.Second))
+	}
+}

@@ -1,0 +1,85 @@
+package telemetry
+
+import (
+	"math"
+	"testing"
+)
+
+// TestQuantileTable pins the Quantile semantics documented on the
+// method: empty/NaN handling, clamping, the q=0/q=1 endpoints, the
+// overflow-bucket floor, and linear interpolation within a bucket.
+func TestQuantileTable(t *testing.T) {
+	observe := func(h *Histogram, vs ...float64) *Histogram {
+		for _, v := range vs {
+			h.Observe(v)
+		}
+		return h
+	}
+	cases := []struct {
+		name string
+		h    *Histogram
+		q    float64
+		want float64 // NaN means "want NaN"
+	}{
+		{"nil histogram", nil, 0.5, math.NaN()},
+		{"empty", newHistogram([]float64{1, 2}), 0.5, math.NaN()},
+		{"NaN q", observe(newHistogram([]float64{1, 2}), 0.5), math.NaN(), math.NaN()},
+
+		// One observation in the (0,1] bucket: every quantile
+		// interpolates inside that single bucket.
+		{"single obs q=0", observe(newHistogram([]float64{1, 2}), 0.5), 0, 0},
+		{"single obs q=0.5", observe(newHistogram([]float64{1, 2}), 0.5), 0.5, 0.5},
+		{"single obs q=1", observe(newHistogram([]float64{1, 2}), 0.5), 1, 1},
+
+		// q outside [0,1] clamps to the endpoints.
+		{"q<0 clamps", observe(newHistogram([]float64{1, 2}), 0.5), -3, 0},
+		{"q>1 clamps", observe(newHistogram([]float64{1, 2}), 0.5), 7, 1},
+
+		// Two buckets with 1 sample each: the median is the first
+		// bucket's upper bound, q=1 the last occupied bucket's bound.
+		{"two buckets q=0.5", observe(newHistogram([]float64{1, 2}), 0.5, 1.5), 0.5, 1},
+		{"two buckets q=1", observe(newHistogram([]float64{1, 2}), 0.5, 1.5), 1, 2},
+		// q=0 is the lower bound of the first OCCUPIED bucket: samples
+		// only in (1,2] report 1, not 0.
+		{"first occupied lower bound", observe(newHistogram([]float64{1, 2}), 1.5, 1.5), 0, 1},
+
+		// Interpolation: 4 samples in (0,10] at rank fraction 0.25
+		// lands a quarter of the way through the bucket.
+		{"interpolates", observe(newHistogram([]float64{10}), 1, 2, 3, 4), 0.25, 2.5},
+
+		// Overflow bucket: quantiles landing in +Inf report the floor
+		// (the largest finite bound).
+		{"overflow floor", observe(newHistogram([]float64{1}), 5, 6), 0.5, 1},
+		{"overflow q=1", observe(newHistogram([]float64{1}), 0.5, 5), 1, 1},
+		{"no finite buckets", observe(newHistogram(nil), 3), 0.5, 0},
+	}
+	for _, tc := range cases {
+		got := tc.h.Quantile(tc.q)
+		if math.IsNaN(tc.want) {
+			if !math.IsNaN(got) {
+				t.Errorf("%s: Quantile(%v) = %v, want NaN", tc.name, tc.q, got)
+			}
+			continue
+		}
+		if math.Abs(got-tc.want) > 1e-12 {
+			t.Errorf("%s: Quantile(%v) = %v, want %v", tc.name, tc.q, got, tc.want)
+		}
+	}
+}
+
+// TestQuantileMonotone: quantiles never decrease in q, across a spread
+// of bucket shapes.
+func TestQuantileMonotone(t *testing.T) {
+	h := newHistogram(ExpBuckets(0.001, 2, 12))
+	for i := 1; i <= 100; i++ {
+		h.Observe(float64(i) * 0.004)
+	}
+	prev := math.Inf(-1)
+	for q := 0.0; q <= 1.0; q += 0.01 {
+		v := h.Quantile(q)
+		if v < prev {
+			t.Fatalf("Quantile(%v) = %v < previous %v", q, v, prev)
+		}
+		prev = v
+	}
+}

@@ -26,11 +26,34 @@ import (
 type Registry struct {
 	now func() time.Time
 
+	// lifecycle is the request lifecycle tracker installed by
+	// NewLifecycle (lifecycle.go); the ops endpoint serves its event
+	// ring under /trace/ and /events.json.
+	lifecycle atomic.Pointer[Lifecycle]
+
 	mu       sync.RWMutex
 	counters map[string]*Counter
 	gauges   map[string]*Gauge
 	hists    map[string]*Histogram
 	spans    map[string]*spanStat
+}
+
+// installLifecycle publishes lc as the registry's tracker (last wins).
+func (r *Registry) installLifecycle(lc *Lifecycle) {
+	if r == nil {
+		return
+	}
+	r.lifecycle.Store(lc)
+}
+
+// Lifecycle returns the registry's request lifecycle tracker, or nil if
+// NewLifecycle was never called (and on a nil registry) — nil is a valid
+// "tracing off" handle.
+func (r *Registry) Lifecycle() *Lifecycle {
+	if r == nil {
+		return nil
+	}
+	return r.lifecycle.Load()
 }
 
 // New builds an empty registry using the wall clock (which carries Go's
@@ -270,21 +293,43 @@ func (h *Histogram) Sum() float64 {
 	return math.Float64frombits(atomic.LoadUint64(&h.sumBits))
 }
 
-// Quantile approximates the q-th quantile (0..1) from the bucket counts
-// assuming uniform distribution within a bucket. NaN when empty.
+// Quantile approximates the q-th quantile from the bucket counts,
+// assuming a uniform distribution within each bucket. Pinned semantics
+// (see TestQuantileTable):
+//
+//   - empty histogram, or NaN q: NaN;
+//   - q is clamped into [0, 1];
+//   - q = 0: the lower bound of the first occupied bucket;
+//   - q = 1: the upper bound of the last occupied bucket;
+//   - the overflow (+Inf) bucket has no upper bound, so any quantile
+//     landing there reports the bucket's floor (the largest finite
+//     bound; 0 for a histogram with no finite buckets);
+//   - otherwise: linear interpolation between the occupied bucket's
+//     bounds at the fraction of its mass below the target rank.
 func (h *Histogram) Quantile(q float64) float64 {
 	if h == nil {
 		return math.NaN()
 	}
 	total := atomic.LoadInt64(&h.count)
-	if total == 0 {
+	if total == 0 || math.IsNaN(q) {
 		return math.NaN()
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
 	}
 	target := q * float64(total)
 	var cum float64
 	for i := range h.counts {
 		n := float64(atomic.LoadInt64(&h.counts[i]))
-		if cum+n >= target && n > 0 {
+		if n == 0 {
+			continue
+		}
+		// q=0 (target 0) resolves here too: the first occupied bucket at
+		// interpolation fraction 0, i.e. its lower bound.
+		if cum+n >= target {
 			lo := 0.0
 			if i > 0 {
 				lo = h.bounds[i-1]
@@ -292,14 +337,15 @@ func (h *Histogram) Quantile(q float64) float64 {
 			if i == len(h.bounds) { // overflow bucket: report its floor
 				return lo
 			}
-			hi := h.bounds[i]
 			frac := (target - cum) / n
-			return lo + (hi-lo)*frac
+			return lo + (h.bounds[i]-lo)*frac
 		}
 		cum += n
 	}
+	// Counts moved between the total load and the scan (concurrent
+	// writers); fall back to the largest bound seen.
 	if len(h.bounds) == 0 {
-		return math.NaN()
+		return 0
 	}
 	return h.bounds[len(h.bounds)-1]
 }
@@ -345,3 +391,8 @@ var CountBuckets = ExpBuckets(1, 2, 14)
 
 // SecondsBuckets spans 1 s .. ~9 h for scheduling/wait times.
 var SecondsBuckets = ExpBuckets(1, 2, 16)
+
+// WaitBuckets spans 100 µs .. ~3.7 h — the full range of lifecycle stage
+// waits, from a warm render-cache hit to a page stuck behind a day of
+// carousel backlog.
+var WaitBuckets = ExpBuckets(100e-6, 2, 28)

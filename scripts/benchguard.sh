@@ -4,10 +4,56 @@
 # when any kernel slowed down by more than 2x, so a perf regression shows
 # up as a red check instead of a silently worse snapshot. With fewer than
 # two snapshots there is nothing to compare and the guard passes.
+#
+#   benchguard.sh            # guard: newest two snapshots
+#   benchguard.sh --history  # trajectory: per-kernel table across ALL
+#                            # checked-in snapshots (never fails)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 mapfile -t snaps < <(ls BENCH_*.json 2>/dev/null | sort -V)
+
+if [[ "${1:-}" == "--history" ]]; then
+    if ((${#snaps[@]} == 0)); then
+        echo "benchguard: no snapshots; no history to report"
+        exit 0
+    fi
+    python3 - "${snaps[@]}" <<'EOF'
+import json, sys
+
+paths = sys.argv[1:]
+snaps = []  # (label, {kernel: ns_per_op})
+for p in paths:
+    doc = json.load(open(p))
+    label = p.removeprefix("BENCH_").removesuffix(".json")
+    snaps.append((label, {k: v["ns_per_op"] for k, v in doc.get("micro", {}).items()}))
+
+kernels = sorted({k for _, micro in snaps for k in micro})
+labels = [label for label, _ in snaps]
+
+print(f"benchguard: perf trajectory across {len(snaps)} snapshots "
+      f"({', '.join(labels)}); ms/op, 'vs first' = newest over oldest recording")
+header = f"  {'kernel':24s}" + "".join(f"{l:>12s}" for l in labels) + f"{'vs first':>10s}"
+print(header)
+print("  " + "-" * (len(header) - 2))
+for k in kernels:
+    cells, series = [], []
+    for _, micro in snaps:
+        if k in micro:
+            series.append(micro[k])
+            cells.append(f"{micro[k] / 1e6:12.3f}")
+        else:
+            cells.append(f"{'-':>12s}")
+    if len(series) >= 2 and series[-1]:
+        trend = series[0] / series[-1]
+        mark = f"{trend:8.2f}x"
+    else:
+        mark = f"{'new':>9s}"
+    print(f"  {k:24s}" + "".join(cells) + mark)
+EOF
+    exit 0
+fi
+
 if ((${#snaps[@]} < 2)); then
     echo "benchguard: ${#snaps[@]} snapshot(s); nothing to compare"
     exit 0

@@ -31,4 +31,10 @@ go test -run='^$' -bench=. -benchtime=1x ./...
 echo "==> benchguard (checked-in snapshot comparison)"
 ./scripts/benchguard.sh
 
+echo "==> perf trajectory (all checked-in snapshots)"
+./scripts/benchguard.sh --history
+
+echo "==> ops smoke: sonic-sim -telemetry + obsprobe + sonic-top -once"
+./scripts/ops-smoke.sh
+
 echo "all checks passed"

@@ -13,6 +13,7 @@ import (
 
 	"sonic/internal/corpus"
 	"sonic/internal/server"
+	"sonic/internal/telemetry"
 )
 
 func TestSystemDayInTheLife(t *testing.T) {
@@ -25,7 +26,10 @@ func TestSystemDayInTheLife(t *testing.T) {
 	}
 
 	// --- deployment ---------------------------------------------------
+	reg := telemetry.New()
+	lc := telemetry.NewLifecycle(reg, telemetry.LifecycleConfig{})
 	srv := NewServer(DefaultServerConfig(), pipe)
+	srv.Instrument(reg)
 	srv.AddTransmitter(Transmitter{
 		ID: "tx-khi", FreqMHz: 93.7, ExtraFreqsMHz: []float64{95.1},
 		Lat: 24.86, Lon: 67.00, RadiusKm: 40,
@@ -55,6 +59,7 @@ func TestSystemDayInTheLife(t *testing.T) {
 		ScreenWidth: 720, Lat: 24.87, Lon: 67.01, Capability: UplinkSMS,
 	})
 	userC.AttachSMSC(smsc)
+	userC.Instrument(reg)
 	userB := NewClient(ClientConfig{ScreenWidth: 540}) // internal tuner, no SMS
 
 	now := time.Unix(0, 0)
@@ -149,12 +154,54 @@ func TestSystemDayInTheLife(t *testing.T) {
 		t.Errorf("catalog after expiry has %d pages", got)
 	}
 
-	received, requested := userC.Stats()
-	if received != 3 || requested != 1 {
-		t.Errorf("user-C stats: received=%d requested=%d", received, requested)
+	// --- telemetry closed the loop ---------------------------------------
+	snap := reg.Snapshot()
+	if received := snap.Counters["client_pages_received_total"]; received != 3 {
+		t.Errorf("user-C pages received = %d, want 3", received)
 	}
-	reqs, _ := srv.Stats()
-	if reqs != 1 {
+	if requested := snap.Counters["client_requests_sent_total"]; requested != 1 {
+		t.Errorf("user-C requests sent = %d, want 1", requested)
+	}
+	if reqs := snap.Counters["server_sms_requests_total"]; reqs != 1 {
 		t.Errorf("server requests = %d", reqs)
+	}
+
+	// The one SMS request was traced end to end: it went on air with a
+	// positive request→on-air latency (the page's airtime at minimum) and
+	// user-C's broadcast ingest confirmed delivery.
+	onAir, ok := snap.Histograms["request_to_on_air_seconds"]
+	if !ok || onAir.Count != 1 {
+		t.Fatalf("request_to_on_air_seconds count = %+v, want 1 observation", onAir)
+	}
+	if onAir.Sum <= 0 {
+		t.Errorf("request->on-air latency = %v s, want > 0", onAir.Sum)
+	}
+	if delivered := snap.Counters["lifecycle_delivered_total"]; delivered != 1 {
+		t.Errorf("lifecycle delivered = %d, want 1", delivered)
+	}
+
+	// The event ring reconstructs the request's timeline in stage order.
+	var traceID string
+	for _, e := range lc.Ring().Events("") {
+		if e.URL == target && e.Stage == "received" {
+			traceID = e.Trace
+		}
+	}
+	if traceID == "" {
+		t.Fatal("no received event for the SMS-requested page in the event ring")
+	}
+	wantStages := []string{"received", "admitted", "render_start", "render_done",
+		"enqueued", "on_air_start", "on_air_done", "delivered"}
+	events := lc.Ring().Events(traceID)
+	if len(events) != len(wantStages) {
+		t.Fatalf("trace %s has %d events, want %d: %+v", traceID, len(events), len(wantStages), events)
+	}
+	for i, e := range events {
+		if e.Stage != wantStages[i] {
+			t.Errorf("trace event %d stage = %q, want %q", i, e.Stage, wantStages[i])
+		}
+		if e.WaitSeconds < 0 {
+			t.Errorf("trace event %d wait = %v, want >= 0", i, e.WaitSeconds)
+		}
 	}
 }
