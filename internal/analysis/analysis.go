@@ -1,0 +1,153 @@
+// Package analysis is the driver behind cmd/sonic-vet: a small,
+// stdlib-only static-analysis framework (go/parser + go/ast + go/types +
+// go/importer — deliberately no x/tools, matching the repo's zero-dep
+// policy) plus the project-specific analyzers that mechanically enforce
+// the conventions six optimization PRs layered on top of plain Go:
+//
+//   - spanend: every telemetry StartSpan/StartChild result is End()-ed
+//     on all control-flow paths (PR 1's span discipline);
+//   - poolrelease: pooled values (sync.Pool.Get and the project's
+//     get*/put* acquire helpers) are released exactly once per path and
+//     never used after release (PR 3-5's buffer pooling);
+//   - lockscope: no kernel calls (webrender/imagecodec/fm/modem) or
+//     blocking I/O while a struct mutex is held (PR 5's off-mutex render
+//     discipline);
+//   - equivpin: every exported function of a package with a
+//     *_equiv_test.go is referenced from an equivalence/parity test, so
+//     new kernels cannot dodge the byte-identical pin;
+//   - telemetrynil: methods on telemetry handle types stay
+//     nil-receiver-safe, preserving the <2 ns disabled path;
+//   - globalrand: non-test code never draws from math/rand's global
+//     source, keeping parity and equivalence runs deterministic.
+//
+// Findings print as "file:line: [name] message". A finding is suppressed
+// by a "//sonic:ignore name reason" comment on the same or the preceding
+// line; suppressions require a reason and are reported in the run
+// summary so they stay auditable.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"sort"
+)
+
+// Finding is one diagnostic produced by an analyzer.
+type Finding struct {
+	Analyzer string         `json:"analyzer"`
+	Pos      token.Position `json:"-"`
+	File     string         `json:"file"`
+	Line     int            `json:"line"`
+	Message  string         `json:"message"`
+	// IgnoreReason is the reason string of the sonic:ignore directive
+	// that suppressed this finding (set only on suppressed findings).
+	IgnoreReason string `json:"ignore_reason,omitempty"`
+}
+
+// String renders the canonical "file:line: [name] message" form.
+func (f Finding) String() string {
+	return fmt.Sprintf("%s:%d: [%s] %s", f.File, f.Line, f.Analyzer, f.Message)
+}
+
+// Analyzer is one named check over a loaded package.
+type Analyzer struct {
+	Name string
+	Doc  string
+	Run  func(*Pass)
+}
+
+// Pass carries one (analyzer, package) unit of work. Analyzers read the
+// syntax and type information and call Report.
+type Pass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	Pkg      *Package
+
+	findings []Finding
+}
+
+// Report records a finding at pos.
+func (p *Pass) Report(pos token.Pos, format string, args ...any) {
+	position := p.Fset.Position(pos)
+	p.findings = append(p.findings, Finding{
+		Analyzer: p.Analyzer.Name,
+		Pos:      position,
+		File:     position.Filename,
+		Line:     position.Line,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// All returns every registered analyzer, in report order.
+func All() []*Analyzer {
+	return []*Analyzer{
+		SpanEnd,
+		PoolRelease,
+		LockScope,
+		EquivPin,
+		TelemetryNil,
+		GlobalRand,
+	}
+}
+
+// ByName resolves a comma-separated analyzer selection; an unknown name
+// is an error so typos in -run flags cannot silently disable a check.
+func ByName(names []string) ([]*Analyzer, error) {
+	all := All()
+	var out []*Analyzer
+	for _, n := range names {
+		found := false
+		for _, a := range all {
+			if a.Name == n {
+				out = append(out, a)
+				found = true
+				break
+			}
+		}
+		if !found {
+			return nil, fmt.Errorf("unknown analyzer %q", n)
+		}
+	}
+	return out, nil
+}
+
+// sortFindings orders findings by file, line, analyzer, message for
+// stable output and golden-file comparison.
+func sortFindings(fs []Finding) {
+	sort.Slice(fs, func(i, j int) bool {
+		a, b := fs[i], fs[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Analyzer != b.Analyzer {
+			return a.Analyzer < b.Analyzer
+		}
+		return a.Message < b.Message
+	})
+}
+
+// funcsOf yields every function body of the package's non-test files:
+// declared functions and methods plus every function literal, paired
+// with the declaration's name for messages. Nested literals are yielded
+// on their own so flow analyses stay per-body.
+func funcsOf(files []*ast.File, fn func(name string, decl *ast.FuncDecl, body *ast.BlockStmt)) {
+	for _, f := range files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			fn(fd.Name.Name, fd, fd.Body)
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				if lit, ok := n.(*ast.FuncLit); ok {
+					fn(fd.Name.Name+" (func literal)", fd, lit.Body)
+				}
+				return true
+			})
+		}
+	}
+}

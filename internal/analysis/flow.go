@@ -1,0 +1,644 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Path-sensitive tracking of "acquire → release exactly once" values:
+// spanend follows StartSpan/StartChild results to their End(), and
+// poolrelease follows sync.Pool.Get values to their Put/Release. The
+// walk is a recursive descent over the statement tree that merges the
+// tracked value's state across branches — a deliberately small
+// approximation of a CFG that handles the repo's idioms (early error
+// returns, defer, branch-local release+return, span handle reuse via
+// reassignment) without an x/tools dependency.
+//
+// The approximation is conservative toward silence: any flow the walker
+// cannot prove (value escapes into a closure, struct, channel, or
+// another variable; branches disagree about the release state) stops
+// tracking rather than reporting, so every finding is a path that
+// provably misses its release.
+
+// trackState is the status of one tracked value along the current path.
+type trackState int
+
+const (
+	stLive     trackState = iota // acquired, release still owed
+	stReleased                   // released; a second release is a bug
+	stDone                       // escaped or ambiguous: stop checking
+)
+
+// pathState carries the tracked value's state plus whether a deferred
+// release is pending (a pending defer satisfies every later exit, and
+// it does not arm the use-after-release check: the release runs at
+// function return, after all uses).
+type pathState struct {
+	track    trackState
+	deferred bool
+}
+
+// flowChecker follows one tracked object through one statement list.
+type flowChecker struct {
+	pass *Pass
+	info *types.Info
+	obj  types.Object
+	what string // "span sp" / "pooled value tp", used in messages
+
+	// isAcquire reports whether a call expression produces a fresh
+	// tracked value (used for reassignment handling).
+	isAcquire func(call *ast.CallExpr) bool
+	// isRelease reports whether a call expression releases obj.
+	isRelease func(call *ast.CallExpr) bool
+
+	// declared is true when the value was bound with := (its scope ends
+	// with the statement list, so reaching the end of the list while
+	// live is a leak even without a return).
+	declared bool
+	// checkUseAfter arms the use-after-release diagnostic (poolrelease).
+	checkUseAfter bool
+
+	// releaseVerb names the missing action in leak messages ("End()",
+	// "released").
+	releaseVerb string
+}
+
+// scan is the classification of one statement's contact with obj.
+type scan struct {
+	releases []token.Pos // release calls targeting obj
+	acquires []token.Pos // acquire calls assigned back to obj
+	read     bool        // dereference-style use (obj.f, *obj, obj[i])
+	escape   bool        // obj's value leaves local tracking
+	returned bool        // obj itself is returned (ownership transfer)
+}
+
+func (c *flowChecker) isObjIdent(e ast.Expr) bool {
+	e = unparen(e)
+	id, ok := e.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	return c.info.Uses[id] == c.obj || c.info.Defs[id] == c.obj
+}
+
+func isAddrOf(e ast.Expr) (ast.Expr, bool) {
+	if u, ok := unparen(e).(*ast.UnaryExpr); ok && u.Op == token.AND {
+		return u.X, true
+	}
+	return nil, false
+}
+
+func unparen(e ast.Expr) ast.Expr {
+	for {
+		p, ok := e.(*ast.ParenExpr)
+		if !ok {
+			return e
+		}
+		e = p.X
+	}
+}
+
+// releaseTargets reports whether call is a release whose target is obj
+// (as receiver, argument, or &argument).
+func (c *flowChecker) releaseTargets(call *ast.CallExpr) bool {
+	if c.isRelease == nil || !c.isRelease(call) {
+		return false
+	}
+	if sel, ok := unparen(call.Fun).(*ast.SelectorExpr); ok && c.isObjIdent(sel.X) {
+		return true
+	}
+	for _, a := range call.Args {
+		if c.isObjIdent(a) {
+			return true
+		}
+		if inner, ok := isAddrOf(a); ok && c.isObjIdent(inner) {
+			return true
+		}
+	}
+	return false
+}
+
+// scanNode classifies every contact with obj in the subtree, excluding
+// nested function literals (reported as escapes when they mention obj —
+// the closure may run at any time, so tracking stops).
+func (c *flowChecker) scanNode(n ast.Node, s *scan) {
+	if n == nil {
+		return
+	}
+	ast.Inspect(n, func(nd ast.Node) bool {
+		switch x := nd.(type) {
+		case *ast.FuncLit:
+			if c.mentions(x) {
+				s.escape = true
+			}
+			return false
+		case *ast.CallExpr:
+			if c.releaseTargets(x) {
+				s.releases = append(s.releases, x.Pos())
+				// Classify everything in the call except obj itself.
+				if sel, ok := unparen(x.Fun).(*ast.SelectorExpr); ok {
+					if !c.isObjIdent(sel.X) {
+						c.scanNode(sel.X, s)
+					}
+				}
+				for _, a := range x.Args {
+					if c.isObjIdent(a) {
+						continue
+					}
+					if inner, ok := isAddrOf(a); ok && c.isObjIdent(inner) {
+						continue
+					}
+					c.scanNode(a, s)
+				}
+				return false
+			}
+			// Non-release method call on obj (sp.StartChild, ws.reset):
+			// a read, not an escape.
+			if sel, ok := unparen(x.Fun).(*ast.SelectorExpr); ok && c.isObjIdent(sel.X) {
+				s.read = true
+				for _, a := range x.Args {
+					c.scanNode(a, s)
+				}
+				return false
+			}
+			return true
+		case *ast.SelectorExpr:
+			if c.isObjIdent(x.X) {
+				s.read = true
+				return false
+			}
+			return true
+		case *ast.StarExpr:
+			if c.isObjIdent(x.X) {
+				s.read = true
+				return false
+			}
+			return true
+		case *ast.IndexExpr:
+			if c.isObjIdent(x.X) {
+				s.read = true
+				c.scanNode(x.Index, s)
+				return false
+			}
+			return true
+		case *ast.SliceExpr:
+			if c.isObjIdent(x.X) {
+				s.read = true
+				for _, e := range []ast.Expr{x.Low, x.High, x.Max} {
+					if e != nil {
+						c.scanNode(e, s)
+					}
+				}
+				return false
+			}
+			return true
+		case *ast.BinaryExpr:
+			// Nil comparisons are reads, not escapes.
+			if x.Op == token.EQL || x.Op == token.NEQ {
+				if (c.isObjIdent(x.X) && isNil(x.Y)) || (c.isObjIdent(x.Y) && isNil(x.X)) {
+					s.read = true
+					return false
+				}
+			}
+			return true
+		case *ast.Ident:
+			if c.isObjIdent(x) {
+				s.escape = true
+			}
+			return true
+		}
+		return true
+	})
+}
+
+func isNil(e ast.Expr) bool {
+	id, ok := unparen(e).(*ast.Ident)
+	return ok && id.Name == "nil"
+}
+
+// mentions reports whether the subtree references obj at all.
+func (c *flowChecker) mentions(n ast.Node) bool {
+	found := false
+	ast.Inspect(n, func(nd ast.Node) bool {
+		if id, ok := nd.(*ast.Ident); ok && c.isObjIdent(id) {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// containsRelease reports whether any call in the subtree (including
+// inside function literals — used for defer func(){...}()) releases obj.
+func (c *flowChecker) containsRelease(n ast.Node) bool {
+	found := false
+	ast.Inspect(n, func(nd ast.Node) bool {
+		if call, ok := nd.(*ast.CallExpr); ok && c.releaseTargets(call) {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// applyScan folds one statement's classification into the path state,
+// reporting releases-after-release and uses-after-release.
+func (c *flowChecker) applyScan(s *scan, st pathState, pos func() token.Pos) pathState {
+	if st.track == stDone {
+		return st
+	}
+	if st.track == stReleased && !st.deferred && c.checkUseAfter && (s.read || s.escape) {
+		c.pass.Report(pos(), "%s used after release", c.what)
+		st.track = stDone
+		return st
+	}
+	for _, rp := range s.releases {
+		switch {
+		case st.track == stReleased:
+			c.pass.Report(rp, "%s released twice on this path", c.what)
+			st.track = stDone
+			return st
+		case st.deferred:
+			c.pass.Report(rp, "%s released here but a deferred release is already pending", c.what)
+			st.track = stDone
+			return st
+		default:
+			st.track = stReleased
+		}
+	}
+	if s.escape && st.track == stLive {
+		st.track = stDone
+	}
+	return st
+}
+
+// mergeStates folds branch outcomes. Terminated branches drop out; a
+// disagreement between surviving branches stops tracking (conservative
+// silence) rather than guessing.
+func mergeStates(states []pathState, terms []bool, entry pathState) (pathState, bool) {
+	var live []pathState
+	allTerm := true
+	for i, st := range states {
+		if !terms[i] {
+			allTerm = false
+			live = append(live, st)
+		}
+	}
+	if allTerm {
+		return entry, true
+	}
+	out := live[0]
+	for _, st := range live[1:] {
+		if st != out {
+			return pathState{track: stDone}, false
+		}
+	}
+	return out, false
+}
+
+// walkStmts follows obj through a statement list. It returns the state
+// at the end of the list and whether every path through it terminated
+// (returned or branched away).
+func (c *flowChecker) walkStmts(list []ast.Stmt, st pathState) (pathState, bool) {
+	for _, stmt := range list {
+		var term bool
+		st, term = c.walkStmt(stmt, st)
+		if term {
+			return st, true
+		}
+	}
+	return st, false
+}
+
+func (c *flowChecker) walkStmt(stmt ast.Stmt, st pathState) (pathState, bool) {
+	switch s := stmt.(type) {
+	case *ast.ReturnStmt:
+		var sc scan
+		c.scanNode(s, &sc)
+		// Returning obj itself transfers ownership to the caller (the
+		// acquire-helper pattern: getF64 returns the pooled buffer).
+		for _, e := range s.Results {
+			if c.isObjIdent(e) {
+				sc.returned = true
+			}
+		}
+		if sc.returned {
+			return pathState{track: stDone}, true
+		}
+		st = c.applyScan(&sc, st, s.Pos)
+		if st.track == stLive && !st.deferred {
+			c.pass.Report(s.Pos(), "%s is not %s on this return path", c.what, c.releaseVerb)
+		}
+		return st, true
+
+	case *ast.BranchStmt:
+		// break/continue/goto leave this list; treat as terminated so
+		// states past the branch are not merged in.
+		return st, true
+
+	case *ast.DeferStmt:
+		if c.containsRelease(s.Call) {
+			if st.track == stReleased || st.deferred {
+				c.pass.Report(s.Pos(), "%s released twice on this path", c.what)
+				return pathState{track: stDone}, false
+			}
+			return pathState{track: stReleased, deferred: true}, false
+		}
+		if c.mentions(s.Call) {
+			return pathState{track: stDone}, false
+		}
+		return st, false
+
+	case *ast.GoStmt:
+		if c.mentions(s.Call) {
+			return pathState{track: stDone}, false
+		}
+		return st, false
+
+	case *ast.AssignStmt:
+		return c.walkAssign(s, st), false
+
+	case *ast.ExprStmt:
+		var sc scan
+		c.scanNode(s.X, &sc)
+		return c.applyScan(&sc, st, s.Pos), false
+
+	case *ast.IfStmt:
+		if s.Init != nil {
+			st, _ = c.walkStmt(s.Init, st)
+		}
+		var sc scan
+		c.scanNode(s.Cond, &sc)
+		st = c.applyScan(&sc, st, s.Cond.Pos)
+		thenSt, thenTerm := c.walkStmts(s.Body.List, st)
+		elseSt, elseTerm := st, false
+		if s.Else != nil {
+			elseSt, elseTerm = c.walkStmt(s.Else, st)
+		}
+		return mergeStates([]pathState{thenSt, elseSt}, []bool{thenTerm, elseTerm}, st)
+
+	case *ast.BlockStmt:
+		return c.walkStmts(s.List, st)
+
+	case *ast.LabeledStmt:
+		return c.walkStmt(s.Stmt, st)
+
+	case *ast.ForStmt:
+		if s.Init != nil {
+			st, _ = c.walkStmt(s.Init, st)
+		}
+		var sc scan
+		if s.Cond != nil {
+			c.scanNode(s.Cond, &sc)
+		}
+		if s.Post != nil {
+			c.scanNode(s.Post, &sc)
+		}
+		st = c.applyScan(&sc, st, s.Pos)
+		bodySt, _ := c.walkStmts(s.Body.List, st)
+		return c.afterLoop(st, bodySt), false
+
+	case *ast.RangeStmt:
+		var sc scan
+		c.scanNode(s.X, &sc)
+		st = c.applyScan(&sc, st, s.Pos)
+		bodySt, _ := c.walkStmts(s.Body.List, st)
+		return c.afterLoop(st, bodySt), false
+
+	case *ast.SwitchStmt, *ast.TypeSwitchStmt, *ast.SelectStmt:
+		return c.walkSwitch(stmt, st)
+
+	default:
+		var sc scan
+		c.scanNode(stmt, &sc)
+		return c.applyScan(&sc, st, stmt.Pos), false
+	}
+}
+
+// afterLoop reconciles the state around a loop body that may run zero
+// or many times: if the body changed the state at all, the result is
+// ambiguous and tracking stops; an untouched body keeps the entry state.
+func (c *flowChecker) afterLoop(entry, body pathState) pathState {
+	if body == entry {
+		return entry
+	}
+	return pathState{track: stDone}
+}
+
+// walkSwitch merges the clause bodies of a switch/type-switch/select.
+// A switch without a default may fall past every clause, so the entry
+// state joins the merge.
+func (c *flowChecker) walkSwitch(stmt ast.Stmt, st pathState) (pathState, bool) {
+	var body *ast.BlockStmt
+	hasDefault := false
+	var sc scan
+	switch s := stmt.(type) {
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			st, _ = c.walkStmt(s.Init, st)
+		}
+		if s.Tag != nil {
+			c.scanNode(s.Tag, &sc)
+		}
+		body = s.Body
+	case *ast.TypeSwitchStmt:
+		if s.Init != nil {
+			st, _ = c.walkStmt(s.Init, st)
+		}
+		c.scanNode(s.Assign, &sc)
+		body = s.Body
+	case *ast.SelectStmt:
+		body = s.Body
+	}
+	st = c.applyScan(&sc, st, stmt.Pos)
+	var states []pathState
+	var terms []bool
+	for _, clause := range body.List {
+		var list []ast.Stmt
+		switch cl := clause.(type) {
+		case *ast.CaseClause:
+			for _, e := range cl.List {
+				c.scanNode(e, &sc)
+			}
+			if cl.List == nil {
+				hasDefault = true
+			}
+			list = cl.Body
+		case *ast.CommClause:
+			if cl.Comm == nil {
+				hasDefault = true
+			} else {
+				c.scanNode(cl.Comm, &sc)
+			}
+			list = cl.Body
+		}
+		cs, ct := c.walkStmts(list, st)
+		states = append(states, cs)
+		terms = append(terms, ct)
+	}
+	if !hasDefault || len(states) == 0 {
+		states = append(states, st)
+		terms = append(terms, false)
+	}
+	return mergeStates(states, terms, st)
+}
+
+// walkAssign handles assignments: reassigning the tracked variable with
+// a fresh acquire while the old value is live loses the old value
+// (stream.go's span-handle reuse must End() first); any other overwrite
+// stops tracking.
+func (c *flowChecker) walkAssign(s *ast.AssignStmt, st pathState) pathState {
+	var sc scan
+	// LHS: is obj assigned to?
+	objLHS := -1
+	for i, lhs := range s.Lhs {
+		if c.isObjIdent(lhs) {
+			objLHS = i
+		} else {
+			c.scanNode(lhs, &sc)
+		}
+	}
+	for i, rhs := range s.Rhs {
+		if i == objLHS && len(s.Lhs) == len(s.Rhs) {
+			// The expression assigned INTO obj: classified below.
+			continue
+		}
+		c.scanNode(rhs, &sc)
+	}
+	st = c.applyScan(&sc, st, s.Pos)
+	if objLHS < 0 || st.track == stDone && objLHS < 0 {
+		return st
+	}
+	if objLHS >= 0 {
+		var rhs ast.Expr
+		if len(s.Lhs) == len(s.Rhs) {
+			rhs = unparen(s.Rhs[objLHS])
+		}
+		if call, ok := stripAssert(rhs); ok && c.isAcquire != nil && c.isAcquire(call) {
+			if st.track == stLive && !st.deferred {
+				c.pass.Report(s.Pos(), "%s reassigned before it is %s; the previous value leaks", c.what, c.releaseVerb)
+			}
+			if st.deferred {
+				// The deferred release will cover the NEW value (defer
+				// evaluates at run time for method-style releases); too
+				// subtle to model — stop.
+				return pathState{track: stDone}
+			}
+			return pathState{track: stLive}
+		}
+		// Overwritten with something else: stop tracking silently (the
+		// get-or-alloc fallback pattern writes a fresh allocation over a
+		// failed pool fetch).
+		return pathState{track: stDone}
+	}
+	return st
+}
+
+// stripAssert unwraps parens and a single type assertion around a call:
+// pool.Get().(*T) acquires like pool.Get().
+func stripAssert(e ast.Expr) (*ast.CallExpr, bool) {
+	if e == nil {
+		return nil, false
+	}
+	e = unparen(e)
+	if ta, ok := e.(*ast.TypeAssertExpr); ok {
+		e = unparen(ta.X)
+	}
+	call, ok := e.(*ast.CallExpr)
+	return call, ok
+}
+
+// track runs the checker over the statements following the acquire at
+// list[start+1:]. endIsScope reports whether falling off the end of the
+// list leaks the value (:= binding whose scope is this list).
+func (c *flowChecker) track(list []ast.Stmt, start int, endPos token.Pos) {
+	st, term := c.walkStmts(list[start+1:], pathState{track: stLive})
+	if term {
+		return
+	}
+	if st.track == stLive && !st.deferred && c.declared {
+		c.pass.Report(endPos, "%s is not %s before its scope ends", c.what, c.releaseVerb)
+	}
+}
+
+// forEachAcquire finds tracked-value acquisitions in a statement list
+// (recursing into nested blocks, but not into function literals — those
+// are walked as functions of their own) and invokes fn with the list
+// context needed to track the remainder of the value's scope.
+func forEachAcquire(list []ast.Stmt, isAcquire func(call *ast.CallExpr) bool,
+	fn func(obj types.Object, name string, list []ast.Stmt, idx int, declared bool, pos token.Pos),
+	info *types.Info) {
+	for i, stmt := range list {
+		if as, ok := stmt.(*ast.AssignStmt); ok && len(as.Lhs) == len(as.Rhs) {
+			for j, rhs := range as.Rhs {
+				call, ok := stripAssert(rhs)
+				if !ok || !isAcquire(call) {
+					continue
+				}
+				id, ok := unparen(as.Lhs[j]).(*ast.Ident)
+				if !ok || id.Name == "_" {
+					continue
+				}
+				var obj types.Object
+				declared := false
+				if d := info.Defs[id]; d != nil {
+					obj, declared = d, true
+				} else if u := info.Uses[id]; u != nil {
+					obj = u
+				}
+				if obj == nil {
+					continue
+				}
+				fn(obj, id.Name, list, i, declared, call.Pos())
+			}
+		}
+		// Recurse into nested statement bodies.
+		ast.Inspect(stmt, func(n ast.Node) bool {
+			switch b := n.(type) {
+			case *ast.FuncLit:
+				return false
+			case *ast.BlockStmt:
+				if b != nil {
+					forEachAcquireShallow(b.List, isAcquire, fn, info)
+				}
+				return true
+			}
+			return true
+		})
+	}
+}
+
+// forEachAcquireShallow is forEachAcquire without recursion (the
+// recursion in forEachAcquire already visits every nested block once).
+func forEachAcquireShallow(list []ast.Stmt, isAcquire func(call *ast.CallExpr) bool,
+	fn func(obj types.Object, name string, list []ast.Stmt, idx int, declared bool, pos token.Pos),
+	info *types.Info) {
+	for i, stmt := range list {
+		as, ok := stmt.(*ast.AssignStmt)
+		if !ok || len(as.Lhs) != len(as.Rhs) {
+			continue
+		}
+		for j, rhs := range as.Rhs {
+			call, ok := stripAssert(rhs)
+			if !ok || !isAcquire(call) {
+				continue
+			}
+			id, ok := unparen(as.Lhs[j]).(*ast.Ident)
+			if !ok || id.Name == "_" {
+				continue
+			}
+			var obj types.Object
+			declared := false
+			if d := info.Defs[id]; d != nil {
+				obj, declared = d, true
+			} else if u := info.Uses[id]; u != nil {
+				obj = u
+			}
+			if obj == nil {
+				continue
+			}
+			fn(obj, id.Name, list, i, declared, call.Pos())
+		}
+	}
+}

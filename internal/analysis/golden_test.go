@@ -1,0 +1,184 @@
+package analysis
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite the expect.txt golden files from current analyzer output")
+
+const fixturePrefix = "internal/analysis/testdata/src/"
+
+// renderResult flattens a Result into the golden format: one String()
+// line per active finding, one SUPPRESSED line per suppressed finding,
+// with the fixture-root prefix trimmed so goldens stay readable.
+func renderResult(res *Result) string {
+	var b strings.Builder
+	for _, f := range res.Findings {
+		b.WriteString(strings.TrimPrefix(f.String(), fixturePrefix))
+		b.WriteByte('\n')
+	}
+	for _, f := range res.Suppressed {
+		fmt.Fprintf(&b, "SUPPRESSED: %s:%d: [%s] %s (%s)\n",
+			strings.TrimPrefix(f.File, fixturePrefix), f.Line, f.Analyzer, f.Message, f.IgnoreReason)
+	}
+	return b.String()
+}
+
+// TestAnalyzerGolden runs each analyzer over its positive (bad) and
+// negative (ok) fixture package and compares against the fixture's
+// expect.txt. Run with -update to regenerate the goldens.
+func TestAnalyzerGolden(t *testing.T) {
+	cases := []struct {
+		analyzer string
+		fixture  string
+	}{
+		{"spanend", "spanend_bad"},
+		{"spanend", "spanend_ok"},
+		{"poolrelease", "poolrelease_bad"},
+		{"poolrelease", "poolrelease_ok"},
+		{"lockscope", "lockscope_bad"},
+		{"lockscope", "lockscope_ok"},
+		{"equivpin", "equivpin_bad"},
+		{"equivpin", "equivpin_ok"},
+		{"telemetrynil", "telemetrynil_bad"},
+		{"telemetrynil", "telemetrynil_ok"},
+		{"globalrand", "globalrand_bad"},
+		{"globalrand", "globalrand_ok"},
+		{"globalrand", "ignorefix"},
+	}
+
+	l, err := NewLoader(".")
+	if err != nil {
+		t.Fatalf("NewLoader: %v", err)
+	}
+	for _, tc := range cases {
+		t.Run(tc.fixture, func(t *testing.T) {
+			as, err := ByName([]string{tc.analyzer})
+			if err != nil {
+				t.Fatalf("ByName(%q): %v", tc.analyzer, err)
+			}
+			res, err := Run(l, as, []string{fixturePrefix + tc.fixture})
+			if err != nil {
+				t.Fatalf("Run: %v", err)
+			}
+			got := renderResult(res)
+
+			golden := filepath.Join("testdata", "src", tc.fixture, "expect.txt")
+			if *update {
+				if got == "" {
+					os.Remove(golden)
+					return
+				}
+				if err := os.WriteFile(golden, []byte(got), 0o644); err != nil {
+					t.Fatalf("write golden: %v", err)
+				}
+				return
+			}
+			want := ""
+			if data, err := os.ReadFile(golden); err == nil {
+				want = string(data)
+			} else if !os.IsNotExist(err) {
+				t.Fatalf("read golden: %v", err)
+			}
+			if got != want {
+				t.Errorf("%s over %s: output mismatch\n--- got ---\n%s--- want (%s) ---\n%s",
+					tc.analyzer, tc.fixture, got, golden, want)
+			}
+
+			// Structural sanity independent of the golden text: _bad
+			// fixtures must produce findings, _ok fixtures must not.
+			switch {
+			case strings.HasSuffix(tc.fixture, "_bad") && len(res.Findings) == 0:
+				t.Errorf("%s produced no findings on %s; the analyzer lost its catch", tc.analyzer, tc.fixture)
+			case strings.HasSuffix(tc.fixture, "_ok") && len(res.Findings) > 0:
+				t.Errorf("%s produced %d findings on compliant fixture %s", tc.analyzer, len(res.Findings), tc.fixture)
+			}
+		})
+	}
+}
+
+// TestIgnoreRequiresReason pins the directive contract: a reasoned
+// directive suppresses (trailing and line-above forms both), while a
+// reasonless directive is itself a finding and suppresses nothing.
+func TestIgnoreRequiresReason(t *testing.T) {
+	l, err := NewLoader(".")
+	if err != nil {
+		t.Fatalf("NewLoader: %v", err)
+	}
+	as, _ := ByName([]string{"globalrand"})
+	res, err := Run(l, as, []string{fixturePrefix + "ignorefix"})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+
+	if got := len(res.Suppressed); got != 2 {
+		t.Errorf("suppressed = %d, want 2 (trailing + line-above directives)", got)
+	}
+	for _, f := range res.Suppressed {
+		if f.IgnoreReason == "" {
+			t.Errorf("suppressed finding %s has no recorded reason", f)
+		}
+	}
+
+	var gotIgnore, gotActive bool
+	for _, f := range res.Findings {
+		switch f.Analyzer {
+		case "ignore":
+			gotIgnore = true
+		case "globalrand":
+			gotActive = true
+		}
+	}
+	if !gotIgnore {
+		t.Errorf("reasonless sonic:ignore directive was not reported as a finding; got %v", res.Findings)
+	}
+	if !gotActive {
+		t.Errorf("reasonless sonic:ignore directive suppressed the underlying finding; got %v", res.Findings)
+	}
+}
+
+// TestByNameRejectsUnknown keeps -run typos loud: an unknown analyzer
+// name must error instead of silently running nothing.
+func TestByNameRejectsUnknown(t *testing.T) {
+	if _, err := ByName([]string{"spanend", "nosuchcheck"}); err == nil {
+		t.Fatal("ByName accepted an unknown analyzer name")
+	}
+	as, err := ByName([]string{"spanend", "globalrand"})
+	if err != nil || len(as) != 2 {
+		t.Fatalf("ByName on valid names: got %d analyzers, err %v", len(as), err)
+	}
+}
+
+// TestRepoIsVetClean is the self-check: the full analyzer suite over the
+// whole repository must come back with zero active findings, exactly as
+// check.sh and CI enforce. Every suppression must carry a reason.
+func TestRepoIsVetClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("type-checks the whole module; skipped in -short")
+	}
+	l, err := NewLoader(".")
+	if err != nil {
+		t.Fatalf("NewLoader: %v", err)
+	}
+	dirs, err := l.ExpandPatterns([]string{"./..."})
+	if err != nil {
+		t.Fatalf("ExpandPatterns: %v", err)
+	}
+	res, err := Run(l, All(), dirs)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	for _, f := range res.Findings {
+		t.Errorf("unsuppressed finding: %s", f)
+	}
+	for _, f := range res.Suppressed {
+		if f.IgnoreReason == "" {
+			t.Errorf("suppression without reason: %s", f)
+		}
+	}
+}

@@ -1,0 +1,363 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// PoolRelease checks the buffer-pooling discipline: a value obtained
+// from sync.Pool.Get — directly or through a package-local acquire
+// helper (getF64, getScratch, getBytes, ...) — must be released exactly
+// once on every path (Pool.Put, a put* helper, or the value's Release
+// method) and never touched after release. Values that escape into
+// closures, structs, channels, or other variables leave local tracking
+// silently: every finding is a path that provably misses or doubles its
+// release.
+var PoolRelease = &Analyzer{
+	Name: "poolrelease",
+	Doc:  "pooled values must be released exactly once per path and never used after",
+	Run:  runPoolRelease,
+}
+
+// isSyncPool reports whether t is sync.Pool or *sync.Pool.
+func isSyncPool(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	n, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	o := n.Obj()
+	return o.Pkg() != nil && o.Pkg().Path() == "sync" && o.Name() == "Pool"
+}
+
+// poolMethodCall reports whether call is <sync.Pool value>.Get() or
+// .Put(...) with the given method name.
+func poolMethodCall(call *ast.CallExpr, name string, info *types.Info) bool {
+	sel, ok := unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != name {
+		return false
+	}
+	return isSyncPool(info.TypeOf(sel.X))
+}
+
+// callee resolves the called function or method object, if any.
+func callee(call *ast.CallExpr, info *types.Info) *types.Func {
+	switch fun := unparen(call.Fun).(type) {
+	case *ast.Ident:
+		f, _ := info.Uses[fun].(*types.Func)
+		return f
+	case *ast.SelectorExpr:
+		f, _ := info.Uses[fun.Sel].(*types.Func)
+		return f
+	}
+	return nil
+}
+
+// classifyPoolHelpers splits the package's functions into acquire
+// helpers (return a value and contain a Pool.Get but no Pool.Put — the
+// get-or-alloc pattern) and release helpers (take a value and contain a
+// Pool.Put but no Pool.Get). Functions with both (Correlate-style
+// inline get/put kernels) are neither.
+func classifyPoolHelpers(pkg *Package) (acquire, release map[*types.Func]bool) {
+	acquire = make(map[*types.Func]bool)
+	release = make(map[*types.Func]bool)
+	info := pkg.Info
+	for _, f := range pkg.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			obj, ok := info.Defs[fd.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			// A release helper must Put one of its own parameters (or
+			// its receiver) — a function that Puts a local it acquired
+			// itself (drawPseudoPhoto) releases nothing for its caller.
+			own := make(map[types.Object]bool)
+			for _, field := range fd.Type.Params.List {
+				for _, nm := range field.Names {
+					if o := info.Defs[nm]; o != nil {
+						own[o] = true
+					}
+				}
+			}
+			if fd.Recv != nil && len(fd.Recv.List) > 0 {
+				for _, nm := range fd.Recv.List[0].Names {
+					if o := info.Defs[nm]; o != nil {
+						own[o] = true
+					}
+				}
+			}
+			hasGet, hasPut, putsOwn := false, false, false
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				if poolMethodCall(call, "Get", info) {
+					hasGet = true
+				}
+				if poolMethodCall(call, "Put", info) {
+					hasPut = true
+					for _, a := range call.Args {
+						e := unparen(a)
+						if inner, ok := isAddrOf(e); ok {
+							e = unparen(inner)
+						}
+						if id, ok := e.(*ast.Ident); ok && own[info.Uses[id]] {
+							putsOwn = true
+						}
+					}
+				}
+				return true
+			})
+			results := fd.Type.Results != nil && len(fd.Type.Results.List) > 0
+			switch {
+			case hasGet && !hasPut && results:
+				acquire[obj] = true
+			case putsOwn && !hasGet:
+				release[obj] = true
+			}
+		}
+	}
+	return acquire, release
+}
+
+func runPoolRelease(pass *Pass) {
+	info := pass.Pkg.Info
+	acqHelpers, relHelpers := classifyPoolHelpers(pass.Pkg)
+
+	isAcquire := func(call *ast.CallExpr) bool {
+		if poolMethodCall(call, "Get", info) {
+			return true
+		}
+		if f := callee(call, info); f != nil && acqHelpers[f] {
+			return true
+		}
+		return false
+	}
+	isRelease := func(call *ast.CallExpr) bool {
+		if poolMethodCall(call, "Put", info) {
+			return true
+		}
+		if f := callee(call, info); f != nil && relHelpers[f] {
+			return true
+		}
+		// Cross-package pooled handles (webrender.Rendered) release via
+		// a Release() method.
+		if sel, ok := unparen(call.Fun).(*ast.SelectorExpr); ok {
+			return sel.Sel.Name == "Release" && len(call.Args) == 0
+		}
+		return false
+	}
+
+	funcsOf(pass.Pkg.Files, func(name string, decl *ast.FuncDecl, body *ast.BlockStmt) {
+		// An acquire helper's own body exists to hand its value to the
+		// caller (often reshaped, e.g. getBlocks returns (*p)[:n]);
+		// tracking inside it would flag the ownership transfer it
+		// encapsulates.
+		if obj, ok := info.Defs[decl.Name].(*types.Func); ok && (acqHelpers[obj] || relHelpers[obj]) {
+			return
+		}
+		tracked := make(map[types.Object]bool)
+		forEachAcquire(body.List, isAcquire, func(obj types.Object, varName string, list []ast.Stmt, idx int, declared bool, pos token.Pos) {
+			tracked[obj] = true
+			c := &flowChecker{
+				pass:          pass,
+				info:          info,
+				obj:           obj,
+				what:          fmt.Sprintf("pooled value %q", varName),
+				isAcquire:     isAcquire,
+				isRelease:     isRelease,
+				declared:      declared,
+				checkUseAfter: true,
+				releaseVerb:   "released",
+			}
+			c.track(list, idx, list[len(list)-1].End())
+		}, info)
+
+		// Use-after-release for values the flow tracker does not own
+		// (e.g. handles acquired from another package): a linear scan
+		// that arms on an unconditional Release/Put statement.
+		scanUseAfterRelease(pass, info, body.List, isRelease, tracked, make(map[types.Object]token.Pos))
+	})
+}
+
+// scanUseAfterRelease walks a statement list in order. After a
+// statement-level release of variable v, a later use of v on the same
+// list is a use-after-release; a later release is a double release.
+// Branch bodies get a copy of the released set, so releases inside an
+// early-return branch do not poison the fall-through path.
+func scanUseAfterRelease(pass *Pass, info *types.Info, list []ast.Stmt, isRelease func(*ast.CallExpr) bool, tracked map[types.Object]bool, released map[types.Object]token.Pos) {
+	for _, stmt := range list {
+		// Check uses of already-released values in this statement,
+		// before registering any release it performs itself.
+		checkReleasedUses(pass, info, stmt, isRelease, released)
+
+		switch s := stmt.(type) {
+		case *ast.ExprStmt:
+			if call, ok := unparen(s.X).(*ast.CallExpr); ok && isRelease(call) {
+				if obj := releaseTargetObj(call, info); obj != nil && !tracked[obj] {
+					if _, done := released[obj]; done {
+						pass.Report(call.Pos(), "%q released twice on this path", obj.Name())
+					}
+					released[obj] = call.Pos()
+				}
+			}
+		case *ast.AssignStmt:
+			// Reassignment makes the variable hold a fresh value.
+			for _, lhs := range s.Lhs {
+				if id, ok := unparen(lhs).(*ast.Ident); ok {
+					if obj := info.Uses[id]; obj != nil {
+						delete(released, obj)
+					}
+				}
+			}
+		case *ast.BlockStmt:
+			scanUseAfterRelease(pass, info, s.List, isRelease, tracked, released)
+		case *ast.IfStmt:
+			scanUseAfterRelease(pass, info, s.Body.List, isRelease, tracked, copyReleased(released))
+			if s.Else != nil {
+				scanUseAfterRelease(pass, info, []ast.Stmt{s.Else}, isRelease, tracked, copyReleased(released))
+			}
+		case *ast.ForStmt:
+			scanUseAfterRelease(pass, info, s.Body.List, isRelease, tracked, copyReleased(released))
+		case *ast.RangeStmt:
+			scanUseAfterRelease(pass, info, s.Body.List, isRelease, tracked, copyReleased(released))
+		case *ast.SwitchStmt:
+			for _, cl := range s.Body.List {
+				if cc, ok := cl.(*ast.CaseClause); ok {
+					scanUseAfterRelease(pass, info, cc.Body, isRelease, tracked, copyReleased(released))
+				}
+			}
+		case *ast.TypeSwitchStmt:
+			for _, cl := range s.Body.List {
+				if cc, ok := cl.(*ast.CaseClause); ok {
+					scanUseAfterRelease(pass, info, cc.Body, isRelease, tracked, copyReleased(released))
+				}
+			}
+		case *ast.SelectStmt:
+			for _, cl := range s.Body.List {
+				if cc, ok := cl.(*ast.CommClause); ok {
+					scanUseAfterRelease(pass, info, cc.Body, isRelease, tracked, copyReleased(released))
+				}
+			}
+		case *ast.LabeledStmt:
+			scanUseAfterRelease(pass, info, []ast.Stmt{s.Stmt}, isRelease, tracked, released)
+		}
+	}
+}
+
+func copyReleased(m map[types.Object]token.Pos) map[types.Object]token.Pos {
+	out := make(map[types.Object]token.Pos, len(m))
+	for k, v := range m {
+		out[k] = v
+	}
+	return out
+}
+
+// releaseTargetObj extracts the simple-variable target of a release
+// call: the receiver of v.Release(), or the v / &v argument of Put(v)
+// and putHelper(v).
+func releaseTargetObj(call *ast.CallExpr, info *types.Info) types.Object {
+	if sel, ok := unparen(call.Fun).(*ast.SelectorExpr); ok && sel.Sel.Name == "Release" {
+		if id, ok := unparen(sel.X).(*ast.Ident); ok {
+			return info.Uses[id]
+		}
+		return nil
+	}
+	for _, a := range call.Args {
+		e := unparen(a)
+		if inner, ok := isAddrOf(e); ok {
+			e = unparen(inner)
+		}
+		if id, ok := e.(*ast.Ident); ok {
+			if obj := info.Uses[id]; obj != nil {
+				if _, isVar := obj.(*types.Var); isVar {
+					return obj
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// checkReleasedUses reports reads of released values inside stmt,
+// skipping nested function literals (their execution time is unknown)
+// and the release registrations handled by the caller.
+func checkReleasedUses(pass *Pass, info *types.Info, stmt ast.Stmt, isRelease func(*ast.CallExpr) bool, released map[types.Object]token.Pos) {
+	if len(released) == 0 {
+		return
+	}
+	// Skip the statement forms the caller recurses into; their bodies
+	// are checked with their own released-set copies. Conditions and
+	// initializers of those forms still run on this path, so scan them.
+	var scanRoots []ast.Node
+	switch s := stmt.(type) {
+	case *ast.IfStmt:
+		if s.Init != nil {
+			scanRoots = append(scanRoots, s.Init)
+		}
+		scanRoots = append(scanRoots, s.Cond)
+	case *ast.ForStmt:
+		if s.Init != nil {
+			scanRoots = append(scanRoots, s.Init)
+		}
+		if s.Cond != nil {
+			scanRoots = append(scanRoots, s.Cond)
+		}
+	case *ast.RangeStmt:
+		scanRoots = append(scanRoots, s.X)
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			scanRoots = append(scanRoots, s.Init)
+		}
+		if s.Tag != nil {
+			scanRoots = append(scanRoots, s.Tag)
+		}
+	case *ast.TypeSwitchStmt:
+		scanRoots = append(scanRoots, s.Assign)
+	case *ast.BlockStmt, *ast.SelectStmt, *ast.LabeledStmt:
+		return
+	case *ast.AssignStmt:
+		// Only the RHS reads; LHS occurrences are overwrites.
+		for _, e := range s.Rhs {
+			scanRoots = append(scanRoots, e)
+		}
+	default:
+		scanRoots = append(scanRoots, stmt)
+	}
+	for _, root := range scanRoots {
+		ast.Inspect(root, func(n ast.Node) bool {
+			switch x := n.(type) {
+			case *ast.FuncLit:
+				return false
+			case *ast.CallExpr:
+				if isRelease(x) {
+					// Double releases are registered by the caller; do
+					// not also report the receiver read.
+					return false
+				}
+				return true
+			case *ast.Ident:
+				if obj := info.Uses[x]; obj != nil {
+					if pos, ok := released[obj]; ok {
+						rel := pass.Fset.Position(pos)
+						pass.Report(x.Pos(), "%q used after release (released at line %d)", obj.Name(), rel.Line)
+						delete(released, obj)
+					}
+				}
+			}
+			return true
+		})
+	}
+}

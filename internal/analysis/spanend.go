@@ -1,0 +1,52 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// SpanEnd checks that every telemetry span handle obtained from
+// StartSpan or StartChild is End()-ed on all control-flow paths —
+// by defer or explicitly before each return — and that a live handle is
+// not overwritten by a fresh StartChild (the broadcast chain reuses one
+// handle variable per stage, which only balances if each stage ends the
+// previous span first).
+var SpanEnd = &Analyzer{
+	Name: "spanend",
+	Doc:  "telemetry spans must be End()-ed on every control-flow path",
+	Run:  runSpanEnd,
+}
+
+func isSpanStart(call *ast.CallExpr) bool {
+	sel, ok := unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	return sel.Sel.Name == "StartSpan" || sel.Sel.Name == "StartChild"
+}
+
+func isSpanEnd(call *ast.CallExpr) bool {
+	sel, ok := unparen(call.Fun).(*ast.SelectorExpr)
+	return ok && sel.Sel.Name == "End" && len(call.Args) == 0
+}
+
+func runSpanEnd(pass *Pass) {
+	info := pass.Pkg.Info
+	funcsOf(pass.Pkg.Files, func(name string, decl *ast.FuncDecl, body *ast.BlockStmt) {
+		forEachAcquire(body.List, isSpanStart, func(obj types.Object, varName string, list []ast.Stmt, idx int, declared bool, pos token.Pos) {
+			c := &flowChecker{
+				pass:        pass,
+				info:        info,
+				obj:         obj,
+				what:        fmt.Sprintf("span %q", varName),
+				isAcquire:   isSpanStart,
+				isRelease:   isSpanEnd,
+				declared:    declared,
+				releaseVerb: "End()-ed",
+			}
+			c.track(list, idx, list[len(list)-1].End())
+		}, info)
+	})
+}

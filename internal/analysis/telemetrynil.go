@@ -1,0 +1,301 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// TelemetryNil protects the disabled-telemetry fast path: a nil
+// *Registry (and the nil handles it hands out) must flow through every
+// telemetry call at <2 ns, so every exported pointer-receiver method on
+// a telemetry handle type must be nil-receiver-safe — either it guards
+// the receiver against nil before the first dereference, or every
+// receiver use delegates to a method or helper that does. Handle types
+// are recognized by already having at least one nil-guarded method.
+var TelemetryNil = &Analyzer{
+	Name: "telemetrynil",
+	Doc:  "telemetry handle methods must be nil-receiver-safe (guard before first dereference)",
+	Run:  runTelemetryNil,
+}
+
+func runTelemetryNil(pass *Pass) {
+	if pass.Pkg.Name != "telemetry" {
+		return
+	}
+	tn := &telemetryNil{
+		pass:    pass,
+		info:    pass.Pkg.Info,
+		safe:    make(map[*types.Func]bool),
+		methods: make(map[*types.Func]*ast.FuncDecl),
+		funcs:   make(map[*types.Func]*ast.FuncDecl),
+	}
+	tn.collect()
+	tn.fixpoint()
+	tn.report()
+}
+
+type telemetryNil struct {
+	pass *Pass
+	info *types.Info
+
+	methods map[*types.Func]*ast.FuncDecl // pointer-receiver methods
+	funcs   map[*types.Func]*ast.FuncDecl // top-level functions
+	// safe starts optimistic (every method assumed nil-safe) and is
+	// narrowed to a fixpoint, so mutually delegating safe methods stay
+	// safe.
+	safe map[*types.Func]bool
+	// guardedTypes are receiver types owning at least one method that
+	// opens with a nil guard — the "handle type" heuristic.
+	guardedTypes map[string]bool
+}
+
+func recvIdent(fd *ast.FuncDecl) *ast.Ident {
+	if fd.Recv == nil || len(fd.Recv.List) == 0 || len(fd.Recv.List[0].Names) == 0 {
+		return nil
+	}
+	return fd.Recv.List[0].Names[0]
+}
+
+func recvTypeName(fd *ast.FuncDecl) (string, bool) {
+	if fd.Recv == nil || len(fd.Recv.List) == 0 {
+		return "", false
+	}
+	t := fd.Recv.List[0].Type
+	ptr, ok := t.(*ast.StarExpr)
+	if !ok {
+		return "", false // value receiver: cannot be nil
+	}
+	id, ok := unparen(ptr.X).(*ast.Ident)
+	if !ok {
+		return "", false
+	}
+	return id.Name, true
+}
+
+func (tn *telemetryNil) collect() {
+	tn.guardedTypes = make(map[string]bool)
+	for _, f := range tn.pass.Pkg.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			obj, ok := tn.info.Defs[fd.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			if fd.Recv == nil {
+				tn.funcs[obj] = fd
+				continue
+			}
+			tname, ptr := recvTypeName(fd)
+			if !ptr {
+				continue
+			}
+			tn.methods[obj] = fd
+			tn.safe[obj] = true
+			if rid := recvIdent(fd); rid != nil && len(fd.Body.List) > 0 {
+				if tn.isNilGuard(fd.Body.List[0], tn.objOf(rid)) {
+					tn.guardedTypes[tname] = true
+				}
+			}
+		}
+	}
+}
+
+func (tn *telemetryNil) objOf(id *ast.Ident) types.Object {
+	if o := tn.info.Defs[id]; o != nil {
+		return o
+	}
+	return tn.info.Uses[id]
+}
+
+// isNilGuard reports whether stmt is "if x == nil { ... return ... }"
+// (possibly with extra || terms), i.e. a guard that exits before x is
+// dereferenced.
+func (tn *telemetryNil) isNilGuard(stmt ast.Stmt, x types.Object) bool {
+	ifs, ok := stmt.(*ast.IfStmt)
+	if !ok || ifs.Init != nil || x == nil {
+		return false
+	}
+	if !tn.condChecksNil(ifs.Cond, x) {
+		return false
+	}
+	// The guard body must leave the function.
+	n := len(ifs.Body.List)
+	if n == 0 {
+		return false
+	}
+	_, isReturn := ifs.Body.List[n-1].(*ast.ReturnStmt)
+	return isReturn
+}
+
+// condChecksNil looks for an "x == nil" disjunct in cond.
+func (tn *telemetryNil) condChecksNil(cond ast.Expr, x types.Object) bool {
+	cond = unparen(cond)
+	if bin, ok := cond.(*ast.BinaryExpr); ok {
+		if bin.Op == token.LOR {
+			return tn.condChecksNil(bin.X, x) || tn.condChecksNil(bin.Y, x)
+		}
+		if bin.Op == token.EQL {
+			return (tn.identIs(bin.X, x) && isNil(bin.Y)) || (tn.identIs(bin.Y, x) && isNil(bin.X))
+		}
+	}
+	return false
+}
+
+func (tn *telemetryNil) identIs(e ast.Expr, x types.Object) bool {
+	id, ok := unparen(e).(*ast.Ident)
+	return ok && (tn.info.Uses[id] == x || tn.info.Defs[id] == x)
+}
+
+// guardedParam reports whether the i-th parameter of local function fd
+// is nil-guarded by its first statement (the now(lc) helper pattern).
+func (tn *telemetryNil) guardedParam(fd *ast.FuncDecl, i int) bool {
+	if fd.Body == nil || len(fd.Body.List) == 0 {
+		return false
+	}
+	var params []*ast.Ident
+	for _, field := range fd.Type.Params.List {
+		params = append(params, field.Names...)
+	}
+	if i >= len(params) {
+		return false
+	}
+	obj := tn.objOf(params[i])
+	ifs, ok := fd.Body.List[0].(*ast.IfStmt)
+	if !ok || ifs.Init != nil {
+		return false
+	}
+	// For helper functions a guard need not return — returning a default
+	// ("if lc == nil { return time.Time{} }") and assigning a fallback
+	// both count as long as the nil case is handled first.
+	return tn.condChecksNil(ifs.Cond, obj)
+}
+
+// fixpoint narrows the safe set: a method stays safe only if, scanning
+// its top-level statements in order, a nil guard appears before any
+// statement that uses the receiver unsafely. Receiver uses that are
+// themselves safe: nil comparisons, receiving a (currently) safe
+// same-package method, or being passed to a local function at a
+// nil-guarded parameter.
+func (tn *telemetryNil) fixpoint() {
+	for changed := true; changed; {
+		changed = false
+		for obj, fd := range tn.methods {
+			if !tn.safe[obj] {
+				continue
+			}
+			if !tn.methodSafe(fd) {
+				tn.safe[obj] = false
+				changed = true
+			}
+		}
+	}
+}
+
+func (tn *telemetryNil) methodSafe(fd *ast.FuncDecl) bool {
+	rid := recvIdent(fd)
+	if rid == nil {
+		return true // receiver unnamed: never dereferenced
+	}
+	recv := tn.objOf(rid)
+	for _, stmt := range fd.Body.List {
+		if tn.isNilGuard(stmt, recv) {
+			return true
+		}
+		if tn.hasUnsafeUse(stmt, recv) {
+			return false
+		}
+	}
+	return true
+}
+
+// hasUnsafeUse reports whether the subtree dereferences recv without a
+// guard in scope.
+func (tn *telemetryNil) hasUnsafeUse(n ast.Node, recv types.Object) bool {
+	unsafe := false
+	ast.Inspect(n, func(nd ast.Node) bool {
+		if unsafe {
+			return false
+		}
+		switch x := nd.(type) {
+		case *ast.BinaryExpr:
+			// Nil comparisons are safe reads.
+			if (x.Op == token.EQL || x.Op == token.NEQ) &&
+				((tn.identIs(x.X, recv) && isNil(x.Y)) || (tn.identIs(x.Y, recv) && isNil(x.X))) {
+				return false
+			}
+			return true
+		case *ast.CallExpr:
+			// recv.M(...) where M is (still) nil-safe.
+			if sel, ok := unparen(x.Fun).(*ast.SelectorExpr); ok && tn.identIs(sel.X, recv) {
+				if f, ok := tn.info.Uses[sel.Sel].(*types.Func); ok && tn.safe[f] {
+					for _, a := range x.Args {
+						if tn.hasUnsafeUse(a, recv) {
+							unsafe = true
+						}
+					}
+					return false
+				}
+				unsafe = true
+				return false
+			}
+			// localFn(..., recv, ...) with a nil-guarded parameter.
+			if f := callee(x, tn.info); f != nil {
+				if lfd, ok := tn.funcs[f]; ok {
+					argIdx := -1
+					for i, a := range x.Args {
+						if tn.identIs(a, recv) {
+							argIdx = i
+						} else if tn.hasUnsafeUse(a, recv) {
+							unsafe = true
+							return false
+						}
+					}
+					if argIdx >= 0 && !tn.guardedParam(lfd, argIdx) {
+						unsafe = true
+					}
+					return false
+				}
+			}
+			return true
+		case *ast.SelectorExpr:
+			if tn.identIs(x.X, recv) {
+				unsafe = true // field access or method value: dereference
+				return false
+			}
+			return true
+		case *ast.StarExpr:
+			if tn.identIs(x.X, recv) {
+				unsafe = true
+				return false
+			}
+			return true
+		case *ast.Ident:
+			// A bare receiver escaping anywhere else (struct literal,
+			// unknown call, assignment) may be dereferenced later where
+			// the nil contract is unknown — treat as unsafe.
+			if tn.identIs(x, recv) {
+				unsafe = true
+			}
+			return true
+		}
+		return true
+	})
+	return unsafe
+}
+
+func (tn *telemetryNil) report() {
+	for obj, fd := range tn.methods {
+		if tn.safe[obj] || !fd.Name.IsExported() {
+			continue
+		}
+		tname, _ := recvTypeName(fd)
+		if !tn.guardedTypes[tname] {
+			continue // not a handle type
+		}
+		tn.pass.Report(fd.Name.Pos(), "method (*%s).%s is not nil-receiver-safe: guard the receiver against nil before its first use so the disabled-telemetry path stays cheap", tname, fd.Name.Name)
+	}
+}

@@ -1,0 +1,11 @@
+// Package equivpin_bad has an equivalence test that pins one entry
+// point but leaves another exported function unreachable from any pin.
+package equivpin_bad
+
+// Pinned is referenced by the equivalence test.
+func Pinned() int { return pinnedHelper() }
+
+func pinnedHelper() int { return 1 }
+
+// Orphan is exported but no equivalence or parity test reaches it.
+func Orphan() int { return 2 } // want: not reachable from any equivalence/parity test

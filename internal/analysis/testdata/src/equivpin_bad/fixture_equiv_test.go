@@ -1,0 +1,9 @@
+package equivpin_bad
+
+import "testing"
+
+func TestPinnedMatchesReference(t *testing.T) {
+	if Pinned() != 1 {
+		t.Fatal("drift")
+	}
+}

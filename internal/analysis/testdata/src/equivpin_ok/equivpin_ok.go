@@ -1,0 +1,18 @@
+// Package equivpin_ok shows the compliant shapes: direct pins,
+// transitive pins through a pinned caller, pins from a Matches-named
+// test outside the equiv file, and a reasoned ignore.
+package equivpin_ok
+
+// Encode is pinned directly by the equivalence test.
+func Encode() int { return Transform() + 1 }
+
+// Transform is pinned transitively: the equivalence run exercises it
+// through Encode.
+func Transform() int { return 1 }
+
+// Decode is pinned by a Matches-named parity test in the plain test
+// file.
+func Decode() int { return 2 }
+
+// Knob is deliberately unpinned, with an audited reason.
+func Knob() int { return 3 } //sonic:ignore equivpin tuning knob, not a kernel

@@ -1,0 +1,9 @@
+package equivpin_ok
+
+import "testing"
+
+func TestEncodeEquivalence(t *testing.T) {
+	if Encode() != 2 {
+		t.Fatal("drift")
+	}
+}

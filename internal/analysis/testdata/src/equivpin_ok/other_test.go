@@ -1,0 +1,15 @@
+package equivpin_ok
+
+import "testing"
+
+func TestDecodeMatchesReference(t *testing.T) {
+	if Decode() != 2 {
+		t.Fatal("drift")
+	}
+}
+
+func TestUnrelated(t *testing.T) {
+	// References from non-pin tests do not pin: this mention of Knob
+	// does not satisfy equivpin.
+	_ = Knob()
+}

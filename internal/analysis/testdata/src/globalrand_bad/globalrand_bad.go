@@ -1,0 +1,13 @@
+// Package globalrand_bad draws from the math/rand global source, which
+// makes parity and corpus runs irreproducible.
+package globalrand_bad
+
+import "math/rand"
+
+func jitter() float64 {
+	return rand.Float64() // want: global source
+}
+
+func order(n int) []int {
+	return rand.Perm(n) // want: global source
+}

@@ -1,0 +1,14 @@
+// Package globalrand_ok draws only from explicit seeded generators;
+// globalrand must stay silent here.
+package globalrand_ok
+
+import "math/rand"
+
+func jitter(seed int64) float64 {
+	r := rand.New(rand.NewSource(seed))
+	return r.Float64()
+}
+
+func order(r *rand.Rand, n int) []int {
+	return r.Perm(n)
+}

@@ -1,0 +1,20 @@
+// Package ignorefix exercises the sonic:ignore directive machinery: a
+// reasoned trailing directive, a reasoned lead-in directive on the line
+// above, and a reasonless directive that both fails the audit and does
+// not suppress.
+package ignorefix
+
+import "math/rand"
+
+func trailing() float64 {
+	return rand.Float64() //sonic:ignore globalrand fixture demonstrates audited suppression
+}
+
+func leadIn() float64 {
+	//sonic:ignore globalrand fixture demonstrates the line-above form
+	return rand.Float64()
+}
+
+func reasonless() float64 {
+	return rand.Float64() //sonic:ignore globalrand
+}

@@ -1,0 +1,44 @@
+// Package lockscope_bad seeds lockscope violations: kernel calls and
+// blocking I/O inside mutex critical sections, directly and through a
+// package-local helper.
+package lockscope_bad
+
+import (
+	"os"
+	"sync"
+	"time"
+
+	"sonic/internal/analysis/testdata/src/lockscope_bad/webrender"
+)
+
+type server struct {
+	mu sync.Mutex
+	rw sync.RWMutex
+}
+
+func (s *server) renderUnderLock() {
+	s.mu.Lock()
+	webrender.Render() // want: kernel call while s.mu held
+	s.mu.Unlock()
+}
+
+func (s *server) sleepUnderDeferredUnlock() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	time.Sleep(time.Millisecond) // want: time.Sleep while s.mu held
+}
+
+func (s *server) fileIOUnderRLock() error {
+	s.rw.RLock()
+	defer s.rw.RUnlock()
+	_, err := os.ReadFile("x") // want: os.ReadFile while s.rw held
+	return err
+}
+
+func (s *server) kernelViaHelper() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	helper() // want: kernel call via helper while s.mu held
+}
+
+func helper() { webrender.Render() }

@@ -1,0 +1,6 @@
+// Package webrender stands in for the real render kernel in lockscope
+// fixtures (kernel packages are matched by basename).
+package webrender
+
+// Render is a stand-in kernel entry point.
+func Render() {}

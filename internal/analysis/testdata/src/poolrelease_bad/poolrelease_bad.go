@@ -1,0 +1,46 @@
+// Package poolrelease_bad seeds poolrelease violations: leaks on error
+// paths, use after release, and double release.
+package poolrelease_bad
+
+import (
+	"errors"
+	"sync"
+)
+
+var errOops = errors.New("oops")
+
+var bufPool = sync.Pool{New: func() any { return new([]byte) }}
+
+func getBuf() *[]byte { return bufPool.Get().(*[]byte) }
+
+func putBuf(p *[]byte) { bufPool.Put(p) }
+
+func leakOnError(fail bool) error {
+	p := getBuf()
+	if fail {
+		return errOops // want: not released on this return path
+	}
+	putBuf(p)
+	return nil
+}
+
+func leakDirectGet(fail bool) error {
+	p := bufPool.Get().(*[]byte)
+	if fail {
+		return errOops // want: not released on this return path
+	}
+	bufPool.Put(p)
+	return nil
+}
+
+func useAfterRelease() int {
+	p := getBuf()
+	putBuf(p)
+	return len(*p) // want: used after release
+}
+
+func doubleRelease() {
+	p := getBuf()
+	putBuf(p)
+	putBuf(p) // want: released twice on this path
+}

@@ -1,0 +1,71 @@
+// Package poolrelease_ok exercises the repo's pooled-buffer idioms;
+// poolrelease must stay silent here.
+package poolrelease_ok
+
+import (
+	"errors"
+	"sync"
+)
+
+var errOops = errors.New("oops")
+
+var bufPool = sync.Pool{New: func() any { return new([]byte) }}
+
+func getBuf() *[]byte { return bufPool.Get().(*[]byte) }
+
+func putBuf(p *[]byte) { bufPool.Put(p) }
+
+func deferred(fail bool) error {
+	p := getBuf()
+	defer putBuf(p)
+	if fail {
+		return errOops
+	}
+	return nil
+}
+
+func releaseOnEveryPath(fail bool) error {
+	p := getBuf()
+	if fail {
+		putBuf(p)
+		return errOops
+	}
+	putBuf(p)
+	return nil
+}
+
+// getOrAlloc is the comma-ok fallback pattern: a failed pool fetch is
+// overwritten with a fresh allocation, which must not be flagged as a
+// lost value.
+func getOrAlloc() int {
+	bufp := getBuf()
+	if len(*bufp) == 0 {
+		b := make([]byte, 64)
+		bufp = &b
+	}
+	n := len(*bufp)
+	putBuf(bufp)
+	return n
+}
+
+// transfer hands the pooled value to the caller.
+func transfer() *[]byte {
+	p := getBuf()
+	return p
+}
+
+// escapeClosure captures the value in a closure whose execution time is
+// unknown; tracking stops without a finding.
+func escapeClosure() func() {
+	p := getBuf()
+	return func() { putBuf(p) }
+}
+
+// reuseAfterNewAcquire releases, then reuses the variable for a second
+// buffer — the server render-path shape.
+func reuseAfterNewAcquire() {
+	p := getBuf()
+	putBuf(p)
+	p = getBuf()
+	putBuf(p)
+}

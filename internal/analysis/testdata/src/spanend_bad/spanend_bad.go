@@ -1,0 +1,40 @@
+// Package spanend_bad seeds spanend violations: spans leaked on early
+// returns, at scope end, by live reassignment, and ended twice.
+package spanend_bad
+
+type tel struct{}
+
+type span struct{}
+
+func (t *tel) StartSpan(string) *span { return nil }
+
+func (s *span) StartChild(string) *span { return nil }
+
+func (s *span) End() {}
+
+func leakOnEarlyReturn(t *tel, fail bool) int {
+	sp := t.StartSpan("op")
+	if fail {
+		return 0 // want: not End()-ed on this return path
+	}
+	sp.End()
+	return 1
+}
+
+func leakAtScopeEnd(t *tel) {
+	sp := t.StartSpan("op")
+	sp.StartChild("child").End()
+	// want: not End()-ed before scope ends
+}
+
+func reassignWhileLive(t *tel) {
+	sp := t.StartSpan("a")
+	sp = t.StartSpan("b") // want: reassigned before End
+	sp.End()
+}
+
+func endTwice(t *tel) {
+	sp := t.StartSpan("op")
+	sp.End()
+	sp.End() // want: released twice on this path
+}

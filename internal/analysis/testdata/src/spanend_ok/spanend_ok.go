@@ -1,0 +1,68 @@
+// Package spanend_ok exercises every span pattern the repo relies on;
+// spanend must stay silent here.
+package spanend_ok
+
+type tel struct{}
+
+type span struct{}
+
+func (t *tel) StartSpan(string) *span { return nil }
+
+func (s *span) StartChild(string) *span { return nil }
+
+func (s *span) End() {}
+
+type holder struct{ sp *span }
+
+func deferred(t *tel, fail bool) int {
+	sp := t.StartSpan("op")
+	defer sp.End()
+	if fail {
+		return 0
+	}
+	return 1
+}
+
+func endOnEveryPath(t *tel, fail bool) int {
+	sp := t.StartSpan("op")
+	if fail {
+		sp.End()
+		return 0
+	}
+	sp.End()
+	return 1
+}
+
+// reuse mirrors the broadcast chain: one handle variable per stage,
+// each stage ends the previous span before starting the next.
+func reuse(t *tel, extra bool) {
+	sp := t.StartSpan("stage1")
+	sp.End()
+	sp = t.StartSpan("stage2")
+	sp.End()
+	if extra {
+		sp = t.StartSpan("stage3")
+		sp.End()
+	}
+}
+
+// transfer returns the live span: ownership moves to the caller.
+func transfer(t *tel) *span {
+	sp := t.StartSpan("op")
+	return sp
+}
+
+// escape stores the span; lifetime is no longer local.
+func escape(t *tel, h *holder) {
+	sp := t.StartSpan("op")
+	h.sp = sp
+}
+
+// deferredClosure ends the span inside a deferred literal.
+func deferredClosure(t *tel) {
+	sp := t.StartSpan("op")
+	defer func() {
+		sp.End()
+	}()
+	sp.StartChild("child").End()
+}

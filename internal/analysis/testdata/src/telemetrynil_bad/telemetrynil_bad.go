@@ -1,0 +1,25 @@
+// Package telemetry (fixture telemetrynil_bad): Counter is a handle
+// type (Add guards nil), but Inc dereferences the receiver without a
+// guard and Snapshot dereferences before its guard.
+package telemetry
+
+type Counter struct{ n int64 }
+
+func (c *Counter) Add(d int64) {
+	if c == nil {
+		return
+	}
+	c.n += d
+}
+
+func (c *Counter) Inc() { // want: not nil-receiver-safe
+	c.n++
+}
+
+func (c *Counter) Snapshot() int64 { // want: deref before the guard
+	v := c.n
+	if c == nil {
+		return 0
+	}
+	return v
+}

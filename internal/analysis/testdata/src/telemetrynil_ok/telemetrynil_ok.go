@@ -1,0 +1,45 @@
+// Package telemetry (fixture telemetrynil_ok): every exported handle
+// method is nil-safe — by direct guard, by delegating to a guarded
+// method, via a nil-guarded helper parameter, or by guarding after
+// statements that never touch the receiver.
+package telemetry
+
+type Counter struct {
+	n     int64
+	stamp int64
+}
+
+func (c *Counter) Add(d int64) {
+	if c == nil {
+		return
+	}
+	c.n += d
+}
+
+// Inc delegates every receiver use to the guarded Add.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Stamp passes the receiver to a helper that guards its parameter.
+func (c *Counter) Stamp() int64 { return clock(c) }
+
+func clock(c *Counter) int64 {
+	if c == nil {
+		return 0
+	}
+	return c.stamp
+}
+
+// Snapshot guards at its second statement; the first never touches the
+// receiver (the Registry.Snapshot shape).
+func (c *Counter) Snapshot() int64 {
+	total := int64(0)
+	if c == nil {
+		return total
+	}
+	return total + c.n
+}
+
+// Compare only reads the receiver in nil comparisons.
+func (c *Counter) Compare(other *Counter) bool {
+	return c == nil || other == nil
+}

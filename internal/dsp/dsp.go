@@ -103,7 +103,7 @@ func NextPowerOfTwo(n int) int {
 }
 
 // Hann returns an n-point Hann window.
-func Hann(n int) []float64 {
+func Hann(n int) []float64 { //sonic:ignore equivpin scalar reference; no optimized variant to pin
 	w := make([]float64, n)
 	if n == 1 {
 		w[0] = 1
@@ -129,7 +129,7 @@ func Hamming(n int) []float64 {
 }
 
 // Blackman returns an n-point Blackman window.
-func Blackman(n int) []float64 {
+func Blackman(n int) []float64 { //sonic:ignore equivpin scalar reference; no optimized variant to pin
 	w := make([]float64, n)
 	if n == 1 {
 		w[0] = 1
@@ -179,7 +179,7 @@ func LowpassFIR(cutoffHz, sampleRate float64, taps int) []float64 {
 // HighpassFIR designs a high-pass FIR filter by spectral inversion of the
 // corresponding low-pass design. taps must be odd for the inversion to
 // preserve linear phase; even values are bumped to the next odd count.
-func HighpassFIR(cutoffHz, sampleRate float64, taps int) []float64 {
+func HighpassFIR(cutoffHz, sampleRate float64, taps int) []float64 { //sonic:ignore equivpin scalar reference; no optimized variant to pin
 	if taps%2 == 0 {
 		taps++
 	}
@@ -295,7 +295,7 @@ func CrossCorrelate(haystack, needle []float64) []float64 {
 // NormalizedCrossCorrelate is CrossCorrelate divided by the product of the
 // window and needle energies, yielding values in [-1, 1]. Windows with
 // near-zero energy produce 0.
-func NormalizedCrossCorrelate(haystack, needle []float64) []float64 {
+func NormalizedCrossCorrelate(haystack, needle []float64) []float64 { //sonic:ignore equivpin scalar reference; no optimized variant to pin
 	n := len(haystack) - len(needle) + 1
 	if n <= 0 || len(needle) == 0 {
 		return nil
@@ -333,7 +333,7 @@ func NormalizedCrossCorrelate(haystack, needle []float64) []float64 {
 }
 
 // ArgMax returns the index of the maximum value of x, or -1 for empty x.
-func ArgMax(x []float64) int {
+func ArgMax(x []float64) int { //sonic:ignore equivpin scalar reference; no optimized variant to pin
 	if len(x) == 0 {
 		return -1
 	}
@@ -545,7 +545,7 @@ func Goertzel(x []float64, targetHz, sampleRate float64) float64 {
 }
 
 // RMS returns the root-mean-square amplitude of x.
-func RMS(x []float64) float64 {
+func RMS(x []float64) float64 { //sonic:ignore equivpin scalar reference; no optimized variant to pin
 	if len(x) == 0 {
 		return 0
 	}
@@ -557,7 +557,7 @@ func RMS(x []float64) float64 {
 }
 
 // Peak returns the maximum absolute sample value of x.
-func Peak(x []float64) float64 {
+func Peak(x []float64) float64 { //sonic:ignore equivpin scalar reference; no optimized variant to pin
 	var p float64
 	for _, v := range x {
 		if a := math.Abs(v); a > p {
@@ -568,7 +568,7 @@ func Peak(x []float64) float64 {
 }
 
 // Scale multiplies every sample of x in place by g and returns x.
-func Scale(x []float64, g float64) []float64 {
+func Scale(x []float64, g float64) []float64 { //sonic:ignore equivpin scalar reference; no optimized variant to pin
 	for i := range x {
 		x[i] *= g
 	}
@@ -578,7 +578,7 @@ func Scale(x []float64, g float64) []float64 {
 // Normalize scales x in place so its peak magnitude equals target
 // (commonly 1.0 or a headroom value like 0.8). Silent input is returned
 // unchanged.
-func Normalize(x []float64, target float64) []float64 {
+func Normalize(x []float64, target float64) []float64 { //sonic:ignore equivpin scalar reference; no optimized variant to pin
 	p := Peak(x)
 	if p <= 0 {
 		return x
@@ -588,7 +588,7 @@ func Normalize(x []float64, target float64) []float64 {
 
 // MixInto adds src into dst starting at offset, clamping to dst's length.
 // It returns the number of samples mixed.
-func MixInto(dst, src []float64, offset int) int {
+func MixInto(dst, src []float64, offset int) int { //sonic:ignore equivpin scalar reference; no optimized variant to pin
 	if offset < 0 || offset >= len(dst) {
 		return 0
 	}
@@ -604,7 +604,7 @@ func MixInto(dst, src []float64, offset int) int {
 
 // LinearToDB converts a linear amplitude ratio to decibels. Zero or
 // negative input maps to -inf dB represented as -300.
-func LinearToDB(a float64) float64 {
+func LinearToDB(a float64) float64 { //sonic:ignore equivpin scalar reference; no optimized variant to pin
 	if a <= 0 {
 		return -300
 	}
@@ -612,6 +612,6 @@ func LinearToDB(a float64) float64 {
 }
 
 // DBToLinear converts decibels to a linear amplitude ratio.
-func DBToLinear(db float64) float64 {
+func DBToLinear(db float64) float64 { //sonic:ignore equivpin scalar reference; no optimized variant to pin
 	return math.Pow(10, db/20)
 }

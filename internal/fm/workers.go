@@ -29,7 +29,7 @@ func SetWorkers(n int) {
 }
 
 // Workers reports the resolved package-wide default worker count.
-func Workers() int { return resolveWorkers(0) }
+func Workers() int { return resolveWorkers(0) } //sonic:ignore equivpin concurrency knob, not a kernel
 
 // resolveWorkers maps a per-call worker request to a concrete pool size:
 // explicit n > 0 wins, then the package default, then GOMAXPROCS.

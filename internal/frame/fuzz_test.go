@@ -1,0 +1,66 @@
+package frame
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzFrameDecode throws arbitrary bytes at the two frame ingestion
+// paths a receiver exposes to the airwaves: raw Unmarshal and the full
+// FEC-coded DecodeFrame. Neither may panic on any input, anything
+// Unmarshal accepts must survive a Marshal round-trip, and a payload
+// pushed through the whole encode/decode chain must come back intact.
+func FuzzFrameDecode(f *testing.F) {
+	valid, err := (&Frame{PageID: 7, Seq: 3, Total: 9, Payload: []byte("sonic fuzz seed")}).Marshal()
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(valid)
+	f.Add([]byte{})
+	f.Add(bytes.Repeat([]byte{0xFF}, FrameSize))
+	f.Add(bytes.Repeat([]byte{0x00}, FrameSize-1))
+	f.Add([]byte("short"))
+
+	codec := NewCodec()
+	f.Fuzz(func(t *testing.T, data []byte) {
+		// Raw wire form: must never panic; accepted frames round-trip.
+		if fr, err := Unmarshal(data); err == nil {
+			m, err := fr.Marshal()
+			if err != nil {
+				t.Fatalf("Unmarshal accepted a frame Marshal rejects: %v", err)
+			}
+			fr2, err := Unmarshal(m)
+			if err != nil {
+				t.Fatalf("re-Unmarshal of re-Marshal failed: %v", err)
+			}
+			if fr2.PageID != fr.PageID || fr2.Seq != fr.Seq || fr2.Total != fr.Total || !bytes.Equal(fr2.Payload, fr.Payload) {
+				t.Fatalf("round-trip changed the frame: %+v vs %+v", fr, fr2)
+			}
+		}
+
+		// FEC-coded form: arbitrary garbage (right-sized or not) must
+		// come back as an error or a valid frame, never a panic.
+		if fr, err := codec.DecodeFrame(data); err == nil && fr == nil {
+			t.Fatal("DecodeFrame returned nil frame with nil error")
+		}
+
+		// Full chain: the fuzz input as payload must survive
+		// encode→decode bit-exactly.
+		payload := data
+		if len(payload) > PayloadSize {
+			payload = payload[:PayloadSize]
+		}
+		orig := &Frame{PageID: 1, Seq: 2, Total: 3, Payload: payload}
+		coded, err := codec.EncodeFrame(orig)
+		if err != nil {
+			t.Fatalf("EncodeFrame(%d-byte payload): %v", len(payload), err)
+		}
+		got, err := codec.DecodeFrame(coded)
+		if err != nil {
+			t.Fatalf("DecodeFrame of clean coded frame: %v", err)
+		}
+		if !bytes.Equal(got.Payload, payload) {
+			t.Fatalf("payload changed through codec: %q vs %q", payload, got.Payload)
+		}
+	})
+}

@@ -165,3 +165,50 @@ func TestEncodeColumnsAllocs(t *testing.T) {
 		t.Errorf("EncodeColumns allocates %v objects per call, want <= 64", allocs)
 	}
 }
+
+// --- decode-side and airtime-size pins ---
+
+// TestDecodeColumnsMatchesEncodedRaster pins the decode side of the cell
+// codec: at tol=0 the token stream is lossless, so decoding every cell
+// must reproduce the source raster pixel for pixel with nothing left in
+// the missing mask.
+func TestDecodeColumnsMatchesEncodedRaster(t *testing.T) {
+	for name, src := range equivRasters() {
+		cells, err := EncodeColumns(src, 85)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		got, missing := DecodeColumns(cells, src.W, src.H)
+		for i, m := range missing {
+			if m {
+				t.Fatalf("%s: pixel %d still missing after full decode", name, i)
+			}
+		}
+		for y := 0; y < src.H; y++ {
+			for x := 0; x < src.W; x++ {
+				if got.At(x, y) != src.At(x, y) {
+					t.Fatalf("%s: pixel (%d,%d) = %v, want %v", name, x, y, got.At(x, y), src.At(x, y))
+				}
+			}
+		}
+	}
+}
+
+// TestCellsSizeMatchesMarshaledBytes pins the airtime accounting:
+// CellsSize must equal the bytes the cells actually marshal to, because
+// the scheduler budgets broadcast airtime from it.
+func TestCellsSizeMatchesMarshaledBytes(t *testing.T) {
+	for name, src := range equivRasters() {
+		cells, err := EncodeColumns(src, 85)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		total := 0
+		for i := range cells {
+			total += len(cells[i].Marshal())
+		}
+		if got := CellsSize(cells); got != total {
+			t.Fatalf("%s: CellsSize = %d, marshaled bytes = %d", name, got, total)
+		}
+	}
+}

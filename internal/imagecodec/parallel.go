@@ -21,7 +21,7 @@ var defaultWorkers atomic.Int32
 // EncodeSIC, DecodeSIC and EncodeColumnsTol. n <= 0 restores the default
 // (GOMAXPROCS). The server and pipeline thread their Workers config knob
 // through this resolution path.
-func SetWorkers(n int) {
+func SetWorkers(n int) { //sonic:ignore equivpin concurrency knob, not a kernel
 	if n < 0 {
 		n = 0
 	}
@@ -29,7 +29,7 @@ func SetWorkers(n int) {
 }
 
 // Workers reports the resolved package-wide default worker count.
-func Workers() int { return resolveWorkers(0) }
+func Workers() int { return resolveWorkers(0) } //sonic:ignore equivpin concurrency knob, not a kernel
 
 // resolveWorkers maps a per-call worker request to a concrete pool size:
 // explicit n > 0 wins, then the package default, then GOMAXPROCS.

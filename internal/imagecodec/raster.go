@@ -219,7 +219,7 @@ func (r *Raster) WritePNG(w io.Writer) error {
 }
 
 // ReadPNG decodes a PNG into a Raster.
-func ReadPNG(rd io.Reader) (*Raster, error) {
+func ReadPNG(rd io.Reader) (*Raster, error) { //sonic:ignore equivpin stdlib PNG ingestion, no optimized variant
 	img, err := png.Decode(rd)
 	if err != nil {
 		return nil, fmt.Errorf("imagecodec: %w", err)

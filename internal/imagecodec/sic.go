@@ -1330,15 +1330,16 @@ func EncodeSICWorkers(r *Raster, quality, workers int) ([]byte, error) {
 	out.Write(hdr[:])
 	fw := flateWriterPool.Get().(*flate.Writer)
 	fw.Reset(&out)
-	if _, err := fw.Write(tokens); err != nil {
-		return nil, err
-	}
-	err := fw.Close()
+	_, werr := fw.Write(tokens)
+	cerr := fw.Close()
 	*tp = tokens
 	putBytes(tp)
 	flateWriterPool.Put(fw)
-	if err != nil {
-		return nil, err
+	if werr != nil {
+		return nil, werr
+	}
+	if cerr != nil {
+		return nil, cerr
 	}
 	return out.Bytes(), nil
 }

@@ -5,7 +5,7 @@ package modem
 // audio jack cable" (§2). Without FM's mono-band limit the profile can
 // occupy most of the audio bandwidth and run 1024-QAM, which only a
 // noiseless cable supports.
-func Cable64k() Profile {
+func Cable64k() Profile { //sonic:ignore equivpin channel profile constructor, not a kernel
 	return Profile{
 		Name:          "cable-64k",
 		SampleRate:    48000,

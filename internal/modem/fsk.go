@@ -22,7 +22,7 @@ type FSK struct {
 
 // NewFSK128 returns a GGwave-like profile: 128 bps binary FSK in the
 // audible band.
-func NewFSK128() *FSK {
+func NewFSK128() *FSK { //sonic:ignore equivpin alternative waveform, never optimized; functional tests cover it
 	return &FSK{
 		SampleRate: 48000,
 		MarkHz:     3000,

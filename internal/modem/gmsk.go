@@ -26,7 +26,7 @@ type GMSK struct {
 // NewGMSK returns a 2400 bps profile centered in the FM mono band.
 // BT=0.5 (GSM uses 0.3 with an MLSE receiver; a simple sample-at-center
 // receiver needs the milder ISI of 0.5).
-func NewGMSK() *GMSK {
+func NewGMSK() *GMSK { //sonic:ignore equivpin alternative waveform, never optimized; functional tests cover it
 	return &GMSK{
 		SampleRate: 48000,
 		BitRate:    2400,

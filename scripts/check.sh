@@ -1,6 +1,7 @@
 #!/usr/bin/env bash
-# check.sh — the repo's full verification gate: build, vet, tests, the
-# race detector, and a one-iteration bench smoke over every package.
+# check.sh — the repo's full verification gate: build, vet, the
+# sonic-vet invariant analyzers, tests, the race detector, a short fuzz
+# smoke, and a one-iteration bench smoke over every package.
 # CI runs exactly this script; run it locally before pushing.
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -19,11 +20,19 @@ if [[ -n "$unformatted" ]]; then
     exit 1
 fi
 
+echo "==> sonic-vet (project invariant analyzers)"
+go build -o /tmp/sonic-vet ./cmd/sonic-vet
+/tmp/sonic-vet ./...
+
 echo "==> go test ./..."
 go test ./...
 
 echo "==> go test -race ./..."
 go test -race ./...
+
+echo "==> fuzz smoke (5s per harness)"
+go test ./internal/frame -run='^$' -fuzz=FuzzFrameDecode -fuzztime=5s
+go test ./internal/fec -run='^$' -fuzz=FuzzRSDecode -fuzztime=5s
 
 echo "==> bench smoke (one iteration per benchmark)"
 go test -run='^$' -bench=. -benchtime=1x ./...
