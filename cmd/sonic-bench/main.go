@@ -18,6 +18,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
 	"runtime/pprof"
 	"strings"
 	"time"
@@ -37,7 +38,8 @@ func main() {
 		csvDir  = flag.String("csv", "", "directory for plotting-ready CSV exports")
 		seed    = flag.Int64("seed", 1, "experiment seed")
 		perf    = flag.String("perf", "", "write a hot-path perf report (spans + kernel timings) to this JSON file and exit")
-		workers = flag.Int("workers", 0, "worker count for -perf: sets GOMAXPROCS and the wN kernel variants (0 = current GOMAXPROCS)")
+		day     = flag.Int("day", 0, "replay N simulated hours of carousel broadcast through the real page path, report wall vs air time, and exit")
+		workers = flag.Int("workers", 0, "worker count for -perf/-day: sets GOMAXPROCS and the wN kernel variants (0 = current GOMAXPROCS)")
 		cpuProf = flag.String("cpuprofile", "", "write a CPU profile to this file")
 	)
 	flag.Parse()
@@ -60,6 +62,23 @@ func main() {
 		if err := runPerf(*perf, *seed, *workers); err != nil {
 			pprof.StopCPUProfile()
 			fmt.Fprintf(os.Stderr, "perf: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	if *day > 0 {
+		if *workers > 0 {
+			runtime.GOMAXPROCS(*workers)
+		}
+		rep, err := runBroadcastDay(*day, *workers)
+		if err != nil {
+			pprof.StopCPUProfile()
+			fmt.Fprintf(os.Stderr, "day: %v\n", err)
+			os.Exit(1)
+		}
+		printDayReport(os.Stdout, rep)
+		if rep.Speedup <= 1 {
 			os.Exit(1)
 		}
 		return

@@ -433,8 +433,9 @@ func ResampleInto(dst, x []float64, srcRate, dstRate float64) []float64 {
 
 // maxResampleCoefs bounds one rate pair's coefficient table (16 B per
 // output sample — 1M entries is 16 MiB, over five seconds of composite),
-// and maxResampleKeys bounds how many rate pairs may cache at all; SONIC
-// only ever uses audio→composite and composite→audio.
+// and maxResampleKeys bounds how many rate pairs may hold tables at once;
+// SONIC only ever uses audio→composite and composite→audio, so the cap
+// exists for callers that sweep arbitrary rates (experiments, tests).
 const (
 	maxResampleCoefs = 1 << 20
 	maxResampleKeys  = 16
@@ -451,24 +452,57 @@ type resampleTab struct {
 type resampleKey struct{ srcRate, dstRate float64 }
 
 type resampleEntry struct {
-	mu  sync.Mutex
-	tab atomic.Pointer[resampleTab]
+	mu   sync.Mutex
+	tab  atomic.Pointer[resampleTab]
+	used atomic.Bool // referenced since the last eviction sweep
 }
 
 var (
 	resampleCache    sync.Map // resampleKey -> *resampleEntry
 	resampleCacheLen atomic.Int64
+	resampleEvictMu  sync.Mutex
 )
 
+// evictResampleEntry drops one rate pair to make room, second-chance
+// style: one sweep over the map clears used flags on entries referenced
+// since the last sweep and evicts the first entry found cold (or an
+// arbitrary one when everything is hot). Eviction only forgets the map
+// key — published tables are immutable, so a goroutine still holding one
+// keeps a valid table.
+func evictResampleEntry() {
+	resampleEvictMu.Lock()
+	defer resampleEvictMu.Unlock()
+	if resampleCacheLen.Load() < maxResampleKeys {
+		return // another caller evicted while we waited
+	}
+	var victim any
+	resampleCache.Range(func(key, value any) bool {
+		if !value.(*resampleEntry).used.Swap(false) {
+			victim = key
+			return false
+		}
+		if victim == nil {
+			victim = key
+		}
+		return true
+	})
+	if victim != nil {
+		resampleCache.Delete(victim)
+		resampleCacheLen.Add(-1)
+	}
+}
+
 // resampleCoefs returns a coefficient table for the rate pair covering
-// at least min(n, maxResampleCoefs) output samples, or nil when the
-// key cap is reached (callers then compute directly, bit-identically).
+// at least min(n, maxResampleCoefs) output samples. A novel pair past
+// the key cap evicts a cold entry rather than bypassing the cache, so a
+// sweep of arbitrary rates cannot permanently disable caching for the
+// pairs that follow.
 func resampleCoefs(srcRate, dstRate, ratio float64, n int) *resampleTab {
 	k := resampleKey{srcRate, dstRate}
 	v, ok := resampleCache.Load(k)
 	if !ok {
 		if resampleCacheLen.Load() >= maxResampleKeys {
-			return nil
+			evictResampleEntry()
 		}
 		var loaded bool
 		v, loaded = resampleCache.LoadOrStore(k, &resampleEntry{})
@@ -477,6 +511,7 @@ func resampleCoefs(srcRate, dstRate, ratio float64, n int) *resampleTab {
 		}
 	}
 	e := v.(*resampleEntry)
+	e.used.Store(true)
 	want := n
 	if want > maxResampleCoefs {
 		want = maxResampleCoefs

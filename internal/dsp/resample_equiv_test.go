@@ -116,6 +116,59 @@ func TestResampleBeyondTableCap(t *testing.T) {
 	assertBitEqual(t, got, want, "beyond-cap")
 }
 
+// countResampleKeys walks the cache and checks the map agrees with the
+// length counter.
+func countResampleKeys(t *testing.T) int {
+	t.Helper()
+	n := 0
+	resampleCache.Range(func(_, _ any) bool { n++; return true })
+	if got := int(resampleCacheLen.Load()); got != n {
+		t.Fatalf("cache length counter %d disagrees with map size %d", got, n)
+	}
+	return n
+}
+
+// TestResampleCacheEviction sweeps far more rate pairs than the key cap
+// and checks three invariants: the cache never exceeds maxResampleKeys,
+// novel pairs seen after the flood still get cached (eviction, not
+// bypass), and a pair that was evicted and revisited still resamples
+// bit-identically to the frozen reference.
+func TestResampleCacheEviction(t *testing.T) {
+	rng := rand.New(rand.NewSource(43))
+	x := make([]float64, 512)
+	for i := range x {
+		x[i] = rng.NormFloat64()
+	}
+
+	for i := 0; i < 3*maxResampleKeys; i++ {
+		src := 1000 + 10*float64(i)
+		ResampleInto(nil, x, src, 48000)
+		if n := countResampleKeys(t); n > maxResampleKeys {
+			t.Fatalf("cache grew to %d keys after %d distinct pairs (cap %d)", n, i+1, maxResampleKeys)
+		}
+	}
+
+	// A fresh pair after the flood must land in the cache with a table.
+	fresh := resampleKey{srcRate: 777.5, dstRate: 48000}
+	ResampleInto(nil, x, fresh.srcRate, fresh.dstRate)
+	v, ok := resampleCache.Load(fresh)
+	if !ok {
+		t.Fatalf("novel rate pair was not cached after the cap was hit: eviction regressed to bypass")
+	}
+	if v.(*resampleEntry).tab.Load() == nil {
+		t.Fatalf("cached entry for novel rate pair has no coefficient table")
+	}
+	if n := countResampleKeys(t); n > maxResampleKeys {
+		t.Fatalf("cache holds %d keys after post-flood insert (cap %d)", n, maxResampleKeys)
+	}
+
+	// The first flood pair is long gone; revisiting it must rebuild an
+	// identical table.
+	got := ResampleInto(nil, x, 1000, 48000)
+	want := refResampleInto(nil, x, 1000, 48000)
+	assertBitEqual(t, got, want, "evicted-revisit")
+}
+
 func BenchmarkResample48kTo192k(b *testing.B) {
 	x := make([]float64, 48000)
 	rng := rand.New(rand.NewSource(41))

@@ -1,0 +1,10 @@
+//go:build race
+
+package imagecodec
+
+// raceEnabled skips the strict allocation-count assertions under the
+// race detector: race-mode sync.Pool randomly drops Puts (by design, to
+// widen race coverage), so pooled paths allocate nondeterministically
+// and AllocsPerRun bounds become noise. The non-race test leg keeps the
+// tripwires strict.
+const raceEnabled = true

@@ -121,12 +121,6 @@ var (
 	aanScale2D [64]float64
 )
 
-// Luma product tables: lumaR[v] == 0.299*float64(v) etc., so the color
-// transform replaces three multiplies per pixel with table reads. The
-// products are precomputed with the identical expression, so the sums
-// below are bit-identical to computing them inline.
-var lumaR, lumaG, lumaB [256]float64
-
 // Chroma transform coefficients with the 2x2 quad mean's /4 folded in:
 // c/4 is exact (exponent decrement) and (c/4)*s rounds identically to
 // c*(s/4), so applying these to the integer quad sum is bit-identical
@@ -146,11 +140,6 @@ func init() {
 		for n := 0; n < 8; n++ {
 			dctCos[k][n] = math.Cos(math.Pi * float64(k) * (2*float64(n) + 1) / 16)
 		}
-	}
-	for v := 0; v < 256; v++ {
-		lumaR[v] = 0.299 * float64(v)
-		lumaG[v] = 0.587 * float64(v)
-		lumaB[v] = 0.114 * float64(v)
 	}
 	probe := [8]float64{1, 2, 4, 8, 16, 32, 64, 128}
 	exact, scaled := probe, probe
@@ -276,44 +265,6 @@ func aanFdct8(v *[8]float64) {
 	v[7] = z11 - z4
 }
 
-// aanFdctBlock applies the separable scaled 2-D DCT to an 8x8 block; the
-// output is the orthonormal spectrum divided by aanScale2D per position.
-// Flat vectors short-circuit both passes: with all eight inputs equal,
-// every AAN difference is an exact +0 (x-x rounds to +0, inputs are never
-// -0 here: raw samples are value-128 and first-pass outputs only cancel
-// to +0), every rotation of zeros stays +0, and the DC adder tree is
-// v+v=2v, 2v+2v=4v, 4v+4v=8v — doublings, all exact — so the transform
-// reduces to {8v, 0 x7} bit for bit. Text pages are full of blocks whose
-// rows are flat without the whole block being solid.
-func aanFdctBlock(b *[64]float64) {
-	for y := 0; y < 8; y++ {
-		r := (*[8]float64)(b[y*8 : y*8+8])
-		if v := r[0]; v == r[1] && v == r[2] && v == r[3] && v == r[4] && v == r[5] && v == r[6] && v == r[7] {
-			r[0] = 8 * v
-			r[1], r[2], r[3], r[4], r[5], r[6], r[7] = 0, 0, 0, 0, 0, 0, 0
-			continue
-		}
-		aanFdct8(r)
-	}
-	var col [8]float64
-	for x := 0; x < 8; x++ {
-		for y := 0; y < 8; y++ {
-			col[y] = b[y*8+x]
-		}
-		if v := col[0]; v == col[1] && v == col[2] && v == col[3] && v == col[4] && v == col[5] && v == col[6] && v == col[7] {
-			b[x] = 8 * v
-			for y := 1; y < 8; y++ {
-				b[y*8+x] = 0
-			}
-			continue
-		}
-		aanFdct8(&col)
-		for y := 0; y < 8; y++ {
-			b[y*8+x] = col[y]
-		}
-	}
-}
-
 // fdctBlock applies the separable 2-D DCT to an 8x8 block.
 func fdctBlock(b *[64]float64) {
 	var row [8]float64
@@ -433,9 +384,12 @@ func (p *plane) at(x, y int) float64 {
 // float planes the old two-stage pipeline wrote and immediately re-read.
 type blockSource interface {
 	dims() (w, h int)
-	// load fills blk with the block's pixels minus 128 and reports the
-	// block's top-left sample value and whether the block is constant.
-	load(blk *[64]float64, bx, by int) (first float64, flat bool)
+	// loadInt is the fixed-point block loader (sicint.go). Interior
+	// blocks classify (flat / two-valued / general); blocks touching
+	// the raster edge take the clamped-replicate path. info is an
+	// out-param (fully overwritten) so the 32-byte struct is not
+	// copied through the interface return.
+	loadInt(blk *[64]int32, info *intLoadInfo, bx, by int)
 }
 
 // lumaSource presents a raster's luma channel as encoder blocks.
@@ -461,54 +415,6 @@ func uniformRegion(pix []byte, off, stride, w, rows int) bool {
 	return true
 }
 
-func (s lumaSource) load(blk *[64]float64, bx, by int) (float64, bool) {
-	w, h := s.r.W, s.r.H
-	pix := s.r.Pix
-	x0, y0 := bx*8, by*8
-	flat := true
-	if x0+8 <= w && y0+8 <= h {
-		i0 := 3 * (y0*w + x0)
-		// Solid-color block: flat in luma by construction, and only the
-		// first sample is needed. (A multi-color block could still be
-		// luma-flat; it takes the transform path instead, where its ACs
-		// quantize to zero anyway.)
-		if uniformRegion(pix, i0, 3*w, 8, 8) {
-			return lumaR[pix[i0]] + lumaG[pix[i0+1]] + lumaB[pix[i0+2]], true
-		}
-		for y := 0; y < 8; y++ {
-			row := pix[3*((y0+y)*w+x0):]
-			row = row[:24]
-			for x := 0; x < 8; x++ {
-				blk[y*8+x] = lumaR[row[3*x]] + lumaG[row[3*x+1]] + lumaB[row[3*x+2]] - 128
-			}
-		}
-		return 0, false
-	}
-	var first float64
-	for y := 0; y < 8; y++ {
-		py := y0 + y
-		if py >= h {
-			py = h - 1
-		}
-		for x := 0; x < 8; x++ {
-			px := x0 + x
-			if px >= w {
-				px = w - 1
-			}
-			i := 3 * (py*w + px)
-			v := lumaR[pix[i]] + lumaG[pix[i+1]] + lumaB[pix[i+2]]
-			blk[y*8+x] = v - 128
-			if y == 0 && x == 0 {
-				first = v
-			}
-			if v != first {
-				flat = false
-			}
-		}
-	}
-	return first, flat
-}
-
 // chromaSource presents one of a raster's half-resolution chroma
 // channels (Cb, or Cr when cr is set) as encoder blocks.
 type chromaSource struct {
@@ -517,108 +423,6 @@ type chromaSource struct {
 }
 
 func (s chromaSource) dims() (int, int) { return (s.r.W + 1) / 2, (s.r.H + 1) / 2 }
-
-// sample computes one chroma sample: the mean of the 2x2 source quad
-// (clipped at the raster edge) through the chroma transform.
-func (s chromaSource) sample(cx, cy int) float64 {
-	w, h := s.r.W, s.r.H
-	pix := s.r.Pix
-	var sr, sg, sb, n float64
-	for dy := 0; dy < 2; dy++ {
-		py := 2*cy + dy
-		if py >= h {
-			continue
-		}
-		for dx := 0; dx < 2; dx++ {
-			px := 2*cx + dx
-			if px >= w {
-				continue
-			}
-			i := 3 * (py*w + px)
-			sr += float64(pix[i])
-			sg += float64(pix[i+1])
-			sb += float64(pix[i+2])
-			n++
-		}
-	}
-	sr, sg, sb = sr/n, sg/n, sb/n
-	if s.cr {
-		return 0.5*sr - 0.418688*sg - 0.081312*sb + 128
-	}
-	return -0.168736*sr - 0.331264*sg + 0.5*sb + 128
-}
-
-func (s chromaSource) load(blk *[64]float64, bx, by int) (float64, bool) {
-	w, h := s.r.W, s.r.H
-	cw, ch := s.dims()
-	pix := s.r.Pix
-	x0, y0 := bx*8, by*8
-	flat := true
-	if 2*(x0+8) <= w && 2*(y0+8) <= h {
-		// Solid-color 16x16 source region: every quad averages to the
-		// same pixel, so one sample covers the block.
-		i0 := 3 * (2*y0*w + 2*x0)
-		if uniformRegion(pix, i0, 3*w, 16, 16) {
-			sr, sg, sb := float64(pix[i0]), float64(pix[i0+1]), float64(pix[i0+2])
-			if s.cr {
-				return 0.5*sr - 0.418688*sg - 0.081312*sb + 128, true
-			}
-			return -0.168736*sr - 0.331264*sg + 0.5*sb + 128, true
-		}
-		// Every chroma sample in the block has a complete 2x2 quad: the
-		// four samples sum exactly in an int, and the folded /4
-		// coefficients make the result identical to the general path.
-		var first float64
-		for y := 0; y < 8; y++ {
-			cy := y0 + y
-			row0 := pix[3*(2*cy)*w:]
-			row1 := pix[3*(2*cy+1)*w:]
-			for x := 0; x < 8; x++ {
-				i0 := 3 * 2 * (x0 + x)
-				i1 := i0 + 3
-				sr := float64(int(row0[i0]) + int(row0[i1]) + int(row1[i0]) + int(row1[i1]))
-				sg := float64(int(row0[i0+1]) + int(row0[i1+1]) + int(row1[i0+1]) + int(row1[i1+1]))
-				sb := float64(int(row0[i0+2]) + int(row0[i1+2]) + int(row1[i0+2]) + int(row1[i1+2]))
-				var v float64
-				if s.cr {
-					v = crR4*sr + crG4*sg + crB4*sb + 128
-				} else {
-					v = cbR4*sr + cbG4*sg + cbB4*sb + 128
-				}
-				blk[y*8+x] = v - 128
-				if y == 0 && x == 0 {
-					first = v
-				}
-				if v != first {
-					flat = false
-				}
-			}
-		}
-		return first, flat
-	}
-	var first float64
-	for y := 0; y < 8; y++ {
-		cy := y0 + y
-		if cy >= ch {
-			cy = ch - 1
-		}
-		for x := 0; x < 8; x++ {
-			cx := x0 + x
-			if cx >= cw {
-				cx = cw - 1
-			}
-			v := s.sample(cx, cy)
-			blk[y*8+x] = v - 128
-			if y == 0 && x == 0 {
-				first = v
-			}
-			if v != first {
-				flat = false
-			}
-		}
-	}
-	return first, flat
-}
 
 // fromYCbCr reassembles a raster from planes, parallel over rows. Each
 // chroma sample covers two output pixels, so the chroma products are
@@ -801,16 +605,31 @@ type sicBlock struct {
 // quantizing one coefficient is a multiply, a zero test, and (rarely) a
 // round.
 type planeQuant struct {
-	qf0 float64
-	inv [64]float64
+	qf0     float64
+	quality uint8
+	inv     [64]float64
+	invQ    [64]int64
+	// zb[i] is the largest |coefficient| guaranteed to quantize to
+	// zero at zigzag index i: |c| <= zb ensures c*invQ+half stays in
+	// [0, 2^quantQShift), so the quantize loop can skip the 64-bit
+	// multiply for the (dominant) zero case.
+	zb [64]int32
 }
 
-func newPlaneQuant(qt *[64]int) planeQuant {
+func newPlaneQuant(qt *[64]int, quality int) planeQuant {
 	var pq planeQuant
 	pq.qf0 = float64(qt[0])
+	pq.quality = uint8(quality)
 	for i := 0; i < 64; i++ {
 		p := zigzag[i]
 		pq.inv[i] = aanScale2D[p] / float64(qt[p])
+		// invQ folds the 16.16 input scale of the fixed-point DCT and
+		// the 40-bit quantizer scale into one integer reciprocal.
+		pq.invQ[i] = int64(math.Round(pq.inv[i] / (1 << lumaFixShift) * (1 << quantQShift)))
+		if pq.invQ[i] > 0 {
+			half := int64(1) << (quantQShift - 1)
+			pq.zb[i] = int32((half - 1) / pq.invQ[i])
+		}
 	}
 	return pq
 }
@@ -819,233 +638,45 @@ func newPlaneQuant(qt *[64]int) planeQuant {
 // block load, flatness check, forward DCT, quantization — for every
 // block of src in parallel, one sicBlock per block in raster scan order.
 // The serial emission stage consumes them in order, so the token stream
-// is byte-identical to the fused single-threaded path.
+// is byte-identical to the fused single-threaded path: interior blocks
+// take the same fixed-point pipeline, edge blocks the same float
+// fallback, and the flat memos only skip recomputing identical values,
+// so nothing depends on the worker split.
 func quantizeInto(blocks []sicBlock, src blockSource, pq *planeQuant, bw, workers int) {
 	parallelFor(workers, len(blocks), func(lo, hi int) {
-		var blk [64]float64
-		lastFlat, lastFlatDC := math.NaN(), int32(0)
+		var iblk [64]int32
+		var info intLoadInfo
+		lastFlatI, lastFlatIDC, haveFlatI := int32(0), int32(0), false
 		for bi := lo; bi < hi; bi++ {
 			by, bx := bi/bw, bi%bw
-			first, flat := src.load(&blk, bx, by)
 			b := &blocks[bi]
-			if flat {
-				// Constant block: only DC survives the DCT (value*8), so
-				// skip the transform — webpage rasters are mostly flat. The
-				// memo only skips recomputing an identical value, so the
-				// result does not depend on the worker split.
+			src.loadInt(&iblk, &info, bx, by)
+			if info.flat {
 				b.flat = true
-				if first != lastFlat {
-					lastFlat = first
-					lastFlatDC = int32(math.Round((first - 128) * 8 / pq.qf0))
+				if !haveFlatI || info.first != lastFlatI {
+					lastFlatI = info.first
+					lastFlatIDC = int32(flatDCFix(info.first, info.centered, pq.qf0))
+					haveFlatI = true
 				}
-				b.q[0] = lastFlatDC
+				b.q[0] = lastFlatIDC
 				continue
 			}
-			b.flat = false
-			aanFdctBlock(&blk)
-			b.q[0] = int32(math.Round(blk[0] * pq.inv[0]))
-			for i := 1; i < 64; i++ {
-				t := blk[zigzag[i]] * pq.inv[i]
-				if t < 0.5 && t > -0.5 {
-					b.q[i] = 0
-					continue
-				}
-				b.q[i] = int32(math.Round(t))
+			if info.two {
+				v := quantizeTwoValued(&iblk, &info, pq)
+				b.q = v.q
+				b.flat = v.nz == 0
+				continue
 			}
+			dc, nz := quantizeIntBlock(&iblk, &b.q, pq, info.dupRows)
+			b.q[0] = int32(dc)
+			b.flat = nz == 0
 		}
 	})
-}
-
-// emitAC appends the run-length tokens for one non-flat block's AC
-// coefficients: (run, value) pairs with 0xFF terminating the block.
-func emitAC(dst []byte, q *[64]int32) []byte {
-	run := 0
-	for i := 1; i < 64; i++ {
-		if q[i] == 0 {
-			run++
-			continue
-		}
-		for run > 62 {
-			dst = append(dst, 62, 0)
-			run -= 63
-		}
-		dst = append(dst, byte(run))
-		dst = appendVarint(dst, int(q[i]))
-		run = 0
-	}
-	return append(dst, 0xFF)
-}
-
-// encodePlaneTokens appends one plane's token stream to dst. The DC
-// delta of each block depends on the previous block, so emission is a
-// serial chain; with workers <= 1 it is fused with load/DCT/quantize
-// into a single pass that needs no per-plane block buffer, and with
-// workers > 1 the compute stage runs in parallel first. Both orders
-// perform identical per-block arithmetic, so the stream is byte-for-byte
-// the same for every worker count.
-func encodePlaneTokens(dst []byte, src blockSource, qt *[64]int, workers int) []byte {
-	w, h := src.dims()
-	bw := (w + 7) / 8
-	bh := (h + 7) / 8
-	pq := newPlaneQuant(qt)
-	prevDC := 0
-	if workers > 1 && bw*bh >= minParallelBlocks {
-		blocks := getBlocks(bw * bh)
-		quantizeInto(blocks, src, &pq, bw, workers)
-		for bi := range blocks {
-			b := &blocks[bi]
-			dc := int(b.q[0])
-			dst = appendVarint(dst, dc-prevDC)
-			prevDC = dc
-			if b.flat {
-				dst = append(dst, 0xFF)
-				continue
-			}
-			dst = emitAC(dst, &b.q)
-		}
-		putBlocks(blocks)
-		return dst
-	}
-	var blk [64]float64
-	var q [64]int32
-	// Runs of identical flat blocks dominate webpage rasters; memoize the
-	// last flat value's quantized DC so a run costs no arithmetic.
-	lastFlat, lastFlatDC := math.NaN(), 0
-	for by := 0; by < bh; by++ {
-		for bx := 0; bx < bw; bx++ {
-			first, flat := src.load(&blk, bx, by)
-			if flat {
-				var dc int
-				if first == lastFlat {
-					dc = lastFlatDC
-				} else {
-					dc = int(math.Round((first - 128) * 8 / pq.qf0))
-					lastFlat, lastFlatDC = first, dc
-				}
-				dst = appendVarint(dst, dc-prevDC)
-				prevDC = dc
-				dst = append(dst, 0xFF)
-				continue
-			}
-			aanFdctBlock(&blk)
-			dc := int(math.Round(blk[0] * pq.inv[0]))
-			dst = appendVarint(dst, dc-prevDC)
-			prevDC = dc
-			for i := 1; i < 64; i++ {
-				t := blk[zigzag[i]] * pq.inv[i]
-				if t < 0.5 && t > -0.5 {
-					q[i] = 0
-					continue
-				}
-				q[i] = int32(math.Round(t))
-			}
-			dst = emitAC(dst, &q)
-		}
-	}
-	return dst
 }
 
 // minParallelBlocks gates the parallel quantize stage: below this many
 // blocks the fused serial pass wins on scheduling overhead alone.
 const minParallelBlocks = 256
-
-// loadChromaPair fills one Cb and one Cr block from the raster in a
-// single pass over the underlying 2x2 quads, sharing the quad sums the
-// per-plane sources would each recompute. Values are identical to
-// chromaSource.load's for both planes.
-func loadChromaPair(r *Raster, cbBlk, crBlk *[64]float64, bx, by int) (fCb float64, flatCb bool, fCr float64, flatCr bool) {
-	w, h := r.W, r.H
-	pix := r.Pix
-	x0, y0 := bx*8, by*8
-	if 2*(x0+8) <= w && 2*(y0+8) <= h {
-		i := 3 * (2*y0*w + 2*x0)
-		if uniformRegion(pix, i, 3*w, 16, 16) {
-			sr, sg, sb := float64(pix[i]), float64(pix[i+1]), float64(pix[i+2])
-			return -0.168736*sr - 0.331264*sg + 0.5*sb + 128, true,
-				0.5*sr - 0.418688*sg - 0.081312*sb + 128, true
-		}
-		flatCb, flatCr = true, true
-		for y := 0; y < 8; y++ {
-			cy := y0 + y
-			row0 := pix[3*(2*cy)*w:]
-			row1 := pix[3*(2*cy+1)*w:]
-			for x := 0; x < 8; x++ {
-				i0 := 3 * 2 * (x0 + x)
-				i1 := i0 + 3
-				sr := float64(int(row0[i0]) + int(row0[i1]) + int(row1[i0]) + int(row1[i1]))
-				sg := float64(int(row0[i0+1]) + int(row0[i1+1]) + int(row1[i0+1]) + int(row1[i1+1]))
-				sb := float64(int(row0[i0+2]) + int(row0[i1+2]) + int(row1[i0+2]) + int(row1[i1+2]))
-				vb := cbR4*sr + cbG4*sg + cbB4*sb + 128
-				vr := crR4*sr + crG4*sg + crB4*sb + 128
-				cbBlk[y*8+x] = vb - 128
-				crBlk[y*8+x] = vr - 128
-				if y == 0 && x == 0 {
-					fCb, fCr = vb, vr
-				}
-				if vb != fCb {
-					flatCb = false
-				}
-				if vr != fCr {
-					flatCr = false
-				}
-			}
-		}
-		return fCb, flatCb, fCr, flatCr
-	}
-	fCb, flatCb = chromaSource{r: r}.load(cbBlk, bx, by)
-	fCr, flatCr = chromaSource{r: r, cr: true}.load(crBlk, bx, by)
-	return fCb, flatCb, fCr, flatCr
-}
-
-// encodeChromaTokens appends the Cb plane's tokens to cbDst and the Cr
-// plane's to crDst in one pass over the shared source quads (the
-// per-plane encoder samples every quad twice). Each plane keeps its own
-// DC chain and flat memo, so both streams are byte-identical to
-// per-plane encodePlaneTokens output.
-func encodeChromaTokens(cbDst, crDst []byte, r *Raster, qt *[64]int) ([]byte, []byte) {
-	cw, ch := (r.W+1)/2, (r.H+1)/2
-	bw := (cw + 7) / 8
-	bh := (ch + 7) / 8
-	pq := newPlaneQuant(qt)
-	var cbBlk, crBlk [64]float64
-	var q [64]int32
-	prevCb, prevCr := 0, 0
-	lastFlatCb, lastFlatCbDC := math.NaN(), 0
-	lastFlatCr, lastFlatCrDC := math.NaN(), 0
-	emit := func(dst []byte, blk *[64]float64, first float64, flat bool, prevDC int, lastFlat *float64, lastFlatDC *int) ([]byte, int) {
-		if flat {
-			var dc int
-			if first == *lastFlat {
-				dc = *lastFlatDC
-			} else {
-				dc = int(math.Round((first - 128) * 8 / pq.qf0))
-				*lastFlat, *lastFlatDC = first, dc
-			}
-			dst = appendVarint(dst, dc-prevDC)
-			return append(dst, 0xFF), dc
-		}
-		aanFdctBlock(blk)
-		dc := int(math.Round(blk[0] * pq.inv[0]))
-		dst = appendVarint(dst, dc-prevDC)
-		for i := 1; i < 64; i++ {
-			t := blk[zigzag[i]] * pq.inv[i]
-			if t < 0.5 && t > -0.5 {
-				q[i] = 0
-				continue
-			}
-			q[i] = int32(math.Round(t))
-		}
-		return emitAC(dst, &q), dc
-	}
-	for by := 0; by < bh; by++ {
-		for bx := 0; bx < bw; bx++ {
-			fCb, flatCb, fCr, flatCr := loadChromaPair(r, &cbBlk, &crBlk, bx, by)
-			cbDst, prevCb = emit(cbDst, &cbBlk, fCb, flatCb, prevCb, &lastFlatCb, &lastFlatCbDC)
-			crDst, prevCr = emit(crDst, &crBlk, fCr, flatCr, prevCr, &lastFlatCr, &lastFlatCrDC)
-		}
-	}
-	return cbDst, crDst
-}
 
 // storeBlock writes the reconstructed block (already centered back to
 // 0..255) into the plane, clipping to the plane bounds.
@@ -1171,23 +802,7 @@ func decodePlane(c *byteCursor, w, h int, qt *[64]int, workers int) (*plane, err
 			}
 			prevDC = dc
 		}
-		parallelFor(workers, bw*bh, func(lo, hi int) {
-			var blk [64]float64
-			for bi := lo; bi < hi; bi++ {
-				by, bx := bi/bw, bi%bw
-				b := &blocks[bi]
-				if b.flat {
-					// DC-only block: constant value, no inverse transform.
-					storeFlat(p, float64(int(b.q[0])*qt[0])/8+128, bx, by)
-					continue
-				}
-				for i := 0; i < 64; i++ {
-					blk[zigzag[i]] = float64(int(b.q[i]) * qz[i])
-				}
-				idctBlock(&blk)
-				storeBlock(p, &blk, bx, by)
-			}
-		})
+		dequantStoreBlocks(p, blocks, bw, qt, &qz, workers)
 		putBlocks(blocks)
 		return p, nil
 	}
@@ -1251,13 +866,6 @@ func EncodeSIC(r *Raster, quality int) ([]byte, error) {
 	return EncodeSICWorkers(r, quality, 0)
 }
 
-// flateWriterPool recycles DEFLATE compressors (their window state is a
-// few hundred kB per instance); Reset re-targets one at a new output.
-var flateWriterPool = sync.Pool{New: func() any {
-	fw, _ := flate.NewWriter(io.Discard, flate.DefaultCompression)
-	return fw
-}}
-
 type flateResetReader interface {
 	io.ReadCloser
 	flate.Resetter
@@ -1272,7 +880,9 @@ var flateReaderPool = sync.Pool{New: func() any {
 // per-block DCT/quantize). workers <= 0 selects the package default. The
 // output is byte-identical for every worker count: each plane's DC
 // prediction chain restarts at zero, so the three planes encode
-// independently and concatenate in a fixed order.
+// independently in a fixed order. Since bitstream v2 the emitted stream
+// is the packed per-plane layout described in sicv2.go; DecodeSIC
+// accepts both v1 and v2 streams.
 func EncodeSICWorkers(r *Raster, quality, workers int) ([]byte, error) {
 	if r == nil || r.W < 1 || r.H < 1 {
 		return nil, ErrEmptyRaster
@@ -1280,68 +890,7 @@ func EncodeSICWorkers(r *Raster, quality, workers int) ([]byte, error) {
 	if quality < MinQuality || quality > MaxQuality {
 		return nil, fmt.Errorf("imagecodec: quality %d out of [%d,%d]", quality, MinQuality, MaxQuality)
 	}
-	workers = resolveWorkers(workers)
-	ySrc := lumaSource{r}
-	cbSrc := chromaSource{r: r}
-	crSrc := chromaSource{r: r, cr: true}
-	lumaQT := quantTable(lumaQBase, quality)
-	chromaQT := quantTable(chromaQBase, quality)
-
-	tp := getBytes()
-	tokens := (*tp)[:0]
-	if workers <= 1 {
-		tokens = encodePlaneTokens(tokens, ySrc, &lumaQT, 1)
-		crp := getBytes()
-		var crTokens []byte
-		tokens, crTokens = encodeChromaTokens(tokens, (*crp)[:0], r, &chromaQT)
-		tokens = append(tokens, crTokens...)
-		*crp = crTokens
-		putBytes(crp)
-	} else {
-		// Per-plane pipeline: chroma planes encode on their own
-		// goroutines while the (4x larger) luma plane keeps the parallel
-		// quantize stage.
-		cbp, crp := getBytes(), getBytes()
-		var wg sync.WaitGroup
-		wg.Add(2)
-		go func() {
-			defer wg.Done()
-			*cbp = encodePlaneTokens((*cbp)[:0], cbSrc, &chromaQT, 1)
-		}()
-		go func() {
-			defer wg.Done()
-			*crp = encodePlaneTokens((*crp)[:0], crSrc, &chromaQT, 1)
-		}()
-		tokens = encodePlaneTokens(tokens, ySrc, &lumaQT, workers)
-		wg.Wait()
-		tokens = append(tokens, *cbp...)
-		tokens = append(tokens, *crp...)
-		putBytes(cbp)
-		putBytes(crp)
-	}
-
-	var out bytes.Buffer
-	out.Grow(len(tokens)/4 + 64)
-	out.WriteString(sicMagic)
-	var hdr [9]byte
-	binary.BigEndian.PutUint32(hdr[0:4], uint32(r.W))
-	binary.BigEndian.PutUint32(hdr[4:8], uint32(r.H))
-	hdr[8] = byte(quality)
-	out.Write(hdr[:])
-	fw := flateWriterPool.Get().(*flate.Writer)
-	fw.Reset(&out)
-	_, werr := fw.Write(tokens)
-	cerr := fw.Close()
-	*tp = tokens
-	putBytes(tp)
-	flateWriterPool.Put(fw)
-	if werr != nil {
-		return nil, werr
-	}
-	if cerr != nil {
-		return nil, cerr
-	}
-	return out.Bytes(), nil
+	return encodeSICV2(r, quality, resolveWorkers(workers))
 }
 
 // DecodeSIC decompresses a SIC bitstream using the package-default
@@ -1353,10 +902,16 @@ func DecodeSIC(data []byte) (*Raster, error) {
 // DecodeSICWorkers is DecodeSIC with an explicit worker count for the
 // data-parallel stages (dequantize/IDCT, color reassembly). workers <= 0
 // selects the package default. The reconstruction is identical for every
-// worker count.
+// worker count. Both bitstream versions are accepted: v1 ("SIC1",
+// whole-stream flate over run-length tokens) and v2 ("SIC2", per-plane
+// flate over the packed layout in sicv2.go); any other version byte is
+// rejected explicitly.
 func DecodeSICWorkers(data []byte, workers int) (*Raster, error) {
-	if len(data) < 13 || string(data[0:4]) != sicMagic {
+	if len(data) < 13 || string(data[0:3]) != sicMagic[:3] {
 		return nil, errors.New("imagecodec: not a SIC stream")
+	}
+	if data[3] != '1' && data[3] != '2' {
+		return nil, fmt.Errorf("imagecodec: unsupported SIC version %q", data[3])
 	}
 	w := int(binary.BigEndian.Uint32(data[4:8]))
 	h := int(binary.BigEndian.Uint32(data[8:12]))
@@ -1365,6 +920,9 @@ func DecodeSICWorkers(data []byte, workers int) (*Raster, error) {
 		return nil, errors.New("imagecodec: implausible SIC dimensions")
 	}
 	workers = resolveWorkers(workers)
+	if data[3] == '2' {
+		return decodeSICV2(data[13:], w, h, quality, workers)
+	}
 	fr := flateReaderPool.Get().(flateResetReader)
 	if err := fr.Reset(bytes.NewReader(data[13:]), nil); err != nil {
 		flateReaderPool.Put(fr)

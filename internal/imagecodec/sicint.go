@@ -1,0 +1,592 @@
+package imagecodec
+
+import (
+	"bytes"
+	"math"
+	"sync"
+	"sync/atomic"
+)
+
+// Integer encode path. The v1 encoder carried float64 through color
+// transform, DCT, and quantization; on a single core those latency
+// chains were the bulk of encode_sic. The v2 encoder is fully integer:
+// a 16.16 fixed-point color transform, a 12-bit fixed-point AAN DCT
+// (int32 adds with int64 multiply intermediates), and a 40-bit
+// reciprocal quantizer. Edge blocks clamp-replicate the last row/column
+// (luma) and scale partial quads to the 4-pixel table range (chroma) —
+// exact, since the surviving quad pixel count always divides 4. The
+// decoder is float and untouched: the quantizer emits plain integers
+// and the bitstream cannot tell which arithmetic produced them. The v2
+// encoder is pinned byte-identical to the frozen reference copy in
+// sic_equiv_test.go, and statistically (PSNR/size) against the v1 float
+// reference, per the PR 4 precedent.
+
+// lumaFixShift is the color-transform fixed-point scale (16.16).
+const lumaFixShift = 16
+
+// aanFixShift is the DCT constant scale: 12 bits keeps the column-pass
+// magnitude (inputs ±128<<16, two x8 passes -> ~2^30) inside int32 while
+// the int64 multiply intermediates never overflow.
+const aanFixShift = 12
+
+// Fixed-point luma weight tables: yFixR[v] ~= 0.299*v<<16.
+var yFixR, yFixG, yFixB [256]int32
+
+// Fixed-point chroma tables over 2x2 quad sums (0..1020): the /4 quad
+// mean and the channel coefficient are folded into one table, so a
+// chroma sample is three adds. cbFix*[s] ~= (coef/4)*s<<16.
+var (
+	cbFixR, cbFixG, cbFixB [1021]int32
+	crFixR, crFixG, crFixB [1021]int32
+)
+
+// Fixed-point AAN butterfly constants.
+var (
+	aanFixC4   int64
+	aanFixC6   int64
+	aanFixC2m6 int64
+	aanFixC2p6 int64
+)
+
+func init() {
+	for v := 0; v < 256; v++ {
+		yFixR[v] = int32(math.Round(0.299 * float64(v) * (1 << lumaFixShift)))
+		yFixG[v] = int32(math.Round(0.587 * float64(v) * (1 << lumaFixShift)))
+		yFixB[v] = int32(math.Round(0.114 * float64(v) * (1 << lumaFixShift)))
+	}
+	for s := 0; s < 1021; s++ {
+		cbFixR[s] = int32(math.Round(cbR4 * float64(s) * (1 << lumaFixShift)))
+		cbFixG[s] = int32(math.Round(cbG4 * float64(s) * (1 << lumaFixShift)))
+		cbFixB[s] = int32(math.Round(cbB4 * float64(s) * (1 << lumaFixShift)))
+		crFixR[s] = int32(math.Round(crR4 * float64(s) * (1 << lumaFixShift)))
+		crFixG[s] = int32(math.Round(crG4 * float64(s) * (1 << lumaFixShift)))
+		crFixB[s] = int32(math.Round(crB4 * float64(s) * (1 << lumaFixShift)))
+	}
+	aanFixC4 = int64(math.Round(aanC4 * (1 << aanFixShift)))
+	aanFixC6 = int64(math.Round(aanC6 * (1 << aanFixShift)))
+	aanFixC2m6 = int64(math.Round(aanC2m6 * (1 << aanFixShift)))
+	aanFixC2p6 = int64(math.Round(aanC2p6 * (1 << aanFixShift)))
+}
+
+// mulFix multiplies a 16.16 value by a 12-bit fixed-point constant.
+func mulFix(a int32, c int64) int32 {
+	return int32((int64(a) * c) >> aanFixShift)
+}
+
+// intFdct8 is aanFdct8 on 16.16 fixed point.
+func intFdct8(v *[8]int32) {
+	tmp0 := v[0] + v[7]
+	tmp7 := v[0] - v[7]
+	tmp1 := v[1] + v[6]
+	tmp6 := v[1] - v[6]
+	tmp2 := v[2] + v[5]
+	tmp5 := v[2] - v[5]
+	tmp3 := v[3] + v[4]
+	tmp4 := v[3] - v[4]
+
+	tmp10 := tmp0 + tmp3
+	tmp13 := tmp0 - tmp3
+	tmp11 := tmp1 + tmp2
+	tmp12 := tmp1 - tmp2
+	v[0] = tmp10 + tmp11
+	v[4] = tmp10 - tmp11
+	z1 := mulFix(tmp12+tmp13, aanFixC4)
+	v[2] = tmp13 + z1
+	v[6] = tmp13 - z1
+
+	tmp10 = tmp4 + tmp5
+	tmp11 = tmp5 + tmp6
+	tmp12 = tmp6 + tmp7
+	z5 := mulFix(tmp10-tmp12, aanFixC6)
+	z2 := mulFix(tmp10, aanFixC2m6) + z5
+	z4 := mulFix(tmp12, aanFixC2p6) + z5
+	z3 := mulFix(tmp11, aanFixC4)
+	z11 := tmp7 + z3
+	z13 := tmp7 - z3
+	v[5] = z13 + z2
+	v[3] = z13 - z2
+	v[1] = z11 + z4
+	v[7] = z11 - z4
+}
+
+// intFdctBlock is aanFdctBlock on 16.16 fixed point, with the same
+// flat-row/column short-circuits (exact in integers: sums of equal
+// values are doublings, differences cancel to zero). dupRows marks rows
+// whose samples are identical to the row above; their row transform is
+// a copy of the previous row's output, which is exact because the row
+// DCT is a pure function of the row.
+func intFdctBlock(b *[64]int32, dupRows uint8) {
+	for y := 0; y < 8; y++ {
+		r := (*[8]int32)(b[y*8 : y*8+8])
+		if dupRows&(1<<y) != 0 {
+			copy(r[:], b[(y-1)*8:y*8])
+			continue
+		}
+		if v := r[0]; v == r[1] && v == r[2] && v == r[3] && v == r[4] && v == r[5] && v == r[6] && v == r[7] {
+			r[0] = 8 * v
+			r[1], r[2], r[3], r[4], r[5], r[6], r[7] = 0, 0, 0, 0, 0, 0, 0
+			continue
+		}
+		intFdct8(r)
+	}
+	var col [8]int32
+	for x := 0; x < 8; x++ {
+		for y := 0; y < 8; y++ {
+			col[y] = b[y*8+x]
+		}
+		if v := col[0]; v == col[1] && v == col[2] && v == col[3] && v == col[4] && v == col[5] && v == col[6] && v == col[7] {
+			b[x] = 8 * v
+			for y := 1; y < 8; y++ {
+				b[y*8+x] = 0
+			}
+			continue
+		}
+		intFdct8(&col)
+		for y := 0; y < 8; y++ {
+			b[y*8+x] = col[y]
+		}
+	}
+}
+
+// intLoadInfo describes one interior block loaded by the fixed-point
+// path. mask/a/b classify two-valued blocks (set when two is true):
+// bit i of mask is 1 where sample i equals b, 0 where it equals a.
+// dupRows bit y (1..7) marks rows whose source bytes equal row y-1 —
+// their converted samples and row DCTs are identical by construction.
+type intLoadInfo struct {
+	first    int32
+	flat     bool
+	centered bool
+	two      bool
+	mask     uint64
+	a, b     int32
+	dupRows  uint8
+}
+
+// loadLumaIntEdge loads a luma block that overlaps the raster edge,
+// replicating the last row and column (JPEG-style padding) in the
+// fixed-point domain. Edge blocks are flat when every (clamped) sample
+// value matches the first; there is no two-valued classification — the
+// handful of edge blocks per raster is not worth a cache key.
+func loadLumaIntEdge(r *Raster, blk *[64]int32, info *intLoadInfo, x0, y0 int) {
+	w, h := r.W, r.H
+	pix := r.Pix
+	const center = 128 << lumaFixShift
+	var first int32
+	flat := true
+	for y := 0; y < 8; y++ {
+		py := y0 + y
+		if py >= h {
+			py = h - 1
+		}
+		for x := 0; x < 8; x++ {
+			px := x0 + x
+			if px >= w {
+				px = w - 1
+			}
+			i := 3 * (py*w + px)
+			v := yFixR[pix[i]] + yFixG[pix[i+1]] + yFixB[pix[i+2]]
+			if y == 0 && x == 0 {
+				first = v
+			} else if v != first {
+				flat = false
+			}
+			blk[y*8+x] = v - center
+		}
+	}
+	if flat {
+		*info = intLoadInfo{first: first, flat: true}
+		return
+	}
+	*info = intLoadInfo{}
+}
+
+// loadLumaInt classifies and loads one luma block; blocks that overlap
+// the raster edge take the clamped-replicate path.
+//
+// Classification runs on raw RGB triples, which subsumes the uniformity
+// memcmp: a block whose pixels are all one triple is flat, a block drawn
+// from exactly two triples (rendered text: foreground glyph on solid
+// background) is two-valued and returns mask/a/b with blk UNFILLED —
+// the glyph cache usually makes the samples unnecessary, and on a miss
+// quantizeTwoValued reconstructs them from the mask in 64 stores.
+// Everything else (photo blocks bail within a few pixels) takes the
+// plain conversion pass. dupRows marks rows byte-identical to the row
+// above; conversion copies them and the DCT row pass reuses them.
+func loadLumaInt(r *Raster, blk *[64]int32, info *intLoadInfo, bx, by int) {
+	w, h := r.W, r.H
+	x0, y0 := bx*8, by*8
+	if x0+8 > w || y0+8 > h {
+		loadLumaIntEdge(r, blk, info, x0, y0)
+		return
+	}
+	pix := r.Pix
+	stride := 3 * w
+	base := 3 * (y0*w + x0)
+	// Solid blocks (the majority on web rasters) resolve via the
+	// vectorized row memcmps before the per-triple classification scan.
+	if uniformRegion(pix, base, stride, 8, 8) {
+		*info = intLoadInfo{first: yFixR[pix[base]] + yFixG[pix[base+1]] + yFixB[pix[base+2]], flat: true}
+		return
+	}
+	ta0, ta1, ta2 := pix[base], pix[base+1], pix[base+2]
+	var tb0, tb1, tb2 byte
+	haveB := false
+	two := true
+	var mask uint64
+	var dupRows uint8
+	var prev []byte
+scan:
+	for y := 0; y < 8; y++ {
+		off := base + y*stride
+		row := pix[off : off+24]
+		if y > 0 && bytes.Equal(row, prev) {
+			dupRows |= 1 << y
+			mask |= (mask >> (8 * (y - 1)) & 0xFF) << (8 * y)
+			continue
+		}
+		prev = row
+		for x := 0; x < 8; x++ {
+			p0, p1, p2 := row[3*x], row[3*x+1], row[3*x+2]
+			if p0 == ta0 && p1 == ta1 && p2 == ta2 {
+				continue
+			}
+			if !haveB {
+				tb0, tb1, tb2 = p0, p1, p2
+				haveB = true
+			} else if p0 != tb0 || p1 != tb1 || p2 != tb2 {
+				two = false
+				break scan
+			}
+			mask |= 1 << (y*8 + x)
+		}
+	}
+	const center = 128 << lumaFixShift
+	if two {
+		va := yFixR[ta0] + yFixG[ta1] + yFixB[ta2]
+		if !haveB {
+			*info = intLoadInfo{first: va, flat: true}
+			return
+		}
+		*info = intLoadInfo{
+			two:     true,
+			mask:    mask,
+			a:       va - center,
+			b:       yFixR[tb0] + yFixG[tb1] + yFixB[tb2] - center,
+			dupRows: dupRows,
+		}
+		return
+	}
+	dupRows = 0
+	prev = nil
+	for y := 0; y < 8; y++ {
+		off := base + y*stride
+		row := (*[24]byte)(pix[off : off+24])
+		if y > 0 && bytes.Equal(row[:], prev) {
+			dupRows |= 1 << y
+			copy(blk[y*8:y*8+8], blk[(y-1)*8:y*8])
+			continue
+		}
+		prev = row[:]
+		out := (*[8]int32)(blk[y*8 : y*8+8])
+		for x := 0; x < 8; x++ {
+			out[x] = yFixR[row[3*x]] + yFixG[row[3*x+1]] + yFixB[row[3*x+2]] - center
+		}
+	}
+	*info = intLoadInfo{dupRows: dupRows}
+}
+
+// grayRegion reports whether every pixel of the region has r == g == b.
+// Grayscale regions have Cb = Cr = 128 up to coefficient rounding: the
+// chroma weights sum to zero, so both planes quantize to DC 0 and no AC
+// energy — exactly what the quad-sum path computes the long way around.
+// Text is the overwhelmingly common case: black-on-white glyph blocks
+// are gray but not uniform, and without this check each one paid 128
+// quad sums and a DCT to discover its chroma was empty.
+func grayRegion(pix []byte, off, stride, w, rows int) bool {
+	n := 3 * w
+	for y := 0; y < rows; y++ {
+		row := pix[off+y*stride : off+y*stride+n]
+		for x := 0; x < n; x += 3 {
+			if row[x] != row[x+1] || row[x] != row[x+2] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// loadChromaIntEdge loads one chroma plane's block when its 16x16
+// source region overlaps the raster edge. Samples past the plane edge
+// replicate the last row/column; partial 2x2 quads (odd raster
+// dimensions leave 2- and 1-pixel quads) scale their sums to the
+// 4-pixel range the chroma tables index — exact, since the surviving
+// pixel count always divides 4.
+func loadChromaIntEdge(r *Raster, cr bool, blk *[64]int32, bx, by int) (first int32, flat bool) {
+	w, h := r.W, r.H
+	cw, ch := (w+1)/2, (h+1)/2
+	x0, y0 := bx*8, by*8
+	pix := r.Pix
+	tR, tG, tB := &cbFixR, &cbFixG, &cbFixB
+	if cr {
+		tR, tG, tB = &crFixR, &crFixG, &crFixB
+	}
+	flat = true
+	for y := 0; y < 8; y++ {
+		cy := y0 + y
+		if cy >= ch {
+			cy = ch - 1
+		}
+		for x := 0; x < 8; x++ {
+			cx := x0 + x
+			if cx >= cw {
+				cx = cw - 1
+			}
+			var sr, sg, sb, n int
+			for dy := 0; dy < 2; dy++ {
+				py := 2*cy + dy
+				if py >= h {
+					continue
+				}
+				for dx := 0; dx < 2; dx++ {
+					px := 2*cx + dx
+					if px >= w {
+						continue
+					}
+					i := 3 * (py*w + px)
+					sr += int(pix[i])
+					sg += int(pix[i+1])
+					sb += int(pix[i+2])
+					n++
+				}
+			}
+			v := tR[sr*4/n] + tG[sg*4/n] + tB[sb*4/n]
+			blk[y*8+x] = v
+			if y == 0 && x == 0 {
+				first = v
+			} else if v != first {
+				flat = false
+			}
+		}
+	}
+	return first, flat
+}
+
+// loadChromaPairInt fills one Cb and one Cr block (16.16, centered) from
+// the shared source quads; regions overlapping the raster edge take the
+// clamped per-plane path. Integer adds are exact, so the fused pair and
+// the per-plane int loader agree bit for bit.
+func loadChromaPairInt(r *Raster, cbBlk, crBlk *[64]int32, bx, by int) (fCb int32, flatCb bool, fCr int32, flatCr bool) {
+	w, h := r.W, r.H
+	x0, y0 := bx*8, by*8
+	if 2*(x0+8) > w || 2*(y0+8) > h {
+		fCb, flatCb = loadChromaIntEdge(r, false, cbBlk, bx, by)
+		fCr, flatCr = loadChromaIntEdge(r, true, crBlk, bx, by)
+		return fCb, flatCb, fCr, flatCr
+	}
+	pix := r.Pix
+	i0 := 3 * (2*y0*w + 2*x0)
+	if uniformRegion(pix, i0, 3*w, 16, 16) {
+		sr, sg, sb := 4*int(pix[i0]), 4*int(pix[i0+1]), 4*int(pix[i0+2])
+		return cbFixR[sr] + cbFixG[sg] + cbFixB[sb], true,
+			crFixR[sr] + crFixG[sg] + crFixB[sb], true
+	}
+	if grayRegion(pix, i0, 3*w, 16, 16) {
+		return 0, true, 0, true
+	}
+	flatCb, flatCr = true, true
+	for y := 0; y < 8; y++ {
+		cy := y0 + y
+		o0 := 3 * (2*cy*w + 2*x0)
+		o1 := o0 + 3*w
+		row0 := (*[48]byte)(pix[o0 : o0+48])
+		row1 := (*[48]byte)(pix[o1 : o1+48])
+		for x := 0; x < 8; x++ {
+			i0 := 6 * x
+			i1 := i0 + 3
+			sr := int(row0[i0]) + int(row0[i1]) + int(row1[i0]) + int(row1[i1])
+			sg := int(row0[i0+1]) + int(row0[i1+1]) + int(row1[i0+1]) + int(row1[i1+1])
+			sb := int(row0[i0+2]) + int(row0[i1+2]) + int(row1[i0+2]) + int(row1[i1+2])
+			vb := cbFixR[sr] + cbFixG[sg] + cbFixB[sb]
+			vr := crFixR[sr] + crFixG[sg] + crFixB[sb]
+			cbBlk[y*8+x] = vb
+			crBlk[y*8+x] = vr
+			if y == 0 && x == 0 {
+				fCb, fCr = vb, vr
+			}
+			if vb != fCb {
+				flatCb = false
+			}
+			if vr != fCr {
+				flatCr = false
+			}
+		}
+	}
+	// Center after flatness: the chroma tables sum to the sample minus
+	// 128 already (no +128 bias was added), so the block is centered.
+	return fCb, flatCb, fCr, flatCr
+}
+
+// loadChromaInt is the per-plane loader used by the parallel quantize
+// stage; it computes exactly the sums loadChromaPairInt does for the
+// selected plane.
+func loadChromaInt(r *Raster, cr bool, blk *[64]int32, bx, by int) (first int32, flat bool) {
+	w, h := r.W, r.H
+	x0, y0 := bx*8, by*8
+	if 2*(x0+8) > w || 2*(y0+8) > h {
+		return loadChromaIntEdge(r, cr, blk, bx, by)
+	}
+	pix := r.Pix
+	i0 := 3 * (2*y0*w + 2*x0)
+	tR, tG, tB := &cbFixR, &cbFixG, &cbFixB
+	if cr {
+		tR, tG, tB = &crFixR, &crFixG, &crFixB
+	}
+	if uniformRegion(pix, i0, 3*w, 16, 16) {
+		sr, sg, sb := 4*int(pix[i0]), 4*int(pix[i0+1]), 4*int(pix[i0+2])
+		return tR[sr] + tG[sg] + tB[sb], true
+	}
+	if grayRegion(pix, i0, 3*w, 16, 16) {
+		return 0, true
+	}
+	flat = true
+	for y := 0; y < 8; y++ {
+		cy := y0 + y
+		o0 := 3 * (2*cy*w + 2*x0)
+		o1 := o0 + 3*w
+		row0 := (*[48]byte)(pix[o0 : o0+48])
+		row1 := (*[48]byte)(pix[o1 : o1+48])
+		for x := 0; x < 8; x++ {
+			i0 := 6 * x
+			i1 := i0 + 3
+			sr := int(row0[i0]) + int(row0[i1]) + int(row1[i0]) + int(row1[i1])
+			sg := int(row0[i0+1]) + int(row0[i1+1]) + int(row1[i0+1]) + int(row1[i1+1])
+			sb := int(row0[i0+2]) + int(row0[i1+2]) + int(row1[i0+2]) + int(row1[i1+2])
+			v := tR[sr] + tG[sg] + tB[sb]
+			blk[y*8+x] = v
+			if y == 0 && x == 0 {
+				first = v
+			}
+			if v != first {
+				flat = false
+			}
+		}
+	}
+	return first, flat
+}
+
+func (s lumaSource) loadInt(blk *[64]int32, info *intLoadInfo, bx, by int) {
+	loadLumaInt(s.r, blk, info, bx, by)
+}
+
+func (s chromaSource) loadInt(blk *[64]int32, info *intLoadInfo, bx, by int) {
+	first, flat := loadChromaInt(s.r, s.cr, blk, bx, by)
+	*info = intLoadInfo{first: first, flat: flat, centered: true}
+}
+
+// sicMaskKey identifies a two-valued block up to quantization: the
+// foreground mask, the two 16.16 sample values, and the quality that
+// selects the luma quantizer (only luma blocks classify as two-valued).
+type sicMaskKey struct {
+	mask    uint64
+	a, b    int32
+	quality uint8
+}
+
+// sicMaskVal is the cached quantization result: q holds the zigzag
+// coefficients with q[0] = DC, nz the surviving AC count, and ac the
+// pre-rendered v2 AC token bytes (nz > 0 only) so the serial emitter
+// skips the 63-coefficient scan on every cache hit.
+type sicMaskVal struct {
+	nz int32
+	ac []byte
+	q  [64]int32
+}
+
+// sicMaskCache memoizes quantized two-valued blocks. Rendered text is a
+// small glyph alphabet stamped thousands of times per page, and every
+// repeat of a (mask, colors) pair runs the identical fixed-point
+// DCT+quantize — so the cache returns bit-identical coefficients while
+// skipping the transform entirely. Insertion stops at sicMaskCacheMax
+// (~2 MB); lookups keep hitting, and a miss just recomputes, so the
+// bound affects speed only, never bytes.
+var (
+	sicMaskCache sync.Map
+	sicMaskCount atomic.Int32
+)
+
+const sicMaskCacheMax = 8192
+
+// quantizeTwoValued quantizes a two-valued block through the glyph
+// cache. blk is scratch: the loader leaves it unfilled for two-valued
+// blocks, and on a cache miss the samples are reconstructed here from
+// the mask. The returned value is shared and must not be written.
+func quantizeTwoValued(blk *[64]int32, info *intLoadInfo, pq *planeQuant) *sicMaskVal {
+	key := sicMaskKey{mask: info.mask, a: info.a, b: info.b, quality: pq.quality}
+	if v, ok := sicMaskCache.Load(key); ok {
+		return v.(*sicMaskVal)
+	}
+	a, b, m := info.a, info.b, info.mask
+	for i := 0; i < 64; i++ {
+		if m&(1<<i) != 0 {
+			blk[i] = b
+		} else {
+			blk[i] = a
+		}
+	}
+	v := &sicMaskVal{}
+	dc, nz := quantizeIntBlock(blk, &v.q, pq, info.dupRows)
+	v.q[0] = int32(dc)
+	v.nz = int32(nz)
+	if nz > 0 {
+		v.ac = appendACv2(nil, &v.q)
+	}
+	if sicMaskCount.Load() < sicMaskCacheMax {
+		if _, loaded := sicMaskCache.LoadOrStore(key, v); !loaded {
+			sicMaskCount.Add(1)
+		}
+	}
+	return v
+}
+
+// flatDCFix quantizes a flat block's DC from its 16.16 sample value:
+// Round((sample-128)*8/qf0), with the luma center already subtracted
+// for chroma tables (they encode sample-128 directly).
+func flatDCFix(first int32, centered bool, qf0 float64) int {
+	v := float64(first) / (1 << lumaFixShift)
+	if !centered {
+		v -= 128
+	}
+	return int(math.Round(v * 8 / qf0))
+}
+
+// quantQShift is the fixed-point quantizer reciprocal scale. 40 bits
+// keeps the smallest reciprocal (quality 0, largest divisor) at ~2^10
+// so rounding error stays far below half a quantizer step, while the
+// largest product (|coef| ~2^30 x reciprocal ~2^21) fits int64.
+const quantQShift = 40
+
+// quantizeIntBlock runs the fixed-point DCT and quantizes into q,
+// returning the DC and the non-zero AC count. The quantizer is pure
+// integer: multiply by the 40-bit reciprocal, add half, arithmetic
+// shift — round-half-up, which differs from the float path's
+// round-half-away only on exact .5 products (and is pinned by the v2
+// reference copy, not bit-matched to v1).
+func quantizeIntBlock(blk *[64]int32, q *[64]int32, pq *planeQuant, dupRows uint8) (dc, nz int) {
+	intFdctBlock(blk, dupRows)
+	const half = int64(1) << (quantQShift - 1)
+	dc = int((int64(blk[0])*pq.invQ[0] + half) >> quantQShift)
+	for i := 1; i < 64; i++ {
+		c := blk[zigzag[i]]
+		if zb := pq.zb[i]; c <= zb && c >= -zb {
+			q[i] = 0
+			continue
+		}
+		v := (int64(c)*pq.invQ[i] + half) >> quantQShift
+		q[i] = int32(v)
+		if v != 0 {
+			nz++
+		}
+	}
+	return dc, nz
+}

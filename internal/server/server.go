@@ -230,6 +230,11 @@ func New(cfg Config, pipeline *core.Pipeline) *Server {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
+	// The raster stage reads webrender's package-wide knob (RenderCropped
+	// has no per-call worker parameter); thread the config through so the
+	// photo lerp rows honor the same Workers setting as the encoder. The
+	// output is byte-identical at any count.
+	webrender.SetWorkers(cfg.Workers)
 	return &Server{
 		cfg:       cfg,
 		pipeline:  pipeline,

@@ -1,0 +1,75 @@
+package webrender
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// The rasterizer's only data-parallel stage is the pseudo-photo row
+// loop: every output row is a pure function of the photo seed and the
+// row index (per-row noise derivation, see photoNoise), so rows can be
+// painted by any number of workers and the pixels are byte-identical to
+// the serial pass. Everything else in the renderer is a serial chain of
+// overlapping draws and stays single-threaded.
+
+// defaultWorkers is the pool size used when no explicit count is set.
+// 0 means GOMAXPROCS.
+var defaultWorkers atomic.Int32
+
+// SetWorkers sets the package-wide worker count used by the
+// data-parallel photo rows. n <= 0 restores the default (GOMAXPROCS).
+// The server threads its Workers config knob through here, mirroring
+// imagecodec.SetWorkers.
+func SetWorkers(n int) { //sonic:ignore equivpin concurrency knob, not a kernel
+	if n < 0 {
+		n = 0
+	}
+	defaultWorkers.Store(int32(n))
+}
+
+// Workers reports the resolved package-wide worker count.
+func Workers() int { return resolveWorkers(0) } //sonic:ignore equivpin concurrency knob, not a kernel
+
+// resolveWorkers maps a per-call worker request to a concrete pool
+// size: explicit n > 0 wins, then the package default, then GOMAXPROCS.
+func resolveWorkers(n int) int {
+	if n <= 0 {
+		n = int(defaultWorkers.Load())
+	}
+	if n <= 0 {
+		n = runtime.GOMAXPROCS(0)
+	}
+	return n
+}
+
+// parallelFor runs fn over contiguous chunks covering [0, n), using at
+// most workers goroutines. workers <= 1 (or tiny n) runs inline with no
+// goroutine overhead, keeping the single-core path as fast as the
+// serial rasterizer.
+func parallelFor(workers, n int, fn func(lo, hi int)) {
+	if n <= 0 {
+		return
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		fn(0, n)
+		return
+	}
+	chunk := (n + workers - 1) / workers
+	var wg sync.WaitGroup
+	for lo := 0; lo < n; lo += chunk {
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			fn(lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+}

@@ -1,6 +1,7 @@
 package webrender
 
 import (
+	"math"
 	"math/rand"
 	"sync"
 
@@ -262,12 +263,14 @@ func renderTable(img *imagecodec.Raster, p *Page, b *Block, y int) {
 // photoGrid is the control-point grid of the pseudo-photo generator.
 const photoGrid = 4
 
-// photoScratch holds the per-photo scanline state: the horizontal lerp of
-// every control row at every x (lerp[gy][3*x+c]) and one staging row of
-// output pixels. Pooled because a full-width photo needs ~125 KB of it.
+// photoScratch holds the per-photo scanline state: the horizontal lerp
+// of every control row at every x (lerp[gy][3*x+c]), rounded to 8 bits.
+// Storing bytes instead of Q16 keeps all five rows L1-resident (~16 KB
+// for a full-width photo) and shrinks the vertical blend to pure int32
+// math; the extra rounding step moves output by at most one count,
+// invisible under the photo's own grain. Pooled across photos.
 type photoScratch struct {
-	lerp [photoGrid + 1][]float64
-	row  []byte
+	lerp [photoGrid + 1][]uint8
 }
 
 var photoPool = sync.Pool{New: func() any { return new(photoScratch) }}
@@ -276,15 +279,29 @@ func getPhotoScratch(w int) *photoScratch {
 	sc := photoPool.Get().(*photoScratch)
 	for gy := range sc.lerp {
 		if cap(sc.lerp[gy]) < 3*w {
-			sc.lerp[gy] = make([]float64, 3*w)
+			sc.lerp[gy] = make([]uint8, 3*w)
 		}
 		sc.lerp[gy] = sc.lerp[gy][:3*w]
 	}
-	if cap(sc.row) < 3*w {
-		sc.row = make([]byte, 3*w)
-	}
-	sc.row = sc.row[:3*w]
 	return sc
+}
+
+// photoNoise derives the grain for one pixel from a combined
+// seed/row/column key via the splitmix64 finalizer, returning a value
+// in [-3, 3]. Grain is a pure function of (seed, y, x) rather than a
+// sequentially-consumed rng stream, which is what lets photo rows
+// rasterize on any number of workers with byte-identical output.
+func photoNoise(s uint64) int32 {
+	s += 0x9E3779B97F4A7C15
+	s = (s ^ (s >> 30)) * 0xBF58476D1CE4E5B9
+	s = (s ^ (s >> 27)) * 0x94D049BB133111EB
+	s ^= s >> 31
+	return int32(s%7) - 3
+}
+
+// photoNoiseKey combines the photo seed with a pixel coordinate.
+func photoNoiseKey(seed uint64, x, y int) uint64 {
+	return seed + uint64(y)*0x9E3779B97F4A7C15 + uint64(x)
 }
 
 // drawPseudoPhoto paints a photo-like region: low-frequency color patches
@@ -292,51 +309,55 @@ func getPhotoScratch(w int) *photoScratch {
 // codec more than flat UI chrome. The thumbnail is intentionally not
 // clickable (§3.4: videos are replaced by non-clickable thumbnails).
 //
-// The bilinear interpolation runs scanline-wise: the horizontal lerp of
-// each control row is computed once per x (it is identical for every
-// scanline), each output row folds just the vertical lerp plus grain, and
-// rows are staged in a scratch buffer and blitted with copy. Every
-// floating-point expression and the rng consumption order match the
-// per-pixel reference exactly, so output is byte-identical per seed.
+// The bilinear interpolation is Q16 fixed point run scanline-wise: the
+// horizontal lerp of each control row is computed once per x (it is
+// identical for every scanline) and each output row folds just the
+// vertical lerp plus grain, writing its visible span directly into the
+// raster. Control colors live in [40, 220] and grain in [-3, 3], so
+// blended pixels can never leave [0, 255] and the rows need no clamp.
+// Rows are pure functions of (seed, y): grain comes from photoNoise
+// rather than a shared rng stream, so the row loop is data-parallel
+// behind the Workers knob with byte-identical output at any count.
 func drawPseudoPhoto(img *imagecodec.Raster, x0, y0, w, h int, seed int64) {
 	rng := rand.New(rand.NewSource(seed))
 	// 4x4 control grid, bilinear interpolation between random colors.
+	// The grid stays rng-driven (16.16 fixed point) so pages keep their
+	// per-seed palette.
 	const grid = photoGrid
-	var ctrl [grid + 1][grid + 1][3]float64
+	var ctrl [grid + 1][grid + 1][3]int32
 	for gy := 0; gy <= grid; gy++ {
 		for gx := 0; gx <= grid; gx++ {
 			for c := 0; c < 3; c++ {
-				ctrl[gy][gx][c] = 40 + 180*rng.Float64()
+				ctrl[gy][gx][c] = int32(math.Round((40 + 180*rng.Float64()) * 65536))
 			}
 		}
 	}
 	if w <= 0 || h <= 0 {
 		return
 	}
-	// Fully clipped photos skip rasterization entirely: the rng is private
-	// to this photo (seeded per block), so nothing else observes the
-	// skipped draws and the visible output is unchanged.
+	// Fully clipped photos skip rasterization entirely: nothing else
+	// observes a photo's noise keys, so the visible output is unchanged.
 	if y0 >= img.H || y0+h <= 0 || x0 >= img.W || x0+w <= 0 {
 		return
 	}
 	sc := getPhotoScratch(w)
 	defer photoPool.Put(sc)
 	for x := 0; x < w; x++ {
-		fx := float64(x) / float64(w) * grid
-		ix := int(fx)
+		fx := x * grid << 16 / w
+		ix := fx >> 16
 		if ix >= grid {
 			ix = grid - 1
 		}
-		rx := fx - float64(ix)
+		rx := int64(fx - ix<<16)
 		for gy := 0; gy <= grid; gy++ {
 			for c := 0; c < 3; c++ {
-				sc.lerp[gy][3*x+c] = ctrl[gy][ix][c]*(1-rx) + ctrl[gy][ix+1][c]*rx
+				av := ctrl[gy][ix][c]
+				v := av + int32(int64(ctrl[gy][ix+1][c]-av)*rx>>16)
+				sc.lerp[gy][3*x+c] = uint8((v + 0x8000) >> 16)
 			}
 		}
 	}
-	// Horizontal clip of the staged row against the raster; the full row
-	// is always computed so the grain rng stays in reference order even
-	// when part of the photo falls outside the raster.
+	// Visible span of each row against the raster.
 	dx0, sx0 := x0, 0
 	if dx0 < 0 {
 		sx0, dx0 = -dx0, 0
@@ -345,47 +366,53 @@ func drawPseudoPhoto(img *imagecodec.Raster, x0, y0, w, h int, seed int64) {
 	if dx1 > img.W {
 		dx1 = img.W
 	}
-	row := sc.row
-	for y := 0; y < h; y++ {
-		if y0+y >= img.H {
-			// Rows only get lower from here; nothing below the raster is
-			// visible and this photo's rng feeds nothing else.
-			break
-		}
-		fy := float64(y) / float64(h) * grid
-		iy := int(fy)
-		if iy >= grid {
-			iy = grid - 1
-		}
-		ry := fy - float64(iy)
-		omy := 1 - ry
-		top, bot := sc.lerp[iy][:len(row)], sc.lerp[iy+1][:len(row)]
-		if y%3 == 0 {
-			// Mild, horizontally-correlated grain (like the JPEG-smoothed
-			// photos on real pages) rather than per-pixel noise.
-			for x := 0; x < w; x++ {
-				var n float64
-				if x%4 == 0 {
-					n = float64(rng.Intn(7)) - 3
-				}
-				i := 3 * x
-				row[i] = clampU8(top[i]*omy + bot[i]*ry + n)
-				row[i+1] = clampU8(top[i+1]*omy + bot[i+1]*ry + n)
-				row[i+2] = clampU8(top[i+2]*omy + bot[i+2]*ry + n)
-			}
-		} else {
-			for i := 0; i+2 < len(row); i += 3 {
-				row[i] = clampU8(top[i]*omy + bot[i]*ry)
-				row[i+1] = clampU8(top[i+1]*omy + bot[i+1]*ry)
-				row[i+2] = clampU8(top[i+2]*omy + bot[i+2]*ry)
-			}
-		}
-		yy := y0 + y
-		if yy < 0 || dx0 >= dx1 {
-			continue
-		}
-		copy(img.Pix[3*(yy*img.W+dx0):3*(yy*img.W+dx1)], row[3*sx0:])
+	sx1 := sx0 + (dx1 - dx0)
+	if sx0 >= sx1 {
+		return
 	}
+	yLo := 0
+	if y0 < 0 {
+		yLo = -y0
+	}
+	yHi := h
+	if y0+yHi > img.H {
+		yHi = img.H - y0
+	}
+	if yLo >= yHi {
+		return
+	}
+	base := uint64(seed)
+	parallelFor(resolveWorkers(0), yHi-yLo, func(lo, hi int) {
+		for yi := lo; yi < hi; yi++ {
+			y := yLo + yi
+			fy := y * grid << 16 / h
+			iy := fy >> 16
+			if iy >= grid {
+				iy = grid - 1
+			}
+			ry := int32(fy - iy<<16)
+			out := img.Pix[3*((y0+y)*img.W+dx0) : 3*((y0+y)*img.W+dx1)]
+			top := sc.lerp[iy][3*sx0:]
+			bot := sc.lerp[iy+1][3*sx0:]
+			top = top[:len(out)]
+			bot = bot[:len(out)]
+			for j := range out {
+				t := int32(top[j])
+				out[j] = uint8(t + (int32(bot[j])-t)*ry>>16)
+			}
+			if y%3 == 0 {
+				// Grain pass over every 4th pixel; separate from the blend
+				// loop so the common row stays branch-free.
+				for x := (sx0 + 3) &^ 3; x < sx1; x += 4 {
+					n := photoNoise(photoNoiseKey(base, x, y))
+					j := 3 * (x - sx0)
+					out[j] = uint8(int32(out[j]) + n)
+					out[j+1] = uint8(int32(out[j+1]) + n)
+					out[j+2] = uint8(int32(out[j+2]) + n)
+				}
+			}
+		}
+	})
 }
 
 func clampU8(v float64) uint8 {

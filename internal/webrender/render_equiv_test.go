@@ -50,46 +50,53 @@ func refDrawText(r *imagecodec.Raster, x, y int, s string, scale int, c imagecod
 	return cx
 }
 
+// refDrawPseudoPhoto is the naive per-pixel form of the Q16 photo
+// rasterizer (PR 8): horizontal lerp in 16.16 fixed point rounded to 8
+// bits, vertical lerp between the 8-bit rows, grain derived per
+// (seed, y, x) via photoNoise. Re-anchored from the float/serial-rng
+// reference when the noise moved to per-row seed derivation for the
+// data-parallel row loop and the staged lerp rows dropped to bytes.
 func refDrawPseudoPhoto(img *imagecodec.Raster, x0, y0, w, h int, seed int64) {
 	rng := rand.New(rand.NewSource(seed))
 	const grid = 4
-	var ctrl [grid + 1][grid + 1][3]float64
+	var ctrl [grid + 1][grid + 1][3]int32
 	for gy := 0; gy <= grid; gy++ {
 		for gx := 0; gx <= grid; gx++ {
 			for c := 0; c < 3; c++ {
-				ctrl[gy][gx][c] = 40 + 180*rng.Float64()
+				ctrl[gy][gx][c] = int32(math.Round((40 + 180*rng.Float64()) * 65536))
 			}
 		}
 	}
+	if w <= 0 || h <= 0 {
+		return
+	}
 	for y := 0; y < h; y++ {
-		fy := float64(y) / float64(h) * grid
-		iy := int(fy)
+		fy := y * grid << 16 / h
+		iy := fy >> 16
 		if iy >= grid {
 			iy = grid - 1
 		}
-		ry := fy - float64(iy)
+		ry := int64(fy - iy<<16)
 		for x := 0; x < w; x++ {
-			fx := float64(x) / float64(w) * grid
-			ix := int(fx)
+			fx := x * grid << 16 / w
+			ix := fx >> 16
 			if ix >= grid {
 				ix = grid - 1
 			}
-			rx := fx - float64(ix)
-			var px [3]float64
+			rx := int64(fx - ix<<16)
+			var px [3]uint8
 			for c := 0; c < 3; c++ {
-				top := ctrl[iy][ix][c]*(1-rx) + ctrl[iy][ix+1][c]*rx
-				bot := ctrl[iy+1][ix][c]*(1-rx) + ctrl[iy+1][ix+1][c]*rx
-				px[c] = top*(1-ry) + bot*ry
+				ta := ctrl[iy][ix][c]
+				top := int32(uint8((ta + int32(int64(ctrl[iy][ix+1][c]-ta)*rx>>16) + 0x8000) >> 16))
+				ba := ctrl[iy+1][ix][c]
+				bot := int32(uint8((ba + int32(int64(ctrl[iy+1][ix+1][c]-ba)*rx>>16) + 0x8000) >> 16))
+				var n int32
+				if y%3 == 0 && x%4 == 0 {
+					n = photoNoise(photoNoiseKey(uint64(seed), x, y))
+				}
+				px[c] = uint8(top + (bot-top)*int32(ry)>>16 + n)
 			}
-			var n float64
-			if y%3 == 0 && x%4 == 0 {
-				n = float64(rng.Intn(7)) - 3
-			}
-			img.Set(x0+x, y0+y, imagecodec.RGB{
-				R: clampU8(px[0] + n),
-				G: clampU8(px[1] + n),
-				B: clampU8(px[2] + n),
-			})
+			img.Set(x0+x, y0+y, imagecodec.RGB{R: px[0], G: px[1], B: px[2]})
 		}
 	}
 }
@@ -344,6 +351,35 @@ func TestPseudoPhotoMatchesReference(t *testing.T) {
 		refDrawPseudoPhoto(want, tc.x0, tc.y0, tc.w, tc.h, tc.seed)
 		if d := firstPixelDiff(got, want); d != "" {
 			t.Fatalf("photo %+v: %s", tc, d)
+		}
+	}
+}
+
+// TestPseudoPhotoWorkerIdentity pins the data-parallel photo row loop:
+// every worker count must produce the raster the serial pass produces,
+// byte for byte, including clipped photos whose visible span is partial.
+func TestPseudoPhotoWorkerIdentity(t *testing.T) {
+	defer SetWorkers(0)
+	cases := []struct {
+		x0, y0, w, h int
+		seed         int64
+	}{
+		{0, 0, 1032, 400, 1234567},
+		{24, 10, 200, 150, 42},
+		{-10, -10, 100, 100, 99},
+		{200, 10, 128, 64, 5},
+	}
+	for _, tc := range cases {
+		SetWorkers(1)
+		want := imagecodec.NewRaster(256, 120)
+		drawPseudoPhoto(want, tc.x0, tc.y0, tc.w, tc.h, tc.seed)
+		for _, workers := range []int{2, 3, 5, 8, 16} {
+			SetWorkers(workers)
+			got := imagecodec.NewRaster(256, 120)
+			drawPseudoPhoto(got, tc.x0, tc.y0, tc.w, tc.h, tc.seed)
+			if d := firstPixelDiff(got, want); d != "" {
+				t.Fatalf("photo %+v workers=%d: %s", tc, workers, d)
+			}
 		}
 	}
 }

@@ -2,8 +2,12 @@
 # benchguard.sh — guards the checked-in perf history. Compares the micro
 # kernels shared between the two newest BENCH_*.json snapshots and fails
 # when any kernel slowed down by more than 2x, so a perf regression shows
-# up as a red check instead of a silently worse snapshot. With fewer than
-# two snapshots there is nothing to compare and the guard passes.
+# up as a red check instead of a silently worse snapshot. A kernel present
+# in the older snapshot but missing from the newer one also fails: a
+# coverage hole (a kernel dropped from the suite, or a snapshot taken with
+# a stale binary) must be an explicit decision, not a silent disappearance.
+# With fewer than two snapshots there is nothing to compare and the guard
+# passes.
 #
 #   benchguard.sh            # guard: newest two snapshots
 #   benchguard.sh --history  # trajectory: per-kernel table across ALL
@@ -95,9 +99,14 @@ if added:
     print("benchguard: new kernels (baseline established by this snapshot):")
     for k in added:
         print(f"  {k:24s} {'':>10s}       {curr[k]['ns_per_op'] / 1e6:10.3f} ms  (new)")
+# A kernel that existed in the baseline but is gone from the newer
+# snapshot is a hard failure: either the suite lost coverage or the
+# snapshot was produced by a binary that predates the kernel. Removing
+# one on purpose means rewriting the baseline snapshot in the same PR.
 removed = sorted(set(prev) - set(curr))
 if removed:
-    print("benchguard: kernels dropped from the newer snapshot: " + ", ".join(removed))
+    failed = True
+    print("benchguard: FAIL — kernels missing from the newer snapshot: " + ", ".join(removed))
 
 if failed:
     sys.exit(1)

@@ -33,6 +33,17 @@ go test -race ./...
 echo "==> fuzz smoke (5s per harness)"
 go test ./internal/frame -run='^$' -fuzz=FuzzFrameDecode -fuzztime=5s
 go test ./internal/fec -run='^$' -fuzz=FuzzRSDecode -fuzztime=5s
+go test ./internal/imagecodec -run='^$' -fuzz=FuzzSICDecode -fuzztime=5s
+
+# Serial leg: the parallel kernels promise byte-identical output at any
+# worker count, and the broadcast-day replay must beat real time even on
+# one core. GOMAXPROCS=1 is where both promises are cheapest to break
+# (no real concurrency to hide behind, no parallel speedup to lean on).
+echo "==> GOMAXPROCS=1 leg: equivalence/parity suites + broadcast-day smoke"
+GOMAXPROCS=1 go test -run 'Equiv|Reference|Parity|Identity|Golden' -count=1 \
+    ./internal/dsp ./internal/fec ./internal/fm ./internal/imagecodec \
+    ./internal/modem ./internal/webrender
+GOMAXPROCS=1 go run ./cmd/sonic-bench -day 1 -workers 1
 
 echo "==> bench smoke (one iteration per benchmark)"
 go test -run='^$' -bench=. -benchtime=1x ./...
