@@ -8,6 +8,7 @@ import (
 	"runtime"
 	"time"
 
+	"sonic/internal/admission"
 	"sonic/internal/core"
 	"sonic/internal/corpus"
 	"sonic/internal/fec"
@@ -15,6 +16,7 @@ import (
 	"sonic/internal/imagecodec"
 	"sonic/internal/modem"
 	"sonic/internal/obsprobe"
+	"sonic/internal/routing"
 	"sonic/internal/server"
 	"sonic/internal/telemetry"
 	"sonic/internal/webrender"
@@ -213,6 +215,54 @@ func runPerf(path string, seed int64, workers int) error {
 			panic(err)
 		}
 	})
+
+	// Fleet request path: routing_lookup_1k is the spatial-index
+	// transmitter lookup against a 1000-tower fleet, routing_linear_1k the
+	// O(n) reference scan it replaced (the snapshot shows the headroom),
+	// admission_submit the O(1) coalescing enqueue in front of the render.
+	fleet := make([]routing.Tower, 1000)
+	for i := range fleet {
+		fleet[i] = routing.Tower{
+			ID:       fmt.Sprintf("tx-%04d", i),
+			Lat:      23 + rng.Float64()*14,
+			Lon:      61 + rng.Float64()*16,
+			RadiusKm: 10 + rng.Float64()*90,
+		}
+	}
+	idx := routing.Build(fleet)
+	queries := make([][2]float64, 1024)
+	for i := range queries {
+		t := fleet[rng.Intn(len(fleet))]
+		queries[i] = [2]float64{t.Lat + (rng.Float64()-0.5)*0.3, t.Lon + (rng.Float64()-0.5)*0.3}
+	}
+	var qi int
+	rep.Micro["routing_lookup_1k"] = timeIt(3, func() {
+		q := queries[qi&1023]
+		qi++
+		idx.Lookup(q[0], q[1])
+	})
+	qi = 0
+	rep.Micro["routing_linear_1k"] = timeIt(3, func() {
+		q := queries[qi&1023]
+		qi++
+		routing.LinearLookup(fleet, q[0], q[1])
+	})
+	urls := make([]string, 1024)
+	for i := range urls {
+		urls[i] = fmt.Sprintf("page-%04d.pk/", i)
+	}
+	adm := admission.New(admission.Config{MaxBatch: 1 << 30, MaxPending: 1 << 30}, func(admission.Batch) {})
+	var ai int
+	rep.Micro["admission_submit"] = timeIt(3, func() {
+		if _, err := adm.Submit(admission.Request{
+			URL:   urls[ai&1023],
+			Tower: fleet[ai&63].ID,
+		}); err != nil {
+			panic(err)
+		}
+		ai++
+	})
+	adm.Close()
 
 	// Broadcast day: one simulated day of carousel airtime through the
 	// real page path. Runs once (it is a 24h replay, not a microkernel);

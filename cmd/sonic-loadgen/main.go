@@ -1,0 +1,407 @@
+// Command sonic-loadgen drives the SONIC server's fleet-scale request
+// path: it simulates 10⁵–10⁶ SMS requesters with Zipf page popularity
+// spread over the coverage areas of a multi-region transmitter fleet,
+// runs the whole day on a simulated clock (requests go through the real
+// SMSC grammar, the batched admission stage, the render cache, and the
+// per-tower broadcast queues), and reports the latency and coalescing
+// numbers that matter at national scale:
+//
+//   - p50/p99 request → on-air latency (simulated seconds, from the
+//     lifecycle histogram request_to_on_air_seconds)
+//   - dedup ratio: accepted requests per broadcast actually queued —
+//     the whole-request coalescing win
+//   - shard balance: max/mean submitted requests across admission lock
+//     stripes (1.0 = perfectly even)
+//   - peak queue depth and busy-reject counts (backpressure SLOs)
+//
+// The -out JSON snapshot carries a benchguard-compatible "micro" map so
+// scripts/benchguard.sh --history can track the trend, and -check turns
+// the SLO thresholds (-max-p99, -min-dedup) into an exit code for CI.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"runtime"
+	"sort"
+	"time"
+
+	"sonic/internal/admission"
+	"sonic/internal/core"
+	"sonic/internal/corpus"
+	"sonic/internal/server"
+	"sonic/internal/sms"
+	"sonic/internal/telemetry"
+)
+
+// micro mirrors the sonic-bench perf kernel entry so benchguard's
+// history view can fold loadgen snapshots in with BENCH_*.json.
+type micro struct {
+	Iters   int     `json:"iters"`
+	NsPerOp float64 `json:"ns_per_op"`
+}
+
+// report is the -out JSON schema.
+type report struct {
+	TakenAt    time.Time `json:"taken_at"`
+	GoVersion  string    `json:"go_version"`
+	GOMAXPROCS int       `json:"gomaxprocs"`
+
+	Users    int     `json:"users"`
+	Towers   int     `json:"towers"`
+	SimHours float64 `json:"sim_hours"`
+	ZipfS    float64 `json:"zipf_s"`
+	Shards   int     `json:"shards"`
+
+	Requests     int64   `json:"requests"`      // SMS requests delivered to the server
+	Accepted     int64   `json:"accepted"`      // QUEUED acks
+	Rejected     int64   `json:"rejected"`      // BUSY replies (backpressure)
+	NoCoverage   int64   `json:"no_coverage"`   // ERR replies
+	Enqueued     int64   `json:"enqueued"`      // broadcasts queued
+	Renders      int64   `json:"renders"`       // render-cache misses
+	Batches      int64   `json:"batches"`       // admission batches flushed
+	DedupRatio   float64 `json:"dedup_ratio"`   // accepted / enqueued
+	ShardBalance float64 `json:"shard_balance"` // max/mean per-stripe submits
+
+	P50OnAirSec    float64 `json:"p50_on_air_seconds"` // simulated clock
+	P99OnAirSec    float64 `json:"p99_on_air_seconds"`
+	OnAirCount     int64   `json:"on_air_count"`
+	PeakQueuePages int     `json:"peak_queue_pages"`
+	PeakPending    int     `json:"peak_admission_pending"`
+
+	WallSeconds   float64 `json:"wall_seconds"`
+	WallReqPerSec float64 `json:"wall_requests_per_second"`
+
+	Micro map[string]micro `json:"micro"`
+}
+
+func main() {
+	users := flag.Int("users", 100000, "simulated requesters (one SMS each over the horizon)")
+	towers := flag.Int("towers", 16, "transmitter fleet size")
+	hours := flag.Float64("hours", 1.0, "simulated horizon in hours")
+	tick := flag.Duration("tick", time.Second, "simulation step")
+	zipfS := flag.Float64("zipf", 1.1, "Zipf skew over corpus page popularity (must be > 1)")
+	seed := flag.Int64("seed", 1, "deterministic workload seed")
+	quality := flag.Int("quality", 10, "SIC render quality")
+	shards := flag.Int("shards", 0, "queue/admission lock stripes (0 = package default)")
+	maxBatch := flag.Int("max-batch", 512, "admission flush threshold (distinct keys per stripe)")
+	maxPending := flag.Int("max-pending", 1<<20, "admission backpressure bound per stripe")
+	out := flag.String("out", "", "write the JSON report to this path")
+	check := flag.Bool("check", false, "exit 1 when an SLO threshold below fails")
+	maxP99 := flag.Float64("max-p99", 0, "with -check: max p99 request→on-air (simulated seconds)")
+	minDedup := flag.Float64("min-dedup", 0, "with -check: min accepted-requests-per-broadcast ratio")
+	flag.Parse()
+
+	if *zipfS <= 1 {
+		fmt.Fprintln(os.Stderr, "sonic-loadgen: -zipf must be > 1")
+		os.Exit(2)
+	}
+	rep, err := run(*users, *towers, *hours, *tick, *zipfS, *seed, *quality, *shards, *maxBatch, *maxPending)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "sonic-loadgen:", err)
+		os.Exit(1)
+	}
+	printReport(rep)
+	if *out != "" {
+		blob, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "sonic-loadgen:", err)
+			os.Exit(1)
+		}
+		if err := os.WriteFile(*out, append(blob, '\n'), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "sonic-loadgen:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote report to %s\n", *out)
+	}
+	if *check {
+		failed := false
+		if *maxP99 > 0 && rep.P99OnAirSec > *maxP99 {
+			fmt.Fprintf(os.Stderr, "CHECK FAIL: p99 on-air %.1fs > budget %.1fs\n", rep.P99OnAirSec, *maxP99)
+			failed = true
+		}
+		if *minDedup > 0 && rep.DedupRatio < *minDedup {
+			fmt.Fprintf(os.Stderr, "CHECK FAIL: dedup ratio %.2f < required %.2f\n", rep.DedupRatio, *minDedup)
+			failed = true
+		}
+		if rep.OnAirCount < rep.Accepted {
+			fmt.Fprintf(os.Stderr, "CHECK FAIL: only %d of %d accepted requests made it on air\n", rep.OnAirCount, rep.Accepted)
+			failed = true
+		}
+		if failed {
+			os.Exit(1)
+		}
+		fmt.Println("CHECK OK")
+	}
+}
+
+// fleetGrid lays n towers on a lat/lon grid over a Pakistan-sized
+// region, spaced so neighboring coverage discs overlap slightly (no
+// dead zones inside the grid) while most points resolve to one tower.
+func fleetGrid(n int) []server.Transmitter {
+	cols := 1
+	for cols*cols < n {
+		cols++
+	}
+	const (
+		lat0    = 24.0
+		lon0    = 66.0
+		spacing = 0.55 // degrees; ~61 km latitude steps, 45 km radius discs
+		radius  = 45.0
+	)
+	fleet := make([]server.Transmitter, 0, n)
+	for i := 0; i < n; i++ {
+		r, c := i/cols, i%cols
+		tx := server.Transmitter{
+			ID:       fmt.Sprintf("tx-%03d", i),
+			FreqMHz:  88.0 + 0.2*float64(i%100),
+			Lat:      lat0 + spacing*float64(r),
+			Lon:      lon0 + spacing*float64(c),
+			RadiusKm: radius,
+		}
+		// Every fourth station runs a second frequency (the paper's
+		// multi-frequency mode), doubling its drain rate.
+		if i%4 == 0 {
+			tx.ExtraFreqsMHz = []float64{tx.FreqMHz + 0.4}
+		}
+		fleet = append(fleet, tx)
+	}
+	return fleet
+}
+
+// event is one user's SMS request.
+type event struct {
+	atSec    float64
+	url      string
+	lat, lon float64
+	from     string
+}
+
+func run(users, towers int, hours float64, tick time.Duration, zipfS float64, seed int64, quality, shards, maxBatch, maxPending int) (*report, error) {
+	rng := rand.New(rand.NewSource(seed))
+	pipe, err := core.NewPipeline(core.DefaultConfig())
+	if err != nil {
+		return nil, err
+	}
+	cfg := server.DefaultConfig()
+	cfg.Quality = quality
+	cfg.Shards = shards
+	cfg.Admission = admission.Config{
+		Enabled:    true,
+		Shards:     shards,
+		MaxBatch:   maxBatch,
+		MaxPending: maxPending,
+		RetryAfter: 30 * time.Second,
+		// FlushEvery stays 0: the tick loop flushes on the simulated
+		// clock, so batch latency is bounded by -tick, not wall time.
+	}
+	srv := server.New(cfg, pipe)
+	defer srv.Close()
+	reg := telemetry.New()
+	telemetry.NewLifecycle(reg, telemetry.LifecycleConfig{MaxOpenTraces: 1 << 20})
+	srv.Instrument(reg)
+
+	fleet := fleetGrid(towers)
+	for _, tx := range fleet {
+		srv.AddTransmitter(tx)
+	}
+
+	// The SMSC delivers requests and replies with 1–5 s latency. Users
+	// share a pool of reply numbers so the handler table stays small at
+	// 10⁶ requesters; replies are tallied by kind, which is all the
+	// report needs.
+	smsc := sms.NewSMSC(time.Second, 5*time.Second, seed)
+	smsc.Register(cfg.Number, srv.HandleSMS(smsc))
+	var accepted, rejected, noCoverage int64
+	const replyPool = 1024
+	for i := 0; i < replyPool; i++ {
+		smsc.Register(fmt.Sprintf("+9230%07d", i), func(m sms.Message) {
+			switch {
+			case len(m.Body) > 6 && m.Body[:6] == "QUEUED":
+				accepted++
+			case len(m.Body) > 4 && m.Body[:4] == "BUSY":
+				rejected++
+			default:
+				noCoverage++
+			}
+		})
+	}
+
+	// Workload: every user sends one request at a uniform time in the
+	// horizon, for a Zipf-popular corpus page, from a point inside a
+	// random tower's coverage.
+	pages := corpus.Pages()
+	zipf := rand.NewZipf(rng, zipfS, 1, uint64(len(pages)-1))
+	horizonSec := hours * 3600
+	events := make([]event, users)
+	for i := range events {
+		home := fleet[rng.Intn(len(fleet))]
+		events[i] = event{
+			atSec: rng.Float64() * horizonSec,
+			url:   pages[zipf.Uint64()].URL,
+			// ±0.2° keeps the point inside the 45 km disc.
+			lat:  home.Lat + (rng.Float64()-0.5)*0.4,
+			lon:  home.Lon + (rng.Float64()-0.5)*0.4,
+			from: fmt.Sprintf("+9230%07d", i%replyPool),
+		}
+	}
+	sort.Slice(events, func(i, j int) bool { return events[i].atSec < events[j].atSec })
+
+	// Tick loop on the simulated clock: submit due requests, advance the
+	// SMSC, flush admission, then drain each transmitter as fast as its
+	// channel allows (busyUntil models the station airing one page at a
+	// time per frequency group).
+	epoch := cfg.Epoch
+	end := epoch.Add(time.Duration(horizonSec * float64(time.Second)))
+	busyUntil := make([]time.Time, len(fleet))
+	for i := range busyUntil {
+		busyUntil[i] = epoch
+	}
+	var requests int64
+	peakQueue, peakPending := 0, 0
+	next := 0
+	wall0 := time.Now()
+
+	drainTower := func(i int, now time.Time) {
+		for !busyUntil[i].After(now) {
+			_, _, bundle, ok := srv.DequeuePageAt(fleet[i].ID, busyUntil[i])
+			if !ok {
+				busyUntil[i] = now
+				break
+			}
+			airSec := pipe.AirtimeSeconds(len(core.MarshalBundle(bundle))) / float64(fleet[i].FrequencyCount())
+			busyUntil[i] = busyUntil[i].Add(time.Duration(airSec * float64(time.Second)))
+		}
+	}
+
+	step := func(now time.Time) {
+		for next < len(events) && epoch.Add(time.Duration(events[next].atSec*float64(time.Second))).Before(now) {
+			e := events[next]
+			next++
+			requests++
+			body := sms.FormatRequest(sms.Request{URL: e.url, Lat: e.lat, Lon: e.lon})
+			if err := smsc.Submit(now.Add(-tick), e.from, cfg.Number, body); err != nil {
+				return
+			}
+		}
+		smsc.Advance(now)
+		if p := srv.AdmissionPending(); p > peakPending {
+			peakPending = p
+		}
+		srv.FlushAdmission()
+		for i := range fleet {
+			drainTower(i, now)
+			if pages, _ := srv.QueueDepth(fleet[i].ID); pages > peakQueue {
+				peakQueue = pages
+			}
+		}
+	}
+
+	for now := epoch.Add(tick); !now.After(end); now = now.Add(tick) {
+		step(now)
+	}
+	// Drain grace: keep ticking past the horizon until every queue and
+	// the SMSC are empty (capped so a bug cannot spin forever).
+	graceEnd := end.Add(48 * time.Hour)
+	for now := end.Add(tick); !now.After(graceEnd); now = now.Add(tick) {
+		step(now)
+		if next == len(events) && smsc.Pending() == 0 && srv.AdmissionPending() == 0 {
+			busy := false
+			for i := range fleet {
+				if p, _ := srv.QueueDepth(fleet[i].ID); p > 0 || busyUntil[i].After(now) {
+					busy = true
+					break
+				}
+			}
+			if !busy {
+				break
+			}
+		}
+	}
+	wall := time.Since(wall0)
+
+	snap := reg.Snapshot()
+	onAir := snap.Histograms["request_to_on_air_seconds"]
+	var stripes []int64
+	prefix := "admission_shard_submitted_total"
+	for name, v := range snap.Counters {
+		if len(name) > len(prefix) && name[:len(prefix)] == prefix {
+			stripes = append(stripes, v)
+		}
+	}
+	balance := 0.0
+	if len(stripes) > 0 {
+		var sum, max int64
+		for _, v := range stripes {
+			sum += v
+			if v > max {
+				max = v
+			}
+		}
+		if sum > 0 {
+			balance = float64(max) * float64(len(stripes)) / float64(sum)
+		}
+	}
+	enqueued := snap.Counters["server_pages_enqueued_total"]
+	dedup := 0.0
+	if enqueued > 0 {
+		dedup = float64(accepted) / float64(enqueued)
+	}
+	effShards := shards
+	if effShards <= 0 {
+		effShards = admission.DefaultShards
+	}
+	rep := &report{
+		TakenAt:        time.Now(),
+		GoVersion:      runtime.Version(),
+		GOMAXPROCS:     runtime.GOMAXPROCS(0),
+		Users:          users,
+		Towers:         towers,
+		SimHours:       hours,
+		ZipfS:          zipfS,
+		Shards:         effShards,
+		Requests:       requests,
+		Accepted:       accepted,
+		Rejected:       rejected,
+		NoCoverage:     noCoverage,
+		Enqueued:       enqueued,
+		Renders:        snap.Counters["server_render_cache_misses_total"],
+		Batches:        snap.Counters["admission_batches_total"],
+		DedupRatio:     dedup,
+		ShardBalance:   balance,
+		P50OnAirSec:    onAir.P50,
+		P99OnAirSec:    onAir.P99,
+		OnAirCount:     onAir.Count,
+		PeakQueuePages: peakQueue,
+		PeakPending:    peakPending,
+		WallSeconds:    wall.Seconds(),
+		Micro:          map[string]micro{},
+	}
+	if wall > 0 {
+		rep.WallReqPerSec = float64(requests) / wall.Seconds()
+	}
+	if requests > 0 {
+		rep.Micro["loadgen_wall_per_request"] = micro{Iters: int(requests), NsPerOp: float64(wall.Nanoseconds()) / float64(requests)}
+	}
+	if onAir.Count > 0 {
+		rep.Micro["loadgen_p99_on_air"] = micro{Iters: int(onAir.Count), NsPerOp: rep.P99OnAirSec * 1e9}
+	}
+	return rep, nil
+}
+
+func printReport(r *report) {
+	fmt.Printf("sonic-loadgen: %d users, %d towers, %.2f sim hours (zipf %.2f, %d stripes)\n",
+		r.Users, r.Towers, r.SimHours, r.ZipfS, r.Shards)
+	fmt.Printf("  requests      %d (accepted %d, busy %d, no-coverage %d)\n",
+		r.Requests, r.Accepted, r.Rejected, r.NoCoverage)
+	fmt.Printf("  broadcasts    %d queued, %d renders, %d batches, dedup ratio %.1f\n",
+		r.Enqueued, r.Renders, r.Batches, r.DedupRatio)
+	fmt.Printf("  on-air        p50 %.1fs  p99 %.1fs  (sim clock, %d observations)\n",
+		r.P50OnAirSec, r.P99OnAirSec, r.OnAirCount)
+	fmt.Printf("  shard balance %.2f (max/mean), peak queue %d pages, peak pending %d\n",
+		r.ShardBalance, r.PeakQueuePages, r.PeakPending)
+	fmt.Printf("  wall          %.1fs (%.0f requests/s)\n", r.WallSeconds, r.WallReqPerSec)
+}

@@ -1,0 +1,392 @@
+// Package admission is the bounded batching stage in front of the
+// server's enqueue path. internal/singleflight coalesces concurrent
+// render misses; admission extends that idea from the render to the
+// whole request: every SMS asking for the same (URL, tower, effective
+// hour) within a batch window collapses into ONE render + ONE queue
+// append, with every coalesced request's lifecycle trace riding along.
+// Under Zipf demand — the national-scale workload the SONIC follow-up
+// paper targets — that turns 10⁵ requests/hour for a hot page into a
+// handful of renders.
+//
+// Mechanics:
+//
+//   - Lock-striped shards (keyed by tower, so admission for shard A
+//     never contends with shard B) each hold a coalescing map keyed by
+//     (URL, tower, effective hour) plus a FIFO of first arrivals.
+//   - Submit is O(1) and never blocks: a duplicate key increments the
+//     entry; a new key appends; a shard at MaxPending rejects with a
+//     *SaturatedError carrying a retry-after hint instead of queueing
+//     unboundedly or stalling the SMSC handler.
+//   - Flushes are triggered three ways: a shard reaching MaxBatch
+//     distinct keys kicks its worker; the wall-clock flusher fires
+//     every FlushEvery (when enabled); and Flush() drains synchronously
+//     for clock-driven simulations. Batches reach the sink in first-
+//     arrival order.
+//
+// Telemetry (Instrument): admission_submitted_total,
+// admission_coalesced_total, admission_rejected_total,
+// admission_batches_total, admission_flushed_requests_total, a
+// per-shard admission_shard_submitted_total{shard=…} family (the shard-
+// balance feed), the admission_batch_size histogram, and the
+// admission_pending_requests gauge.
+package admission
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"sonic/internal/telemetry"
+)
+
+// Config tunes a Queue. The zero value of every field gets a sensible
+// default (see the constants below).
+type Config struct {
+	// Enabled switches the server's SMS intake onto the admission path.
+	// The package itself ignores it; it lives here so server.Config can
+	// embed one knob.
+	Enabled bool
+	// Shards is the number of lock stripes (rounded up to 1).
+	Shards int
+	// MaxBatch flushes a shard once it holds this many distinct
+	// (URL, tower, hour) keys.
+	MaxBatch int
+	// MaxPending bounds the total requests (including coalesced
+	// duplicates) a shard may hold; beyond it Submit rejects.
+	MaxPending int
+	// FlushEvery is the wall-clock upper bound on how long an admitted
+	// request waits before its batch flushes. 0 disables the background
+	// flusher: batches then move on MaxBatch kicks and explicit Flush()
+	// calls only (the mode clock-driven simulations use).
+	FlushEvery time.Duration
+	// RetryAfter is the hint a rejected caller gets.
+	RetryAfter time.Duration
+}
+
+// Defaults for Config's zero fields.
+const (
+	DefaultShards     = 8
+	DefaultMaxBatch   = 64
+	DefaultMaxPending = 4096
+	DefaultRetryAfter = 5 * time.Second
+)
+
+func (c Config) withDefaults() Config {
+	if c.Shards <= 0 {
+		c.Shards = DefaultShards
+	}
+	if c.MaxBatch <= 0 {
+		c.MaxBatch = DefaultMaxBatch
+	}
+	if c.MaxPending <= 0 {
+		c.MaxPending = DefaultMaxPending
+	}
+	if c.RetryAfter <= 0 {
+		c.RetryAfter = DefaultRetryAfter
+	}
+	return c
+}
+
+// Request is one admission candidate.
+type Request struct {
+	URL     string
+	Tower   string // covering transmitter ID (already routed)
+	EffHour int    // content epoch the render must target
+	Now     time.Time
+	Trace   *telemetry.Trace // nil when lifecycle tracing is off
+}
+
+// Batch is one coalesced unit of work handed to the sink: Count
+// requests collapsed onto a single render + enqueue.
+type Batch struct {
+	URL     string
+	Tower   string
+	EffHour int
+	// Now is the latest caller timestamp among the coalesced requests —
+	// the batch's position on the (possibly simulated) request clock.
+	Now    time.Time
+	Count  int
+	Traces []*telemetry.Trace
+}
+
+// Sink consumes flushed batches. It runs on a flush worker (or the
+// Flush caller's goroutine) with no shard lock held, so it may render.
+type Sink func(Batch)
+
+// ErrSaturated matches (via errors.Is) every rejection from a full
+// shard.
+var ErrSaturated = errors.New("admission: shard saturated")
+
+// SaturatedError is the concrete rejection: backpressure with a hint.
+type SaturatedError struct {
+	Shard      int
+	RetryAfter time.Duration
+}
+
+func (e *SaturatedError) Error() string {
+	return fmt.Sprintf("admission: shard %d saturated, retry after %s", e.Shard, e.RetryAfter)
+}
+
+// Is reports true for ErrSaturated so callers can errors.Is-match
+// without the concrete type.
+func (e *SaturatedError) Is(target error) bool { return target == ErrSaturated }
+
+type key struct {
+	url   string
+	tower string
+	eff   int
+}
+
+type entry struct {
+	count  int
+	now    time.Time
+	traces []*telemetry.Trace
+}
+
+type qshard struct {
+	mu      sync.Mutex
+	pending map[key]*entry
+	order   []key // first-arrival flush order
+	count   int   // total requests incl. coalesced duplicates
+	kick    chan struct{}
+}
+
+// Queue is the admission stage. Build with New; Close releases the
+// flush workers.
+type Queue struct {
+	cfg    Config
+	sink   Sink
+	shards []*qshard
+	stop   chan struct{}
+	wg     sync.WaitGroup
+
+	// Telemetry (nil handles = off).
+	mSubmitted *telemetry.Counter
+	mCoalesced *telemetry.Counter
+	mRejected  *telemetry.Counter
+	mBatches   *telemetry.Counter
+	mFlushed   *telemetry.Counter
+	hBatch     *telemetry.Histogram
+	gPending   *telemetry.Gauge
+	perShard   []*telemetry.Counter
+}
+
+// New builds the queue and starts one flush worker per shard. The sink
+// receives every flushed batch; it must be safe for concurrent calls
+// (shards flush independently).
+func New(cfg Config, sink Sink) *Queue {
+	cfg = cfg.withDefaults()
+	q := &Queue{
+		cfg:    cfg,
+		sink:   sink,
+		shards: make([]*qshard, cfg.Shards),
+		stop:   make(chan struct{}),
+	}
+	for i := range q.shards {
+		q.shards[i] = &qshard{
+			pending: make(map[key]*entry),
+			kick:    make(chan struct{}, 1),
+		}
+	}
+	for i := range q.shards {
+		q.wg.Add(1)
+		go q.worker(q.shards[i])
+	}
+	return q
+}
+
+// Instrument registers the admission metric families on reg. Call once
+// at setup.
+func (q *Queue) Instrument(reg *telemetry.Registry) {
+	if q == nil {
+		return
+	}
+	q.mSubmitted = reg.Counter("admission_submitted_total")
+	q.mCoalesced = reg.Counter("admission_coalesced_total")
+	q.mRejected = reg.Counter("admission_rejected_total")
+	q.mBatches = reg.Counter("admission_batches_total")
+	q.mFlushed = reg.Counter("admission_flushed_requests_total")
+	q.hBatch = reg.Histogram("admission_batch_size", telemetry.ExpBuckets(1, 2, 14))
+	q.gPending = reg.Gauge("admission_pending_requests")
+	q.perShard = make([]*telemetry.Counter, len(q.shards))
+	for i := range q.shards {
+		q.perShard[i] = reg.Counter("admission_shard_submitted_total", "shard", fmt.Sprintf("%d", i))
+	}
+}
+
+// fnv32a is FNV-1a over a string without the hash.Hash32 interface and
+// []byte conversion — Submit is the per-request hot path and must stay
+// allocation-free on the coalescing branch (guarded by
+// TestSubmitCoalescedAllocFree).
+func fnv32a(s string) uint32 {
+	const (
+		offset32 = 2166136261
+		prime32  = 16777619
+	)
+	h := uint32(offset32)
+	for i := 0; i < len(s); i++ {
+		h ^= uint32(s[i])
+		h *= prime32
+	}
+	return h
+}
+
+// shardFor stripes by tower: all keys of one transmitter land on one
+// shard, so admission for different fleet regions never contends.
+func (q *Queue) shardFor(tower string) int {
+	return int(fnv32a(tower) % uint32(len(q.shards)))
+}
+
+// Submit admits one request: O(1), never blocks, never renders.
+// Coalesced reports whether an identical request was already pending
+// (the caller piggybacks on its batch). A full shard returns a
+// *SaturatedError (errors.Is ErrSaturated) with a retry-after hint.
+func (q *Queue) Submit(req Request) (coalesced bool, err error) {
+	si := q.shardFor(req.Tower)
+	sh := q.shards[si]
+	k := key{url: req.URL, tower: req.Tower, eff: req.EffHour}
+
+	sh.mu.Lock()
+	if e, ok := sh.pending[k]; ok {
+		e.count++
+		if req.Now.After(e.now) {
+			e.now = req.Now
+		}
+		if req.Trace != nil {
+			e.traces = append(e.traces, req.Trace)
+		}
+		sh.count++
+		pending := sh.count
+		sh.mu.Unlock()
+		q.mSubmitted.Inc()
+		q.mCoalesced.Inc()
+		if q.perShard != nil {
+			q.perShard[si].Inc()
+		}
+		q.notePending(pending)
+		return true, nil
+	}
+	if sh.count >= q.cfg.MaxPending {
+		sh.mu.Unlock()
+		q.mRejected.Inc()
+		return false, &SaturatedError{Shard: si, RetryAfter: q.cfg.RetryAfter}
+	}
+	e := &entry{count: 1, now: req.Now}
+	if req.Trace != nil {
+		e.traces = append(e.traces, req.Trace)
+	}
+	sh.pending[k] = e
+	sh.order = append(sh.order, k)
+	sh.count++
+	full := len(sh.pending) >= q.cfg.MaxBatch
+	sh.mu.Unlock()
+
+	q.mSubmitted.Inc()
+	if q.perShard != nil {
+		q.perShard[si].Inc()
+	}
+	q.notePending(0)
+	if full {
+		select {
+		case sh.kick <- struct{}{}:
+		default:
+		}
+	}
+	return false, nil
+}
+
+// notePending refreshes the pending gauge (cheap enough to do per
+// submit only when instrumented).
+func (q *Queue) notePending(int) {
+	if q.gPending == nil {
+		return
+	}
+	q.gPending.Set(float64(q.Pending()))
+}
+
+// Pending returns the total requests currently held across shards
+// (including coalesced duplicates).
+func (q *Queue) Pending() int {
+	n := 0
+	for _, sh := range q.shards {
+		sh.mu.Lock()
+		n += sh.count
+		sh.mu.Unlock()
+	}
+	return n
+}
+
+// worker is one shard's flush loop: MaxBatch kicks plus the optional
+// wall-clock flusher.
+func (q *Queue) worker(sh *qshard) {
+	defer q.wg.Done()
+	var tick <-chan time.Time
+	if q.cfg.FlushEvery > 0 {
+		t := time.NewTicker(q.cfg.FlushEvery)
+		defer t.Stop()
+		tick = t.C
+	}
+	for {
+		select {
+		case <-q.stop:
+			q.flushShard(sh)
+			return
+		case <-sh.kick:
+			q.flushShard(sh)
+		case <-tick:
+			q.flushShard(sh)
+		}
+	}
+}
+
+// flushShard swaps out the shard's pending set and feeds the sink in
+// first-arrival order, with no shard lock held during sink calls.
+func (q *Queue) flushShard(sh *qshard) {
+	sh.mu.Lock()
+	if len(sh.order) == 0 {
+		sh.mu.Unlock()
+		return
+	}
+	pending, order := sh.pending, sh.order
+	sh.pending = make(map[key]*entry)
+	sh.order = nil
+	sh.count = 0
+	sh.mu.Unlock()
+
+	for _, k := range order {
+		e := pending[k]
+		q.mBatches.Inc()
+		q.mFlushed.Add(int64(e.count))
+		q.hBatch.Observe(float64(e.count))
+		q.sink(Batch{
+			URL: k.url, Tower: k.tower, EffHour: k.eff,
+			Now: e.now, Count: e.count, Traces: e.traces,
+		})
+	}
+	q.notePending(0)
+}
+
+// Flush synchronously drains every shard on the caller's goroutine —
+// the deterministic path for clock-driven simulations and tests.
+func (q *Queue) Flush() {
+	if q == nil {
+		return
+	}
+	for _, sh := range q.shards {
+		q.flushShard(sh)
+	}
+}
+
+// Close stops the flush workers, draining anything still pending.
+// Safe to call once.
+func (q *Queue) Close() {
+	if q == nil {
+		return
+	}
+	close(q.stop)
+	q.wg.Wait()
+	// A Submit racing Close can land after the workers' final flush;
+	// sweep once more so nothing is stranded.
+	q.Flush()
+}

@@ -31,6 +31,16 @@ var kernelPkgBases = map[string]bool{
 	"modem":      true,
 }
 
+// heavyFuncs lists CPU-heavy functions in otherwise lock-safe packages
+// that must never run inside a critical section: page generation and
+// bundle serialization sit on the enqueue path, and holding a queue
+// shard's mutex across them would serialize the whole stripe. Keyed by
+// package basename, like kernelPkgBases.
+var heavyFuncs = map[string]map[string]bool{
+	"corpus": {"Generate": true},
+	"core":   {"MarshalBundle": true},
+}
+
 // osBlocking lists os package functions and file-method names that hit
 // the filesystem.
 var osBlocking = map[string]bool{
@@ -89,6 +99,9 @@ func forbiddenCallee(f *types.Func, current *types.Package) (string, bool) {
 	}
 	if kernelPkgBases[path.Base(pkg.Path())] {
 		return pkg.Path() + "." + f.Name() + " (kernel package)", true
+	}
+	if m := heavyFuncs[path.Base(pkg.Path())]; m[f.Name()] {
+		return pkg.Path() + "." + f.Name() + " (heavy call)", true
 	}
 	return "", false
 }

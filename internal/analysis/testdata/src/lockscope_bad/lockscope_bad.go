@@ -8,6 +8,7 @@ import (
 	"sync"
 	"time"
 
+	"sonic/internal/analysis/testdata/src/lockscope_bad/core"
 	"sonic/internal/analysis/testdata/src/lockscope_bad/webrender"
 )
 
@@ -42,3 +43,11 @@ func (s *server) kernelViaHelper() {
 }
 
 func helper() { webrender.Render() }
+
+// marshalUnderShardLock serializes a bundle inside the queue shard's
+// critical section — the heavy-call rule, not just kernel packages.
+func (s *server) marshalUnderShardLock() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	_ = core.MarshalBundle() // want: heavy call while s.mu held
+}

@@ -196,6 +196,25 @@ func CorpusCarousel(pages []corpus.PageRef, size SizeFunc, policy CarouselPolicy
 	return NewCarousel(entries, policy)
 }
 
+// MeasuredCarousel builds a carousel whose demand comes from measured
+// request counts (the server's per-tower admission telemetry, see
+// server.TowerDemand) instead of the static corpus ranking. Static
+// popularity still contributes as the cold-start floor and tiebreaker —
+// a page nobody has requested yet keeps a small share rather than
+// starving — but one measured request outweighs any static weight, so
+// the rotation tracks what the region actually asks for.
+func MeasuredCarousel(pages []corpus.PageRef, size SizeFunc, demand map[string]float64, policy CarouselPolicy) (*Carousel, error) {
+	entries := make([]CarouselEntry, len(pages))
+	for i, ref := range pages {
+		entries[i] = CarouselEntry{
+			Ref:    ref,
+			Bytes:  size(ref, 0),
+			Demand: demand[ref.URL] + corpus.PopularityWeight(ref),
+		}
+	}
+	return NewCarousel(entries, policy)
+}
+
 // CompareCarouselPolicies returns (flat, sqrt) demand-weighted expected
 // waits at rateBps — the scheduling ablation.
 func CompareCarouselPolicies(pages []corpus.PageRef, size SizeFunc, rateBps float64) (flatWait, sqrtWait float64, err error) {

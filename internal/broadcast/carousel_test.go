@@ -158,3 +158,42 @@ func TestTopNByDemand(t *testing.T) {
 		t.Error("overlong n should clamp")
 	}
 }
+
+// TestMeasuredCarouselTracksDemand: measured request counts dominate
+// the rotation, static corpus popularity only floors the cold pages.
+func TestMeasuredCarouselTracksDemand(t *testing.T) {
+	pages := corpus.Pages()
+	size := func(corpus.PageRef, int) int { return 50 * 1024 }
+	coldURL := pages[len(pages)-1].URL // lowest static popularity
+
+	measured, err := MeasuredCarousel(pages, size, map[string]float64{coldURL: 40}, PolicySqrt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	top := measured.TopNByDemand(1)
+	if top[0].Ref.URL != coldURL {
+		t.Errorf("top measured entry = %q, want %q", top[0].Ref.URL, coldURL)
+	}
+
+	// With no measurements the rotation equals the static corpus carousel.
+	baseline, err := MeasuredCarousel(pages, size, nil, PolicySqrt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	static, err := CorpusCarousel(pages, size, PolicySqrt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range pages {
+		if math.Abs(baseline.AirtimeShare(i)-static.AirtimeShare(i)) > 1e-12 {
+			t.Fatalf("entry %d: measured-empty share %g != static share %g",
+				i, baseline.AirtimeShare(i), static.AirtimeShare(i))
+		}
+	}
+	// Every unmeasured page keeps a positive share (cold-start floor).
+	for i := range pages {
+		if measured.AirtimeShare(i) <= 0 {
+			t.Fatalf("entry %d starved", i)
+		}
+	}
+}

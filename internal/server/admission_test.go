@@ -1,0 +1,252 @@
+package server
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"sonic/internal/admission"
+	"sonic/internal/core"
+	"sonic/internal/corpus"
+	"sonic/internal/sms"
+	"sonic/internal/telemetry"
+)
+
+// admissionServer builds a server on the batched admission path with a
+// synchronous-flush-only configuration (no wall-clock flusher) so tests
+// control exactly when batches move.
+func admissionServer(t *testing.T, acfg admission.Config) *Server {
+	t.Helper()
+	p, err := core.NewPipeline(core.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultConfig()
+	acfg.Enabled = true
+	cfg.Admission = acfg
+	s := New(cfg, p)
+	s.AddTransmitter(Transmitter{
+		ID: "khi-1", FreqMHz: 93.7, Lat: 24.86, Lon: 67.00, RadiusKm: 40,
+	})
+	s.AddTransmitter(Transmitter{
+		ID: "lhe-1", FreqMHz: 95.1, Lat: 31.55, Lon: 74.34, RadiusKm: 40,
+	})
+	t.Cleanup(s.Close)
+	return s
+}
+
+// TestAdmissionHerdRendersOnce is the coalescing acceptance test: a
+// goroutine herd requesting one URL on one tower collapses to exactly
+// one render and one queued broadcast, while every request keeps its
+// own lifecycle trace through on-air. Run under -race this also proves
+// the admission + shard locking is clean.
+func TestAdmissionHerdRendersOnce(t *testing.T) {
+	s := admissionServer(t, admission.Config{MaxBatch: 1 << 20})
+	reg := telemetry.New()
+	telemetry.NewLifecycle(reg, telemetry.LifecycleConfig{})
+	s.Instrument(reg)
+
+	const herd = 32
+	now := time.Unix(0, 0)
+	url := corpus.Pages()[0].URL
+	var wg sync.WaitGroup
+	for i := 0; i < herd; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if _, err := s.Admit(url, 24.87, 67.01, now); err != nil {
+				t.Error(err)
+			}
+		}()
+	}
+	wg.Wait()
+	s.FlushAdmission()
+
+	snap := reg.Snapshot()
+	if got := snap.Counters["server_render_cache_misses_total"]; got != 1 {
+		t.Errorf("cache misses = %d, want 1 (herd must render once)", got)
+	}
+	if got := snap.Counters["server_pages_enqueued_total"]; got != 1 {
+		t.Errorf("pages enqueued = %d, want 1", got)
+	}
+	if got := snap.Counters["admission_submitted_total"]; got != herd {
+		t.Errorf("submitted = %d, want %d", got, herd)
+	}
+	if got := snap.Counters["admission_coalesced_total"]; got != herd-1 {
+		t.Errorf("coalesced = %d, want %d", got, herd-1)
+	}
+	if pages, _ := s.QueueDepth("khi-1"); pages != 1 {
+		t.Errorf("queue depth = %d, want 1", pages)
+	}
+
+	// One dequeue puts the whole herd on air: every trace is stamped.
+	if _, _, _, ok := s.DequeuePageAt("khi-1", now.Add(time.Minute)); !ok {
+		t.Fatal("dequeue failed")
+	}
+	snap = reg.Snapshot()
+	if got := snap.Counters["lifecycle_on_air_total"]; got != herd {
+		t.Errorf("on-air traces = %d, want %d", got, herd)
+	}
+	if got := snap.Histograms["request_to_on_air_seconds"].Count; got != herd {
+		t.Errorf("request_to_on_air observations = %d, want %d", got, herd)
+	}
+}
+
+// TestAdmissionAttachToPending covers the second coalescing stage: a
+// batch whose page is already waiting on the tower attaches to the
+// queued entry instead of scheduling a duplicate broadcast.
+func TestAdmissionAttachToPending(t *testing.T) {
+	s := admissionServer(t, admission.Config{MaxBatch: 1 << 20})
+	reg := telemetry.New()
+	telemetry.NewLifecycle(reg, telemetry.LifecycleConfig{})
+	s.Instrument(reg)
+
+	now := time.Unix(0, 0)
+	url := corpus.Pages()[0].URL
+	if _, err := s.Admit(url, 24.87, 67.01, now); err != nil {
+		t.Fatal(err)
+	}
+	s.FlushAdmission()
+	if _, err := s.Admit(url, 24.87, 67.01, now.Add(time.Second)); err != nil {
+		t.Fatal(err)
+	}
+	s.FlushAdmission()
+
+	snap := reg.Snapshot()
+	if got := snap.Counters["server_pages_enqueued_total"]; got != 1 {
+		t.Errorf("pages enqueued = %d, want 1", got)
+	}
+	if got := snap.Counters["server_enqueue_coalesced_total"]; got != 1 {
+		t.Errorf("queue attaches = %d, want 1", got)
+	}
+	if pages, _ := s.QueueDepth("khi-1"); pages != 1 {
+		t.Errorf("queue depth = %d, want 1", pages)
+	}
+	// Both requests ride the single broadcast.
+	s.DequeuePageAt("khi-1", now.Add(time.Minute))
+	if got := reg.Snapshot().Counters["lifecycle_on_air_total"]; got != 2 {
+		t.Errorf("on-air traces = %d, want 2", got)
+	}
+	// Demand recorded both requests for the carousel feedback loop.
+	if got := s.TowerDemand("khi-1")[url]; got != 2 {
+		t.Errorf("demand = %.0f, want 2", got)
+	}
+}
+
+// TestAdmissionBackpressure saturates one admission shard with a
+// goroutine herd and proves the SMSC handler path never blocks: excess
+// requests get an immediate BUSY reply with the retry-after hint and
+// their traces are stamped aborted. Run under -race.
+func TestAdmissionBackpressure(t *testing.T) {
+	const maxPending = 8
+	s := admissionServer(t, admission.Config{
+		Shards:     1,
+		MaxBatch:   1 << 20,
+		MaxPending: maxPending,
+		RetryAfter: 30 * time.Second,
+	})
+	reg := telemetry.New()
+	telemetry.NewLifecycle(reg, telemetry.LifecycleConfig{})
+	s.Instrument(reg)
+
+	smsc := sms.NewSMSC(time.Second, time.Second, 1)
+	smsc.Register(s.cfg.Number, s.HandleSMS(smsc))
+	var mu sync.Mutex
+	var replies []string
+	smsc.Register("+user", func(m sms.Message) {
+		mu.Lock()
+		replies = append(replies, m.Body)
+		mu.Unlock()
+	})
+
+	// A herd of distinct URLs (no coalescing escape hatch) races into a
+	// single saturated shard. Every Submit must return promptly — the
+	// test deadlocks/times out if the handler ever blocks.
+	const herd = 32
+	t0 := time.Unix(0, 0)
+	var wg sync.WaitGroup
+	for i := 0; i < herd; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			url := corpus.Pages()[i%len(corpus.Pages())].URL
+			_, err := s.Admit(url, 24.87, 67.01, t0)
+			if err != nil && !errors.Is(err, admission.ErrSaturated) {
+				t.Errorf("unexpected error: %v", err)
+			}
+		}(i)
+	}
+	wg.Wait()
+
+	snap := reg.Snapshot()
+	rejected := snap.Counters["admission_rejected_total"]
+	if rejected != herd-maxPending {
+		t.Errorf("rejected = %d, want %d", rejected, herd-maxPending)
+	}
+	if got := snap.Counters["lifecycle_aborted_total"]; got != rejected {
+		t.Errorf("aborted traces = %d, want %d", got, rejected)
+	}
+
+	// The SMS round trip on the saturated shard: BUSY with the hint.
+	body := sms.FormatRequest(sms.Request{URL: "busy.example/", Lat: 24.87, Lon: 67.0})
+	if err := smsc.Submit(t0, "+user", s.cfg.Number, body); err != nil {
+		t.Fatal(err)
+	}
+	smsc.Advance(t0.Add(2 * time.Second)) // deliver request (server replies)
+	smsc.Advance(t0.Add(4 * time.Second)) // deliver reply
+	mu.Lock()
+	defer mu.Unlock()
+	if len(replies) != 1 {
+		t.Fatalf("replies = %v", replies)
+	}
+	url, retry, err := sms.ParseBusy(replies[0])
+	if err != nil || url != "busy.example/" || retry != 30*time.Second {
+		t.Errorf("busy reply %q parsed to %q %v %v", replies[0], url, retry, err)
+	}
+
+	// Draining the shard reopens admission.
+	s.FlushAdmission()
+	if _, err := s.Admit("after.example/", 24.87, 67.01, t0.Add(time.Minute)); err != nil {
+		t.Errorf("post-flush admit rejected: %v", err)
+	}
+}
+
+// TestPushPopularTracksDemand: measured admission demand reorders the
+// preemptive push per tower, while towers without measurements keep the
+// static corpus ranking.
+func TestPushPopularTracksDemand(t *testing.T) {
+	s := admissionServer(t, admission.Config{MaxBatch: 1 << 20})
+	now := time.Unix(0, 0)
+	pages := corpus.Pages()
+	coldURL := pages[len(pages)-1].URL // least popular corpus page
+
+	// Karachi users hammer the cold page; Lahore stays quiet.
+	for i := 0; i < 5; i++ {
+		if _, err := s.Admit(coldURL, 24.87, 67.01, now); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s.FlushAdmission()
+	if got := s.TowerDemand("khi-1")[coldURL]; got != 5 {
+		t.Fatalf("demand = %.0f, want 5", got)
+	}
+	// Clear the queue so the push is not deduplicated against it.
+	for {
+		if _, _, _, ok := s.DequeuePageAt("khi-1", now); !ok {
+			break
+		}
+	}
+
+	if err := s.PushPopular(1, now); err != nil {
+		t.Fatal(err)
+	}
+	url, _, _, ok := s.DequeuePageAt("khi-1", now)
+	if !ok || url != coldURL {
+		t.Errorf("khi-1 push = (%q, %v), want demand-ranked %q", url, ok, coldURL)
+	}
+	url, _, _, ok = s.DequeuePageAt("lhe-1", now)
+	if !ok || url != pages[0].URL {
+		t.Errorf("lhe-1 push = (%q, %v), want corpus-ranked %q", url, ok, pages[0].URL)
+	}
+}

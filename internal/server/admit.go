@@ -1,0 +1,175 @@
+package server
+
+import (
+	"time"
+
+	"sonic/internal/admission"
+	"sonic/internal/core"
+	"sonic/internal/corpus"
+	"sonic/internal/telemetry"
+)
+
+// The batched admission path. HandleSMS (and Admit, its API twin) hands
+// requests to the admission stage instead of rendering inline; the
+// stage coalesces identical (URL, tower, effective-hour) requests and
+// flushes batches into admitBatch, which renders once and queues once
+// for the whole herd. The caller's ack carries an estimated ETA built
+// from O(1) queue byte accounting plus the running mean bundle size —
+// no render on the reply path.
+
+// defaultBundleEstimate seeds the ETA estimate before any page has been
+// marshaled (roughly a mid-sized SIC bundle).
+const defaultBundleEstimate = 12000
+
+// noteBundleBytes feeds the running mean of marshaled bundle sizes.
+func (s *Server) noteBundleBytes(n int) {
+	s.bundleBytes.Add(int64(n))
+	s.bundleCount.Add(1)
+}
+
+// meanBundleBytes returns the running mean marshaled bundle size.
+func (s *Server) meanBundleBytes() int {
+	c := s.bundleCount.Load()
+	if c == 0 {
+		return defaultBundleEstimate
+	}
+	return int(s.bundleBytes.Load() / c)
+}
+
+// estimateETA approximates time-to-broadcast for a page admitted on tx:
+// airtime of the bytes already queued plus one mean-sized bundle,
+// divided across the station's parallel frequencies.
+func (s *Server) estimateETA(tx Transmitter) time.Duration {
+	sh := s.shardFor(tx.ID)
+	sh.mu.Lock()
+	pending := 0
+	if tq := sh.queues[tx.ID]; tq != nil {
+		pending = tq.bytes
+	}
+	sh.mu.Unlock()
+	sec := s.pipeline.AirtimeSeconds(pending+s.meanBundleBytes()) / float64(tx.FrequencyCount())
+	return time.Duration(sec * float64(time.Second))
+}
+
+// Admit routes a request through the batched admission stage: O(1),
+// never renders, returns an estimated ETA. A saturated shard returns a
+// *admission.SaturatedError (errors.Is admission.ErrSaturated) with a
+// retry-after hint. Without admission enabled it falls back to the
+// synchronous EnqueuePage path.
+func (s *Server) Admit(url string, lat, lon float64, now time.Time) (time.Duration, error) {
+	tr := s.lc.BeginAt(url, "api", now)
+	if s.admit == nil {
+		tr.StampAt(telemetry.StageAdmitted, now)
+		return s.enqueueTraced(url, lat, lon, now, tr)
+	}
+	return s.admitTraced(url, lat, lon, now, tr)
+}
+
+// admitTraced is Admit with the caller's lifecycle trace: routes the
+// tower, submits to the admission stage, and stamps admitted on accept
+// or aborts the trace on reject.
+func (s *Server) admitTraced(url string, lat, lon float64, now time.Time, tr *telemetry.Trace) (time.Duration, error) {
+	tx, ok := s.transmitterFor(lat, lon)
+	if !ok {
+		s.mNoCoverage.Inc()
+		tr.Abort(now, "no coverage")
+		return 0, ErrNoCoverage
+	}
+	s.noteNow(now)
+	eff := corpus.EffectiveHour(s.refFor(url), s.hourAt(now))
+	if _, err := s.admit.Submit(admission.Request{
+		URL: url, Tower: tx.ID, EffHour: eff, Now: now, Trace: tr,
+	}); err != nil {
+		tr.Abort(now, "admission saturated")
+		return 0, err
+	}
+	tr.StampAt(telemetry.StageAdmitted, now)
+	return s.estimateETA(tx), nil
+}
+
+// admitBatch is the admission sink: one render + one queue entry for
+// every coalesced batch. It runs on an admission flush worker (or a
+// Flush caller) with no shard lock held during the render. If the
+// page is already waiting on the tower at the same content epoch, the
+// batch attaches to the queued entry — the second stage of
+// whole-request coalescing — instead of scheduling a duplicate
+// broadcast.
+func (s *Server) admitBatch(b admission.Batch) {
+	tx, ok := s.topo.Load().byID[b.Tower]
+	if !ok {
+		for _, tr := range b.Traces {
+			tr.Abort(b.Now, "transmitter removed")
+		}
+		return
+	}
+	for _, tr := range b.Traces {
+		tr.StampAt(telemetry.StageRenderStart, b.Now)
+	}
+	renderT0 := time.Now()
+	bundle, err := s.RenderPage(b.URL, b.Now)
+	if err != nil {
+		for _, tr := range b.Traces {
+			tr.Abort(b.Now, "render: "+err.Error())
+		}
+		return
+	}
+	// Wall-clock render cost projected into the batch's (possibly
+	// simulated) clock domain, same as the synchronous path.
+	rendered := b.Now.Add(time.Since(renderT0))
+	for _, tr := range b.Traces {
+		tr.StampAt(telemetry.StageRenderDone, rendered)
+	}
+	blobLen := len(core.MarshalBundle(bundle))
+	s.noteBundleBytes(blobLen)
+	pageID := s.pageIDFor(b.URL)
+
+	sh := s.shardFor(tx.ID)
+	sh.mu.Lock()
+	s.noteNow(b.Now)
+	tq := sh.queue(tx.ID)
+	if qp := tq.pending[b.URL]; qp != nil && qp.EffHour == b.EffHour {
+		qp.Count += b.Count
+		qp.Traces = append(qp.Traces, b.Traces...)
+		s.mAttached.Inc()
+	} else {
+		tq.push(&queuedPage{
+			URL:      b.URL,
+			PageID:   pageID,
+			Bundle:   bundle,
+			Bytes:    blobLen,
+			EffHour:  b.EffHour,
+			Enqueued: b.Now,
+			Count:    b.Count,
+			Traces:   b.Traces,
+		})
+		s.mEnqueued.Inc()
+	}
+	sh.bumpDemand(tx.ID, b.URL, float64(b.Count))
+	s.recordQueueDepth(sh, tx.ID)
+	sh.mu.Unlock()
+	for _, tr := range b.Traces {
+		tr.StampAt(telemetry.StageEnqueued, rendered)
+	}
+}
+
+// FlushAdmission synchronously drains the admission stage on the
+// caller's goroutine — the deterministic hook clock-driven simulations
+// use instead of the wall-clock flusher. No-op with admission off.
+func (s *Server) FlushAdmission() {
+	s.admit.Flush()
+}
+
+// AdmissionPending reports how many accepted requests await a batch
+// flush (0 with admission off).
+func (s *Server) AdmissionPending() int {
+	if s.admit == nil {
+		return 0
+	}
+	return s.admit.Pending()
+}
+
+// Close releases the admission flush workers, draining anything still
+// pending. Safe to call once, and a no-op with admission off.
+func (s *Server) Close() {
+	s.admit.Close()
+}

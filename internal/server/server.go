@@ -6,21 +6,27 @@
 // server feeds them page bundles over a TCP control link (see
 // transport.go), mirroring the paper's "central SONIC server ... informs
 // the respective transmitters".
+//
+// The request path is built for fleet scale: transmitter routing goes
+// through an immutable spatial index (internal/routing) swapped
+// copy-on-write, per-transmitter queues are striped across lock shards
+// (shard.go), and an optional batched admission stage (admit.go,
+// internal/admission) coalesces identical requests before they render.
 package server
 
 import (
 	"errors"
 	"fmt"
-	"math"
 	"runtime"
-	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"sonic/internal/admission"
 	"sonic/internal/core"
 	"sonic/internal/corpus"
 	"sonic/internal/imagecodec"
+	"sonic/internal/routing"
 	"sonic/internal/singleflight"
 	"sonic/internal/sms"
 	"sonic/internal/telemetry"
@@ -54,25 +60,21 @@ func (t Transmitter) Covers(lat, lon float64) bool {
 
 // haversineKm returns the great-circle distance between two points.
 func haversineKm(lat1, lon1, lat2, lon2 float64) float64 {
-	const r = 6371.0
-	toRad := func(d float64) float64 { return d * math.Pi / 180 }
-	dLat := toRad(lat2 - lat1)
-	dLon := toRad(lon2 - lon1)
-	a := math.Sin(dLat/2)*math.Sin(dLat/2) +
-		math.Cos(toRad(lat1))*math.Cos(toRad(lat2))*math.Sin(dLon/2)*math.Sin(dLon/2)
-	return 2 * r * math.Asin(math.Min(1, math.Sqrt(a)))
+	return routing.DistanceKm(lat1, lon1, lat2, lon2)
 }
 
-// queuedPage is one pending broadcast.
+// queuedPage is one pending broadcast. Count and Traces carry every
+// coalesced request riding on the single broadcast: N users asking for
+// the page get N lifecycle traces stamped off one queue entry.
 type queuedPage struct {
 	URL      string
 	PageID   uint16
 	Bundle   core.Bundle
 	Bytes    int
+	EffHour  int
 	Enqueued time.Time
-	// Trace is the lifecycle trace of the request that queued the page
-	// (nil when tracing is off or the page was pushed preemptively).
-	Trace *telemetry.Trace
+	Count    int
+	Traces   []*telemetry.Trace
 }
 
 // Config tunes the server.
@@ -93,6 +95,15 @@ type Config struct {
 	// RenderCachePages caps the render LRU (entries). 0 means
 	// DefaultRenderCachePages; negative means unbounded.
 	RenderCachePages int
+	// Shards is the number of lock stripes the per-transmitter queues
+	// spread across; queue work on one stripe never contends with
+	// another. 0 means DefaultShards.
+	Shards int
+	// Admission configures the batched SMS admission stage (see
+	// internal/admission). Admission.Enabled switches HandleSMS from
+	// synchronous render+enqueue onto the batching path; the default
+	// (off) keeps the original per-request behavior.
+	Admission admission.Config
 }
 
 // DefaultRenderCachePages is the render-cache capacity when
@@ -111,6 +122,15 @@ func DefaultConfig() Config {
 	}
 }
 
+// topology is the immutable fleet snapshot: the routing index plus the
+// transmitter records it resolves into. Readers Load it lock-free;
+// AddTransmitter builds a fresh snapshot and swaps the pointer.
+type topology struct {
+	idx  *routing.Index
+	byID map[string]Transmitter
+	list []Transmitter
+}
+
 // Server is the central SONIC server.
 type Server struct {
 	cfg      Config
@@ -120,26 +140,42 @@ type Server struct {
 	// resolves a PageRef in O(1) instead of scanning corpus.Pages().
 	refs map[string]corpus.PageRef
 
-	// cache and flight live outside s.mu: render misses must not hold the
-	// server mutex (SMS intake and queue ops keep flowing while pages
-	// render), and flight coalesces concurrent misses on one URL into a
-	// single render.
+	// cache and flight live outside every queue lock: render misses must
+	// not block SMS intake or queue ops, and flight coalesces concurrent
+	// misses on one URL into a single render.
 	cache     *renderCache
 	flight    singleflight.Group
 	renderSem chan struct{} // bounds concurrent miss renders
 	inflight  atomic.Int64  // renders currently executing (gauge feed)
 
-	mu           sync.Mutex
-	transmitters []Transmitter
-	queues       map[string][]queuedPage // transmitter ID -> FIFO
-	nextPageID   uint16
-	pageIDs      map[string]uint16
-	// lastNow is the most recent caller-supplied timestamp (HandleSMS /
-	// EnqueuePage / PushPopular). Dequeue has no time parameter, so the
-	// lifecycle on-air stamps and queue-age gauges read this to stay in
-	// the caller's clock domain (wall time live, simulation time in
-	// tests and sims).
-	lastNow time.Time
+	// topo is the copy-on-write fleet snapshot; topoMu serializes
+	// writers only. transmitterFor never takes a lock.
+	topo   atomic.Pointer[topology]
+	topoMu sync.Mutex
+
+	// shards stripe the per-transmitter queue state (see shard.go).
+	shards []*shard
+
+	idMu       sync.Mutex
+	nextPageID uint16
+	pageIDs    map[string]uint16
+
+	// admit is the batching admission stage, nil unless
+	// Config.Admission.Enabled.
+	admit *admission.Queue
+
+	// bundleBytes/bundleCount feed the running-mean marshaled page size
+	// the async admission ack uses to estimate airtime without rendering.
+	bundleBytes atomic.Int64
+	bundleCount atomic.Int64
+
+	// lastNowNs is the most recent caller-supplied timestamp (HandleSMS /
+	// EnqueuePage / PushPopular), advanced monotonically with a CAS so an
+	// out-of-order caller cannot drag it backwards. Dequeue has no time
+	// parameter, so the lifecycle on-air stamps and queue-age gauges read
+	// this to stay in the caller's clock domain (wall time live,
+	// simulation time in tests and sims).
+	lastNowNs atomic.Int64
 
 	// Telemetry (nil handles = off; see internal/telemetry).
 	tel          *telemetry.Registry
@@ -153,6 +189,7 @@ type Server struct {
 	mCoalesced   *telemetry.Counter // server_render_coalesced_total
 	mEnqueued    *telemetry.Counter // server_pages_enqueued_total
 	mDequeued    *telemetry.Counter // server_pages_dequeued_total
+	mAttached    *telemetry.Counter // server_enqueue_coalesced_total
 	gCacheSize   *telemetry.Gauge   // server_render_cache_size
 	gInflight    *telemetry.Gauge   // server_render_inflight
 }
@@ -163,6 +200,7 @@ type Server struct {
 // a server.handle_sms span (the SMS round-trip histogram), and per-
 // transmitter queue depth and age gauges (server_queue_depth_pages,
 // server_queue_depth_bytes, server_queue_age_seconds, all {tx=...}).
+// With admission enabled the admission stage's families register too.
 // If a request lifecycle tracker is installed on reg (see
 // telemetry.NewLifecycle), the server also stamps every SMS request
 // through received → admitted → render → enqueued → on-air. Call it
@@ -179,41 +217,52 @@ func (s *Server) Instrument(reg *telemetry.Registry) {
 	s.mCoalesced = reg.Counter("server_render_coalesced_total")
 	s.mEnqueued = reg.Counter("server_pages_enqueued_total")
 	s.mDequeued = reg.Counter("server_pages_dequeued_total")
+	s.mAttached = reg.Counter("server_enqueue_coalesced_total")
 	s.gCacheSize = reg.Gauge("server_render_cache_size")
 	s.gInflight = reg.Gauge("server_render_inflight")
 	s.gCacheSize.Set(float64(s.cache.len()))
+	s.admit.Instrument(reg)
 }
 
 // recordQueueDepth refreshes a transmitter's queue depth and age
-// gauges; callers hold s.mu. Queue age is how long the head page has
-// waited, measured against the last caller-supplied timestamp.
-func (s *Server) recordQueueDepth(txID string) {
+// gauges; callers hold sh.mu. Queue age is how long the head page has
+// waited, measured against the last caller-supplied timestamp. The
+// byte and page counts are O(1) reads off the towerQueue accounting.
+func (s *Server) recordQueueDepth(sh *shard, txID string) {
 	if s.tel == nil {
 		return
 	}
 	pages, bytes := 0, 0
-	for _, q := range s.queues[txID] {
-		pages++
-		bytes += q.Bytes
+	age := 0.0
+	if tq := sh.queues[txID]; tq != nil {
+		pages = len(tq.pages)
+		bytes = tq.bytes
+		if len(tq.pages) > 0 {
+			if d := s.lastNow().Sub(tq.pages[0].Enqueued); d > 0 {
+				age = d.Seconds()
+			}
+		}
 	}
 	s.tel.Gauge("server_queue_depth_pages", "tx", txID).Set(float64(pages))
 	s.tel.Gauge("server_queue_depth_bytes", "tx", txID).Set(float64(bytes))
-	age := 0.0
-	if q := s.queues[txID]; len(q) > 0 {
-		if d := s.lastNow.Sub(q[0].Enqueued); d > 0 {
-			age = d.Seconds()
-		}
-	}
 	s.tel.Gauge("server_queue_age_seconds", "tx", txID).Set(age)
 }
 
-// noteNow advances the server's view of the caller clock; callers hold
-// s.mu. Timestamps only move forward so an out-of-order caller cannot
-// drag the queue-age gauges backwards.
+// noteNow advances the server's view of the caller clock (monotonic
+// CAS; safe from any goroutine, no lock required).
 func (s *Server) noteNow(now time.Time) {
-	if now.After(s.lastNow) {
-		s.lastNow = now
+	ns := now.UnixNano()
+	for {
+		cur := s.lastNowNs.Load()
+		if ns <= cur || s.lastNowNs.CompareAndSwap(cur, ns) {
+			return
+		}
 	}
+}
+
+// lastNow returns the most recent caller-supplied timestamp.
+func (s *Server) lastNow() time.Time {
+	return time.Unix(0, s.lastNowNs.Load())
 }
 
 // New builds a server with the given transmission pipeline.
@@ -230,49 +279,79 @@ func New(cfg Config, pipeline *core.Pipeline) *Server {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
+	nShards := cfg.Shards
+	if nShards <= 0 {
+		nShards = DefaultShards
+	}
 	// The raster stage reads webrender's package-wide knob (RenderCropped
 	// has no per-call worker parameter); thread the config through so the
 	// photo lerp rows honor the same Workers setting as the encoder. The
 	// output is byte-identical at any count.
 	webrender.SetWorkers(cfg.Workers)
-	return &Server{
+	s := &Server{
 		cfg:       cfg,
 		pipeline:  pipeline,
 		refs:      refs,
 		cache:     newRenderCache(capacity),
 		renderSem: make(chan struct{}, workers),
-		queues:    make(map[string][]queuedPage),
+		shards:    make([]*shard, nShards),
 		pageIDs:   make(map[string]uint16),
 	}
+	for i := range s.shards {
+		s.shards[i] = &shard{
+			queues: make(map[string]*towerQueue),
+			demand: make(map[string]map[string]float64),
+		}
+	}
+	s.topo.Store(&topology{idx: routing.Build(nil), byID: map[string]Transmitter{}})
+	if cfg.Admission.Enabled {
+		s.admit = admission.New(cfg.Admission, s.admitBatch)
+	}
+	return s
 }
 
-// AddTransmitter registers a station.
+// AddTransmitter registers a station: the fleet snapshot (including its
+// spatial index) is rebuilt and swapped copy-on-write, so in-flight
+// lookups keep reading a consistent topology.
 func (s *Server) AddTransmitter(t Transmitter) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	s.transmitters = append(s.transmitters, t)
-	if _, ok := s.queues[t.ID]; !ok {
-		s.queues[t.ID] = nil
+	s.topoMu.Lock()
+	defer s.topoMu.Unlock()
+	old := s.topo.Load()
+	list := append(append([]Transmitter(nil), old.list...), t)
+	byID := make(map[string]Transmitter, len(list))
+	towers := make([]routing.Tower, 0, len(list))
+	for _, tx := range list {
+		byID[tx.ID] = tx
+		towers = append(towers, routing.Tower{ID: tx.ID, Lat: tx.Lat, Lon: tx.Lon, RadiusKm: tx.RadiusKm})
 	}
+	s.topo.Store(&topology{idx: routing.Build(towers), byID: byID, list: list})
 }
 
 // Transmitters returns the registered stations.
 func (s *Server) Transmitters() []Transmitter {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return append([]Transmitter(nil), s.transmitters...)
+	return append([]Transmitter(nil), s.topo.Load().list...)
 }
 
-// transmitterFor picks the first station covering the location.
+// transmitterFor picks the station covering the location via the
+// spatial index: the closest covering tower, exact ties broken on the
+// smaller ID — deterministic regardless of registration order. The
+// lookup is lock-free and O(1) in fleet size.
 func (s *Server) transmitterFor(lat, lon float64) (Transmitter, bool) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	for _, t := range s.transmitters {
-		if t.Covers(lat, lon) {
-			return t, true
-		}
+	topo := s.topo.Load()
+	t, _, ok := topo.idx.Lookup(lat, lon)
+	if !ok {
+		return Transmitter{}, false
 	}
-	return Transmitter{}, false
+	return topo.byID[t.ID], true
+}
+
+// frequencyCount returns a registered station's parallel channel count
+// (1 for unknown stations).
+func (s *Server) frequencyCount(txID string) int {
+	if tx, ok := s.topo.Load().byID[txID]; ok {
+		return tx.FrequencyCount()
+	}
+	return 1
 }
 
 // hourAt converts simulation time to a corpus hour.
@@ -282,6 +361,8 @@ func (s *Server) hourAt(now time.Time) int {
 
 // pageIDFor assigns a stable 16-bit id per URL.
 func (s *Server) pageIDFor(url string) uint16 {
+	s.idMu.Lock()
+	defer s.idMu.Unlock()
 	if id, ok := s.pageIDs[url]; ok {
 		return id
 	}
@@ -298,7 +379,7 @@ func (s *Server) pageIDFor(url string) uint16 {
 // Concurrency: the cache lookup is O(1) and lock-light; a miss is
 // coalesced per (url, effective hour) so N concurrent requests for one
 // cold URL render exactly once, and the render itself runs on a bounded
-// worker pool without holding the server mutex.
+// worker pool without holding any queue lock.
 func (s *Server) RenderPage(url string, now time.Time) (core.Bundle, error) {
 	hour := s.hourAt(now)
 	ref := s.refFor(url)
@@ -337,7 +418,7 @@ func (s *Server) RenderPage(url string, now time.Time) (core.Bundle, error) {
 
 // renderMiss does the expensive miss work: generate → raster → SIC
 // encode → clickmap, each as a child span of server.render_page. It runs
-// outside s.mu on the bounded render pool.
+// on the bounded render pool with no queue lock held.
 func (s *Server) renderMiss(url string, ref corpus.PageRef, hour, eff int) (core.Bundle, error) {
 	s.renderSem <- struct{}{}
 	defer func() { <-s.renderSem }()
@@ -425,7 +506,8 @@ func (s *Server) EnqueuePage(url string, lat, lon float64, now time.Time) (time.
 // enqueued on the queue append, aborting the trace on failure. The
 // render is measured on the wall clock and projected into the caller's
 // clock domain, so a simulated timeline still shows the real render
-// cost.
+// cost. Unlike the admission path, this synchronous path always appends
+// its own queue entry — one call, one broadcast.
 func (s *Server) enqueueTraced(url string, lat, lon float64, now time.Time, tr *telemetry.Trace) (time.Duration, error) {
 	tx, ok := s.transmitterFor(lat, lon)
 	if !ok {
@@ -443,100 +525,116 @@ func (s *Server) enqueueTraced(url string, lat, lon float64, now time.Time, tr *
 	rendered := now.Add(time.Since(renderT0))
 	tr.StampAt(telemetry.StageRenderDone, rendered)
 	blobLen := len(core.MarshalBundle(b))
-
-	s.mu.Lock()
-	s.noteNow(now)
-	// Queue delay = airtime of everything ahead plus this page, divided
-	// across the station's parallel frequencies.
-	pending := 0
-	for _, q := range s.queues[tx.ID] {
-		pending += q.Bytes
-	}
-	s.queues[tx.ID] = append(s.queues[tx.ID], queuedPage{
+	s.noteBundleBytes(blobLen)
+	eff := corpus.EffectiveHour(s.refFor(url), s.hourAt(now))
+	page := &queuedPage{
 		URL:      url,
 		PageID:   s.pageIDFor(url),
 		Bundle:   b,
 		Bytes:    blobLen,
+		EffHour:  eff,
 		Enqueued: now,
-		Trace:    tr,
-	})
+		Count:    1,
+	}
+	if tr != nil {
+		page.Traces = []*telemetry.Trace{tr}
+	}
+
+	sh := s.shardFor(tx.ID)
+	sh.mu.Lock()
+	s.noteNow(now)
+	tq := sh.queue(tx.ID)
+	// Queue delay = airtime of everything ahead plus this page, divided
+	// across the station's parallel frequencies.
+	pending := tq.bytes
+	tq.push(page)
+	sh.bumpDemand(tx.ID, url, 1)
 	s.mEnqueued.Inc()
-	s.recordQueueDepth(tx.ID)
+	s.recordQueueDepth(sh, tx.ID)
+	sh.mu.Unlock()
 	eta := s.pipeline.AirtimeSeconds(pending+blobLen) / float64(tx.FrequencyCount())
-	s.mu.Unlock()
 	tr.StampAt(telemetry.StageEnqueued, rendered)
 	return time.Duration(eta * float64(time.Second)), nil
 }
 
-// DequeuePage pops the next page to broadcast on a transmitter. With
-// lifecycle tracing on, dequeue is the handoff to the transmitter, so
-// the page's trace is stamped on_air_start here and on_air_done at the
-// projected end of its airtime (the same channel model the SMS-ack ETA
-// uses), at the server's last observed caller timestamp.
+// DequeuePage pops the next page to broadcast on a transmitter at the
+// server's last observed caller timestamp. See DequeuePageAt.
 func (s *Server) DequeuePage(transmitterID string) (url string, pageID uint16, b core.Bundle, ok bool) {
-	s.mu.Lock()
-	q := s.queues[transmitterID]
-	if len(q) == 0 {
-		s.mu.Unlock()
+	return s.DequeuePageAt(transmitterID, s.lastNow())
+}
+
+// DequeuePageAt pops the next page to broadcast on a transmitter. With
+// lifecycle tracing on, dequeue is the handoff to the transmitter, so
+// every trace coalesced onto the page is stamped on_air_start at the
+// given timestamp and on_air_done at the projected end of its airtime
+// (the same channel model the SMS-ack ETA uses). Clock-driven
+// simulations pass their own timeline; DequeuePage uses the last caller
+// timestamp the server observed.
+func (s *Server) DequeuePageAt(transmitterID string, at time.Time) (url string, pageID uint16, b core.Bundle, ok bool) {
+	sh := s.shardFor(transmitterID)
+	sh.mu.Lock()
+	var head *queuedPage
+	if tq := sh.queues[transmitterID]; tq != nil {
+		head, _ = tq.pop()
+	}
+	if head == nil {
+		sh.mu.Unlock()
 		return "", 0, core.Bundle{}, false
 	}
-	head := q[0]
-	s.queues[transmitterID] = q[1:]
 	s.mDequeued.Inc()
-	s.recordQueueDepth(transmitterID)
-	at := s.lastNow
-	freq := 1
-	for _, t := range s.transmitters {
-		if t.ID == transmitterID {
-			freq = t.FrequencyCount()
-			break
-		}
-	}
-	s.mu.Unlock()
-	if head.Trace != nil {
+	s.recordQueueDepth(sh, transmitterID)
+	sh.mu.Unlock()
+	if len(head.Traces) > 0 {
 		if at.Before(head.Enqueued) {
 			at = head.Enqueued
 		}
-		head.Trace.StampAt(telemetry.StageOnAirStart, at)
-		airSec := s.pipeline.AirtimeSeconds(head.Bytes) / float64(freq)
-		head.Trace.StampAt(telemetry.StageOnAirDone,
-			at.Add(time.Duration(airSec*float64(time.Second))))
+		airSec := s.pipeline.AirtimeSeconds(head.Bytes) / float64(s.frequencyCount(transmitterID))
+		done := at.Add(time.Duration(airSec * float64(time.Second)))
+		for _, tr := range head.Traces {
+			tr.StampAt(telemetry.StageOnAirStart, at)
+			tr.StampAt(telemetry.StageOnAirDone, done)
+		}
 	}
 	return head.URL, head.PageID, head.Bundle, true
 }
 
-// QueueDepth returns (pages, bytes) pending for a transmitter.
+// QueueDepth returns (pages, bytes) pending for a transmitter in O(1).
 func (s *Server) QueueDepth(transmitterID string) (int, int) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	pages, bytes := 0, 0
-	for _, q := range s.queues[transmitterID] {
-		pages++
-		bytes += q.Bytes
+	sh := s.shardFor(transmitterID)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	tq := sh.queues[transmitterID]
+	if tq == nil {
+		return 0, 0
 	}
-	return pages, bytes
+	return len(tq.pages), tq.bytes
 }
 
-// PushPopular preemptively enqueues the top-n corpus pages on every
+// PushPopular preemptively enqueues the top-n pages on every
 // transmitter (§3.1: "popular news sites can be pushed early in the
-// morning"). Pages already queued on a transmitter are skipped.
+// morning"). Ranking is demand-weighted per tower: measured admission
+// counts (TowerDemand) dominate, static corpus popularity is the
+// cold-start fallback and tiebreaker, so the push tracks what each
+// region actually requests. Pages already queued on a transmitter are
+// skipped. Renders and bundle marshalling run with no shard lock held.
 func (s *Server) PushPopular(n int, now time.Time) error {
-	refs := corpus.Pages()
-	sort.SliceStable(refs, func(i, j int) bool {
-		return corpus.PopularityWeight(refs[i]) > corpus.PopularityWeight(refs[j])
-	})
-	if n > len(refs) {
-		n = len(refs)
-	}
 	for _, tx := range s.Transmitters() {
-		queued := map[string]bool{}
-		s.mu.Lock()
-		s.noteNow(now)
-		for _, q := range s.queues[tx.ID] {
-			queued[q.URL] = true
+		ranked := rankByDemand(corpus.Pages(), s.TowerDemand(tx.ID))
+		m := n
+		if m > len(ranked) {
+			m = len(ranked)
 		}
-		s.mu.Unlock()
-		for _, ref := range refs[:n] {
+		sh := s.shardFor(tx.ID)
+		queued := map[string]bool{}
+		sh.mu.Lock()
+		s.noteNow(now)
+		if tq := sh.queues[tx.ID]; tq != nil {
+			for _, q := range tq.pages {
+				queued[q.URL] = true
+			}
+		}
+		sh.mu.Unlock()
+		for _, ref := range ranked[:m] {
 			if queued[ref.URL] {
 				continue
 			}
@@ -544,34 +642,39 @@ func (s *Server) PushPopular(n int, now time.Time) error {
 			if err != nil {
 				return err
 			}
-			s.mu.Lock()
-			s.queues[tx.ID] = append(s.queues[tx.ID], queuedPage{
+			blobLen := len(core.MarshalBundle(b))
+			s.noteBundleBytes(blobLen)
+			page := &queuedPage{
 				URL:      ref.URL,
 				PageID:   s.pageIDFor(ref.URL),
 				Bundle:   b,
-				Bytes:    len(core.MarshalBundle(b)),
+				Bytes:    blobLen,
+				EffHour:  corpus.EffectiveHour(ref, s.hourAt(now)),
 				Enqueued: now,
-			})
+			}
+			sh.mu.Lock()
+			sh.queue(tx.ID).push(page)
 			s.mEnqueued.Inc()
-			s.recordQueueDepth(tx.ID)
-			s.mu.Unlock()
+			s.recordQueueDepth(sh, tx.ID)
+			sh.mu.Unlock()
 		}
 	}
 	return nil
 }
 
-// HandleSMS is the uplink entry point: parse the request, enqueue the
-// page, and reply with an ack (or error) through the SMSC. With
-// lifecycle tracing on, the request's trace opens at the SMS delivery
-// timestamp ("received") and is stamped "admitted" once it parses.
+// HandleSMS is the uplink entry point: parse the request, admit or
+// enqueue the page, and reply with an ack (or error) through the SMSC.
+// With lifecycle tracing on, the request's trace opens at the SMS
+// delivery timestamp ("received") and is stamped "admitted" once it is
+// accepted. With admission enabled the reply is immediate (the render
+// happens when the batch flushes) and a saturated shard answers BUSY
+// with a retry-after hint instead of blocking the handler.
 func (s *Server) HandleSMS(smsc *sms.SMSC) sms.Handler {
 	return func(m sms.Message) {
 		sp := s.tel.StartSpan("server.handle_sms")
 		defer sp.End()
 		s.mRequests.Inc()
-		s.mu.Lock()
 		s.noteNow(m.DeliverAt)
-		s.mu.Unlock()
 		req, err := sms.ParseRequest(m.Body)
 		if err != nil {
 			s.mBadRequests.Inc()
@@ -580,11 +683,21 @@ func (s *Server) HandleSMS(smsc *sms.SMSC) sms.Handler {
 			return
 		}
 		tr := s.lc.BeginAt(req.URL, m.From, m.DeliverAt)
-		tr.StampAt(telemetry.StageAdmitted, m.DeliverAt)
-		eta, err := s.enqueueTraced(req.URL, req.Lat, req.Lon, m.DeliverAt, tr)
+		var eta time.Duration
+		if s.admit != nil {
+			eta, err = s.admitTraced(req.URL, req.Lat, req.Lon, m.DeliverAt, tr)
+		} else {
+			tr.StampAt(telemetry.StageAdmitted, m.DeliverAt)
+			eta, err = s.enqueueTraced(req.URL, req.Lat, req.Lon, m.DeliverAt, tr)
+		}
 		if err != nil {
 			s.mReplies.Inc()
-			_ = smsc.Submit(m.DeliverAt, s.cfg.Number, m.From, "ERR no coverage")
+			var sat *admission.SaturatedError
+			if errors.As(err, &sat) {
+				_ = smsc.Submit(m.DeliverAt, s.cfg.Number, m.From, sms.FormatBusy(req.URL, sat.RetryAfter))
+			} else {
+				_ = smsc.Submit(m.DeliverAt, s.cfg.Number, m.From, "ERR no coverage")
+			}
 			return
 		}
 		s.mReplies.Inc()

@@ -55,22 +55,41 @@ func (g *Group) Do(key string, fn func() (any, error)) (v any, err error, leader
 	// The leader never blocks on followers. If fn panics, followers get
 	// ErrLeaderPanicked instead of being stranded (or silently handed a
 	// zero value), and the panic propagates on the leader's goroutine.
+	// The delete is guarded on call identity: Forget may already have
+	// dropped this generation and a fresh call may own the key now.
 	defer func() {
 		if r := recover(); r != nil {
 			c.err = ErrLeaderPanicked
-			g.mu.Lock()
-			delete(g.m, key)
-			g.mu.Unlock()
+			g.forgetCall(key, c)
 			c.wg.Done()
 			panic(r)
 		}
-		g.mu.Lock()
-		delete(g.m, key)
-		g.mu.Unlock()
+		g.forgetCall(key, c)
 		c.wg.Done()
 	}()
 	c.val, c.err = fn()
 	return c.val, c.err, true
+}
+
+// forgetCall removes key only if it still maps to c.
+func (g *Group) forgetCall(key string, c *call) {
+	g.mu.Lock()
+	if g.m[key] == c {
+		delete(g.m, key)
+	}
+	g.mu.Unlock()
+}
+
+// Forget detaches the in-flight call for key, if any: callers already
+// waiting on it still receive its result, but the next Do for the key
+// starts a fresh invocation instead of joining the old one. Use it when
+// an in-flight result is known to be doomed (e.g. a render against
+// state that just changed) so one bad flight cannot poison every caller
+// that arrives before it finishes.
+func (g *Group) Forget(key string) {
+	g.mu.Lock()
+	delete(g.m, key)
+	g.mu.Unlock()
 }
 
 // Inflight reports how many keys currently have an executing call —

@@ -93,6 +93,95 @@ func TestDoPropagatesError(t *testing.T) {
 	}
 }
 
+// TestFailedFlightDoesNotPoison: a flight that returns an error must
+// not taint later callers — the key is forgotten when fn returns, so
+// the next Do leads a fresh invocation and can succeed.
+func TestFailedFlightDoesNotPoison(t *testing.T) {
+	var g Group
+	boom := errors.New("transient failure")
+	attempts := 0
+	fn := func() (any, error) {
+		attempts++
+		if attempts == 1 {
+			return nil, boom
+		}
+		return "recovered", nil
+	}
+	if _, err, leader := g.Do("k", fn); err != boom || !leader {
+		t.Fatalf("first flight: err=%v leader=%v", err, leader)
+	}
+	v, err, leader := g.Do("k", fn)
+	if err != nil || v != "recovered" || !leader {
+		t.Fatalf("second flight poisoned: v=%v err=%v leader=%v", v, err, leader)
+	}
+}
+
+// TestForgetStartsFreshGeneration: Forget detaches a doomed in-flight
+// call. Callers already waiting get its (stale) result, but new callers
+// lead a fresh invocation immediately — and the old leader's cleanup
+// must not evict the new generation's entry.
+func TestForgetStartsFreshGeneration(t *testing.T) {
+	var g Group
+	gate := make(chan struct{})
+	started := make(chan struct{})
+	oldDone := make(chan struct{})
+	go func() {
+		defer close(oldDone)
+		v, err, _ := g.Do("k", func() (any, error) {
+			close(started)
+			<-gate
+			return "stale", nil
+		})
+		if v != "stale" || err != nil {
+			t.Errorf("old flight got (%v, %v)", v, err)
+		}
+	}()
+	<-started
+	g.Forget("k")
+
+	// New caller after Forget leads its own flight while the old one is
+	// still executing.
+	v, err, leader := g.Do("k", func() (any, error) { return "fresh", nil })
+	if v != "fresh" || err != nil || !leader {
+		t.Fatalf("post-forget call: v=%v err=%v leader=%v", v, err, leader)
+	}
+
+	// Start a second-generation flight and let the forgotten leader
+	// unwind while it is live: its guarded delete must leave the live
+	// entry alone, so a follower still coalesces onto it.
+	gate2 := make(chan struct{})
+	started2 := make(chan struct{})
+	gen2 := make(chan struct{})
+	go func() {
+		defer close(gen2)
+		g.Do("k", func() (any, error) {
+			close(started2)
+			<-gate2
+			return "gen2", nil
+		})
+	}()
+	<-started2
+	close(gate) // old leader finishes and runs its cleanup
+	<-oldDone
+	if g.Inflight() != 1 {
+		t.Fatalf("inflight = %d, want 1 (old cleanup evicted the new generation)", g.Inflight())
+	}
+	followerV := make(chan any, 1)
+	go func() {
+		v, _, _ := g.Do("k", func() (any, error) { return "should not run", nil })
+		followerV <- v
+	}()
+	for g.Inflight() != 1 {
+		time.Sleep(time.Millisecond)
+	}
+	time.Sleep(5 * time.Millisecond)
+	close(gate2)
+	<-gen2
+	if v := <-followerV; v != "gen2" {
+		t.Fatalf("follower got %v, want gen2", v)
+	}
+}
+
 func TestDoLeaderPanic(t *testing.T) {
 	var g Group
 	gate := make(chan struct{})

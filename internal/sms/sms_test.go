@@ -186,3 +186,19 @@ func TestAckGrammar(t *testing.T) {
 		}
 	}
 }
+
+func TestBusyGrammar(t *testing.T) {
+	body := FormatBusy("cnn.com/index.html", 30*time.Second)
+	if SeptetLen(body) > SingleLimit {
+		t.Errorf("busy reply %q does not fit one SMS", body)
+	}
+	url, retry, err := ParseBusy(body)
+	if err != nil || url != "cnn.com/index.html" || retry != 30*time.Second {
+		t.Errorf("busy = %q %v %v", url, retry, err)
+	}
+	for _, bad := range []string{"", "BUSY", "BUSY u RETRY", "BUSY u RETRY x", "BUSY u RETRY -1", "QUEUED u RETRY 5"} {
+		if _, _, err := ParseBusy(bad); err == nil {
+			t.Errorf("ParseBusy(%q) should fail", bad)
+		}
+	}
+}

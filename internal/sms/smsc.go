@@ -134,6 +134,7 @@ func (s *SMSC) Stats() (submitted, delivered int) {
 //
 // Request:  GET <url> LOC <lat>,<lon>
 // Ack:      QUEUED <url> ETA <seconds>
+// Busy:     BUSY <url> RETRY <seconds>
 // Error:    ERR <reason>
 
 // Request is a parsed SONIC page request.
@@ -179,6 +180,25 @@ func FormatAck(url string, eta time.Duration) string {
 func ParseAck(body string) (url string, eta time.Duration, err error) {
 	fields := strings.Fields(body)
 	if len(fields) != 4 || fields[0] != "QUEUED" || fields[2] != "ETA" {
+		return "", 0, ErrBadRequest
+	}
+	secs, err := strconv.Atoi(fields[3])
+	if err != nil || secs < 0 {
+		return "", 0, ErrBadRequest
+	}
+	return fields[1], time.Duration(secs) * time.Second, nil
+}
+
+// FormatBusy renders the server's backpressure reply: the admission
+// queue for the user's region is saturated, try again after the hint.
+func FormatBusy(url string, retry time.Duration) string {
+	return fmt.Sprintf("BUSY %s RETRY %d", url, int(retry.Seconds()))
+}
+
+// ParseBusy parses a backpressure reply body.
+func ParseBusy(body string) (url string, retry time.Duration, err error) {
+	fields := strings.Fields(body)
+	if len(fields) != 4 || fields[0] != "BUSY" || fields[2] != "RETRY" {
 		return "", 0, ErrBadRequest
 	}
 	secs, err := strconv.Atoi(fields[3])

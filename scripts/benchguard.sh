@@ -18,6 +18,16 @@ cd "$(dirname "$0")/.."
 mapfile -t snaps < <(ls BENCH_*.json 2>/dev/null | sort -V)
 
 if [[ "${1:-}" == "--history" ]]; then
+    # The trajectory view also folds in the sonic-loadgen snapshots
+    # (LOADGEN_*.json): their micro map uses the same {iters, ns_per_op}
+    # shape, so the fleet-scale numbers (wall per request, p99 on-air)
+    # ride the same table. The guard branch below stays BENCH-only —
+    # loadgen kernels have no overlap with the bench suite and would
+    # trip the missing-kernel rule.
+    mapfile -t lgsnaps < <(ls LOADGEN_*.json 2>/dev/null | sort -V)
+    if ((${#lgsnaps[@]} > 0)); then
+        snaps+=("${lgsnaps[@]}")
+    fi
     if ((${#snaps[@]} == 0)); then
         echo "benchguard: no snapshots; no history to report"
         exit 0
@@ -29,7 +39,9 @@ paths = sys.argv[1:]
 snaps = []  # (label, {kernel: ns_per_op})
 for p in paths:
     doc = json.load(open(p))
-    label = p.removeprefix("BENCH_").removesuffix(".json")
+    label = p.removesuffix(".json").removeprefix("BENCH_")
+    if label.startswith("LOADGEN_"):
+        label = "lg-" + label.removeprefix("LOADGEN_")
     snaps.append((label, {k: v["ns_per_op"] for k, v in doc.get("micro", {}).items()}))
 
 kernels = sorted({k for _, micro in snaps for k in micro})

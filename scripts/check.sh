@@ -45,6 +45,16 @@ GOMAXPROCS=1 go test -run 'Equiv|Reference|Parity|Identity|Golden' -count=1 \
     ./internal/modem ./internal/webrender
 GOMAXPROCS=1 go run ./cmd/sonic-bench -day 1 -workers 1
 
+# Fleet request path: 10^4 simulated requesters through the real SMS →
+# admission → render → broadcast-queue path on the simulated clock. The
+# -check SLOs pin whole-request coalescing (every broadcast must serve
+# at least two requests on this Zipf workload) and the p99 request →
+# on-air latency (simulated seconds; deterministic for a fixed seed),
+# and the binary itself fails if any accepted request never airs.
+echo "==> loadgen smoke (10k requesters, 16 towers, coalescing + p99 SLOs)"
+go run ./cmd/sonic-loadgen -users 10000 -towers 16 -hours 0.25 \
+    -check -max-p99 14400 -min-dedup 2 -out loadgen-smoke.json
+
 echo "==> bench smoke (one iteration per benchmark)"
 go test -run='^$' -bench=. -benchtime=1x ./...
 
