@@ -1,0 +1,237 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"strconv"
+	"strings"
+	"time"
+
+	"sonic/internal/artifact"
+	"sonic/internal/broadcast"
+	"sonic/internal/core"
+	"sonic/internal/corpus"
+	"sonic/internal/server"
+)
+
+// fleetProcsPoint is one cell of the -fleet procs matrix: the same
+// fleet replay rerun from a cold cache at a pinned GOMAXPROCS.
+type fleetProcsPoint struct {
+	Procs       int     `json:"procs"`
+	WallSeconds float64 `json:"wall_seconds"`
+	// Speedup is wall(procs=1) / wall(this), Efficiency is Speedup/Procs.
+	Speedup    float64 `json:"speedup"`
+	Efficiency float64 `json:"efficiency"`
+}
+
+// fleetDayReport is the -fleet replay result: a fleet of towers
+// broadcasting the same corpus slice for Hours simulated hours through
+// the shared content-addressed artifact chain, plus (optionally) the
+// dedup-off baseline and the GOMAXPROCS scaling matrix.
+type fleetDayReport struct {
+	Towers   int   `json:"towers"`
+	Hours    int   `json:"sim_hours"`
+	Pages    int   `json:"pages"`
+	HostCPUs int   `json:"host_cpus"`
+	CacheCap int64 `json:"cache_cap_bytes"` // <0 = unbounded
+	// Headline fleet run (at the host's GOMAXPROCS).
+	Transmissions  int     `json:"transmissions"`
+	AirSeconds     float64 `json:"air_seconds"`
+	WallSeconds    float64 `json:"wall_seconds"`
+	Speedup        float64 `json:"speedup"` // air seconds produced per wall second
+	DedupFactor    float64 `json:"dedup_factor"`
+	AudioMisses    int64   `json:"audio_misses"`
+	AudioHits      int64   `json:"audio_hits"`
+	AudioCoalesced int64   `json:"audio_coalesced"`
+	CacheBytes     int64   `json:"cache_bytes"`
+	CacheEvictions int64   `json:"cache_evictions"`
+	// Dedup-off baseline: the same replay with a private chain per tower
+	// (every tower computes every artifact itself), possibly at a smaller
+	// tower count to keep the bench finite; DedupSpeedup normalizes both
+	// sides to per-tower wall time before taking the ratio.
+	BaselineTowers      int     `json:"baseline_towers,omitempty"`
+	BaselineWallSeconds float64 `json:"baseline_wall_seconds,omitempty"`
+	DedupSpeedup        float64 `json:"dedup_speedup,omitempty"`
+	// ProcsMatrix reruns the fleet at pinned GOMAXPROCS values.
+	ProcsMatrix []fleetProcsPoint `json:"procs_matrix,omitempty"`
+}
+
+// fleetRenderer wires the fleet engine's raster stage to the production
+// server render path (render LRU + per-URL singleflight included).
+func fleetRenderer(srv *server.Server, epoch time.Time) broadcast.RenderFunc {
+	return func(ref corpus.PageRef, hour int) (core.Bundle, error) {
+		return srv.RenderPage(ref.URL, epoch.Add(time.Duration(hour)*time.Hour))
+	}
+}
+
+// runFleetOnce replays one fleet day on a fresh chain and returns the
+// result. workers bounds the tower pool (0 = GOMAXPROCS).
+func runFleetOnce(towers, hours, pages, workers int, cacheCap int64) (*broadcast.FleetResult, error) {
+	pipe, err := core.NewPipeline(core.DefaultConfig())
+	if err != nil {
+		return nil, err
+	}
+	scfg := server.DefaultConfig()
+	srv := server.New(scfg, pipe)
+	return broadcast.RunFleet(broadcast.FleetConfig{
+		Towers:  towers,
+		Workers: workers,
+		Hours:   hours,
+		Pages:   corpus.Pages()[:pages],
+		Policy:  broadcast.PolicySqrt,
+		Chain:   artifact.NewChain(pipe, cacheCap),
+		Render:  fleetRenderer(srv, scfg.Epoch),
+	})
+}
+
+// runFleetBaseline is the dedup-off reference: each tower gets a
+// private chain (and private render cache), so the fleet recomputes
+// every artifact per tower — the pre-PR10 per-tower serial path.
+func runFleetBaseline(towers, hours, pages int, cacheCap int64) (float64, error) {
+	var wall float64
+	for tower := 0; tower < towers; tower++ {
+		res, err := runFleetOnce(1, hours, pages, 1, cacheCap)
+		if err != nil {
+			return 0, err
+		}
+		wall += res.WallSeconds
+	}
+	return wall, nil
+}
+
+// parseProcsList parses "1,2,4,8" into a sorted-unique int list.
+func parseProcsList(s string) ([]int, error) {
+	if strings.TrimSpace(s) == "" {
+		return nil, nil
+	}
+	var out []int
+	seen := map[int]bool{}
+	for _, f := range strings.Split(s, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(f))
+		if err != nil || n < 1 {
+			return nil, fmt.Errorf("bad procs list %q", s)
+		}
+		if !seen[n] {
+			seen[n] = true
+			out = append(out, n)
+		}
+	}
+	return out, nil
+}
+
+// runFleetDay is the -fleet entry point: headline run, optional
+// dedup-off baseline, optional procs matrix.
+func runFleetDay(towers, hours, pages, baselineTowers int, procs []int, cacheCap int64) (fleetDayReport, error) {
+	if pages > corpus.NumPages {
+		pages = corpus.NumPages
+	}
+	rep := fleetDayReport{
+		Towers: towers, Hours: hours, Pages: pages,
+		HostCPUs: runtime.NumCPU(), CacheCap: cacheCap,
+	}
+
+	res, err := runFleetOnce(towers, hours, pages, 0, cacheCap)
+	if err != nil {
+		return rep, err
+	}
+	rep.Transmissions = res.Transmissions
+	rep.AirSeconds = res.AirSeconds
+	rep.WallSeconds = res.WallSeconds
+	rep.Speedup = res.Speedup()
+	rep.DedupFactor = res.DedupFactor
+	rep.AudioMisses = res.Cache.Audio.Misses
+	rep.AudioHits = res.Cache.Audio.Hits
+	rep.AudioCoalesced = res.Cache.Audio.Coalesced
+	rep.CacheBytes = res.Cache.Bytes
+	rep.CacheEvictions = res.Cache.Evictions
+
+	if baselineTowers > 0 {
+		wall, err := runFleetBaseline(baselineTowers, hours, pages, cacheCap)
+		if err != nil {
+			return rep, err
+		}
+		rep.BaselineTowers = baselineTowers
+		rep.BaselineWallSeconds = wall
+		perTowerBase := wall / float64(baselineTowers)
+		perTowerFleet := rep.WallSeconds / float64(towers)
+		if perTowerFleet > 0 {
+			rep.DedupSpeedup = perTowerBase / perTowerFleet
+		}
+	}
+
+	if len(procs) > 0 {
+		prev := runtime.GOMAXPROCS(0)
+		defer runtime.GOMAXPROCS(prev)
+		var wall1 float64
+		for _, p := range procs {
+			runtime.GOMAXPROCS(p)
+			r, err := runFleetOnce(towers, hours, pages, p, cacheCap)
+			if err != nil {
+				return rep, err
+			}
+			pt := fleetProcsPoint{Procs: p, WallSeconds: r.WallSeconds}
+			if p == procs[0] {
+				wall1 = r.WallSeconds
+			}
+			if wall1 > 0 && r.WallSeconds > 0 {
+				pt.Speedup = wall1 / r.WallSeconds
+				pt.Efficiency = pt.Speedup / float64(p) * float64(procs[0])
+			}
+			rep.ProcsMatrix = append(rep.ProcsMatrix, pt)
+		}
+	}
+	return rep, nil
+}
+
+// printFleetReport writes the human-readable fleet summary.
+func printFleetReport(w io.Writer, rep fleetDayReport) {
+	fmt.Fprintf(w, "fleet day: %d towers x %d h over %d pages (host: %d CPUs)\n",
+		rep.Towers, rep.Hours, rep.Pages, rep.HostCPUs)
+	fmt.Fprintf(w, "  %d transmissions, %.0f air-seconds in %.1f s wall -> %.0fx real time\n",
+		rep.Transmissions, rep.AirSeconds, rep.WallSeconds, rep.Speedup)
+	fmt.Fprintf(w, "  artifact chain: %.1fx dedup (audio: %d computed, %d hits, %d coalesced), %.1f MB cached, %d evictions\n",
+		rep.DedupFactor, rep.AudioMisses, rep.AudioHits, rep.AudioCoalesced,
+		float64(rep.CacheBytes)/1e6, rep.CacheEvictions)
+	if rep.BaselineTowers > 0 {
+		fmt.Fprintf(w, "  dedup-off baseline (%d towers, private chains): %.1f s wall -> %.1fx per-tower speedup from sharing\n",
+			rep.BaselineTowers, rep.BaselineWallSeconds, rep.DedupSpeedup)
+	}
+	for _, pt := range rep.ProcsMatrix {
+		fmt.Fprintf(w, "  procs=%d: %.1f s wall, %.2fx speedup, %.0f%% efficiency\n",
+			pt.Procs, pt.WallSeconds, pt.Speedup, pt.Efficiency*100)
+	}
+}
+
+// fleetCheck enforces the CI scaling gate: the procs matrix must show
+// wall(minProcs) / wall(maxProcs) >= minRatio. The gate only arms when
+// the host actually has maxProcs cores — a single-core box cannot
+// physically scale and reports the skip instead of a false failure.
+func fleetCheck(w io.Writer, rep fleetDayReport, minRatio float64) error {
+	if len(rep.ProcsMatrix) < 2 {
+		return fmt.Errorf("fleet-check: procs matrix needs at least 2 points")
+	}
+	last := rep.ProcsMatrix[len(rep.ProcsMatrix)-1]
+	if rep.HostCPUs < last.Procs {
+		fmt.Fprintf(w, "fleet-check: SKIP (host has %d CPUs, matrix tops at procs=%d; scaling cannot manifest)\n",
+			rep.HostCPUs, last.Procs)
+		return nil
+	}
+	if last.Speedup < minRatio {
+		return fmt.Errorf("fleet-check: procs=%d speedup %.2fx < required %.2fx",
+			last.Procs, last.Speedup, minRatio)
+	}
+	fmt.Fprintf(w, "fleet-check: OK (procs=%d speedup %.2fx >= %.2fx)\n", last.Procs, last.Speedup, minRatio)
+	return nil
+}
+
+// writeFleetJSON writes the report snapshot (BENCH_PR10 style).
+func writeFleetJSON(path string, rep fleetDayReport) error {
+	blob, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(blob, '\n'), 0o644)
+}

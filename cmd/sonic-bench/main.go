@@ -41,6 +41,15 @@ func main() {
 		day     = flag.Int("day", 0, "replay N simulated hours of carousel broadcast through the real page path, report wall vs air time, and exit")
 		workers = flag.Int("workers", 0, "worker count for -perf/-day: sets GOMAXPROCS and the wN kernel variants (0 = current GOMAXPROCS)")
 		cpuProf = flag.String("cpuprofile", "", "write a CPU profile to this file")
+
+		fleet         = flag.Int("fleet", 0, "replay a fleet broadcast day on N towers through the shared artifact chain and exit")
+		fleetHours    = flag.Int("fleet-hours", 1, "simulated hours per tower for -fleet")
+		fleetPages    = flag.Int("fleet-pages", 8, "corpus pages in the fleet rotation for -fleet")
+		fleetProcs    = flag.String("fleet-procs", "", "comma-separated GOMAXPROCS matrix for -fleet (e.g. 1,2,4,8); each point reruns the replay cold")
+		fleetBaseline = flag.Int("fleet-baseline", 0, "also run the dedup-off baseline (private chain per tower) at N towers")
+		fleetCheckMin = flag.Float64("fleet-check", 0, "fail unless the procs matrix shows at least this speedup at its top entry (skipped when the host lacks the cores)")
+		fleetJSON     = flag.String("fleet-json", "", "write the -fleet report to this JSON file")
+		fleetCache    = flag.Int64("fleet-cache", -1, "artifact cache byte cap for -fleet (-1 = unbounded, 0 = package default)")
 	)
 	flag.Parse()
 
@@ -63,6 +72,35 @@ func main() {
 			pprof.StopCPUProfile()
 			fmt.Fprintf(os.Stderr, "perf: %v\n", err)
 			os.Exit(1)
+		}
+		return
+	}
+
+	if *fleet > 0 {
+		procs, err := parseProcsList(*fleetProcs)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "fleet: %v\n", err)
+			os.Exit(2)
+		}
+		rep, err := runFleetDay(*fleet, *fleetHours, *fleetPages, *fleetBaseline, procs, *fleetCache)
+		if err != nil {
+			pprof.StopCPUProfile()
+			fmt.Fprintf(os.Stderr, "fleet: %v\n", err)
+			os.Exit(1)
+		}
+		printFleetReport(os.Stdout, rep)
+		if *fleetJSON != "" {
+			if err := writeFleetJSON(*fleetJSON, rep); err != nil {
+				fmt.Fprintf(os.Stderr, "fleet: %v\n", err)
+				os.Exit(1)
+			}
+			fmt.Printf("wrote fleet report to %s\n", *fleetJSON)
+		}
+		if *fleetCheckMin > 0 {
+			if err := fleetCheck(os.Stdout, rep, *fleetCheckMin); err != nil {
+				fmt.Fprintf(os.Stderr, "%v\n", err)
+				os.Exit(1)
+			}
 		}
 		return
 	}

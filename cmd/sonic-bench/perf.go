@@ -36,6 +36,9 @@ type perfReport struct {
 	// in Micro["broadcast_day"] so benchguard tracks it like any kernel;
 	// this field keeps the air-time and speedup context alongside it.
 	Day *dayReport `json:"broadcast_day,omitempty"`
+	// Fleet is the multi-tower fleet-day replay through the shared
+	// artifact chain (wall clock also in Micro["fleet_day"]).
+	Fleet *fleetDayReport `json:"fleet_day,omitempty"`
 }
 
 // perfMicro is one kernel timing: iterations run and ns per operation.
@@ -273,6 +276,16 @@ func runPerf(path string, seed int64, workers int) error {
 	}
 	rep.Day = &day
 	rep.Micro["broadcast_day"] = perfMicro{Iters: 1, NsPerOp: day.WallSeconds * 1e9}
+
+	// Fleet day: 16 towers airing an 8-page rotation for one simulated
+	// hour through the shared artifact chain, with the dedup-off baseline
+	// at 2 towers for the sharing ratio. Runs once like broadcast_day.
+	fleetRep, err := runFleetDay(16, 1, 8, 2, nil, -1)
+	if err != nil {
+		return err
+	}
+	rep.Fleet = &fleetRep
+	rep.Micro["fleet_day"] = perfMicro{Iters: 1, NsPerOp: fleetRep.WallSeconds * 1e9}
 
 	blob, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {

@@ -27,6 +27,9 @@ import (
 	"os"
 	"runtime"
 	"sort"
+	"strconv"
+	"strings"
+	"sync"
 	"time"
 
 	"sonic/internal/admission"
@@ -42,6 +45,17 @@ import (
 type micro struct {
 	Iters   int     `json:"iters"`
 	NsPerOp float64 `json:"ns_per_op"`
+}
+
+// procsPoint is one cell of the -procs sweep: the identical seeded
+// workload rerun at a pinned GOMAXPROCS.
+type procsPoint struct {
+	Procs       int     `json:"procs"`
+	WallSeconds float64 `json:"wall_seconds"`
+	// Speedup is wall(first point) / wall(this point); Efficiency
+	// normalizes it by the procs ratio (1.0 = perfect scaling).
+	Speedup    float64 `json:"speedup"`
+	Efficiency float64 `json:"efficiency"`
 }
 
 // report is the -out JSON schema.
@@ -75,6 +89,12 @@ type report struct {
 	WallSeconds   float64 `json:"wall_seconds"`
 	WallReqPerSec float64 `json:"wall_requests_per_second"`
 
+	// ProcsMatrix is the -procs sweep: the same seed rerun at each
+	// pinned GOMAXPROCS, with scaling efficiency relative to the first
+	// point. HostCPUs records what the box can physically deliver.
+	HostCPUs    int          `json:"host_cpus,omitempty"`
+	ProcsMatrix []procsPoint `json:"procs_matrix,omitempty"`
+
 	Micro map[string]micro `json:"micro"`
 }
 
@@ -89,6 +109,7 @@ func main() {
 	shards := flag.Int("shards", 0, "queue/admission lock stripes (0 = package default)")
 	maxBatch := flag.Int("max-batch", 512, "admission flush threshold (distinct keys per stripe)")
 	maxPending := flag.Int("max-pending", 1<<20, "admission backpressure bound per stripe")
+	procsFlag := flag.String("procs", "", "comma-separated GOMAXPROCS sweep (e.g. 1,2,4,8): rerun the same seed at each pinned value and report scaling efficiency")
 	out := flag.String("out", "", "write the JSON report to this path")
 	check := flag.Bool("check", false, "exit 1 when an SLO threshold below fails")
 	maxP99 := flag.Float64("max-p99", 0, "with -check: max p99 request→on-air (simulated seconds)")
@@ -103,6 +124,17 @@ func main() {
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "sonic-loadgen:", err)
 		os.Exit(1)
+	}
+	if *procsFlag != "" {
+		list, err := parseProcs(*procsFlag)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "sonic-loadgen:", err)
+			os.Exit(2)
+		}
+		if err := sweepProcs(rep, list, *users, *towers, *hours, *tick, *zipfS, *seed, *quality, *shards, *maxBatch, *maxPending); err != nil {
+			fmt.Fprintln(os.Stderr, "sonic-loadgen:", err)
+			os.Exit(1)
+		}
 	}
 	printReport(rep)
 	if *out != "" {
@@ -136,6 +168,59 @@ func main() {
 		}
 		fmt.Println("CHECK OK")
 	}
+}
+
+// parseProcs parses "1,2,4,8" into a positive-int list (order kept,
+// duplicates dropped).
+func parseProcs(s string) ([]int, error) {
+	var out []int
+	seen := map[int]bool{}
+	for _, f := range strings.Split(s, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(f))
+		if err != nil || n < 1 {
+			return nil, fmt.Errorf("bad -procs list %q", s)
+		}
+		if !seen[n] {
+			seen[n] = true
+			out = append(out, n)
+		}
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("bad -procs list %q", s)
+	}
+	return out, nil
+}
+
+// sweepProcs reruns the identical seeded workload at each pinned
+// GOMAXPROCS and folds the scaling matrix into rep: one procsPoint per
+// value plus a loadgen_procs_pN micro per point so benchguard --history
+// tracks each cell like any other kernel. Efficiency is relative to
+// the sweep's first point (1.0 = linear scaling); on a host with fewer
+// cores than a point asks for, the pin is a no-op upward and the matrix
+// simply records the flat wall time — host_cpus says why.
+func sweepProcs(rep *report, list []int, users, towers int, hours float64, tick time.Duration, zipfS float64, seed int64, quality, shards, maxBatch, maxPending int) error {
+	prev := runtime.GOMAXPROCS(0)
+	defer runtime.GOMAXPROCS(prev)
+	rep.HostCPUs = runtime.NumCPU()
+	var wall0 float64
+	for i, p := range list {
+		runtime.GOMAXPROCS(p)
+		r, err := run(users, towers, hours, tick, zipfS, seed, quality, shards, maxBatch, maxPending)
+		if err != nil {
+			return fmt.Errorf("procs sweep at %d: %w", p, err)
+		}
+		pt := procsPoint{Procs: p, WallSeconds: r.WallSeconds}
+		if i == 0 {
+			wall0 = r.WallSeconds
+		}
+		if wall0 > 0 && r.WallSeconds > 0 {
+			pt.Speedup = wall0 / r.WallSeconds
+			pt.Efficiency = pt.Speedup * float64(list[0]) / float64(p)
+		}
+		rep.ProcsMatrix = append(rep.ProcsMatrix, pt)
+		rep.Micro[fmt.Sprintf("loadgen_procs_p%d", p)] = micro{Iters: 1, NsPerOp: r.WallSeconds * 1e9}
+	}
+	return nil
 }
 
 // fleetGrid lays n towers on a lat/lon grid over a Pakistan-sized
@@ -277,6 +362,38 @@ func run(users, towers int, hours float64, tick time.Duration, zipfS float64, se
 		}
 	}
 
+	// Towers drain independently (private busyUntil slot, own broadcast
+	// queue), so the per-tick drain spreads over a bounded pool when the
+	// runtime has cores to give it; at GOMAXPROCS=1 it stays serial.
+	drainAll := func(now time.Time) {
+		nw := runtime.GOMAXPROCS(0)
+		if nw > len(fleet) {
+			nw = len(fleet)
+		}
+		if nw <= 1 {
+			for i := range fleet {
+				drainTower(i, now)
+			}
+		} else {
+			sem := make(chan struct{}, nw)
+			var wg sync.WaitGroup
+			for i := range fleet {
+				sem <- struct{}{}
+				wg.Add(1)
+				go func(i int) {
+					defer func() { <-sem; wg.Done() }()
+					drainTower(i, now)
+				}(i)
+			}
+			wg.Wait()
+		}
+		for i := range fleet {
+			if pages, _ := srv.QueueDepth(fleet[i].ID); pages > peakQueue {
+				peakQueue = pages
+			}
+		}
+	}
+
 	step := func(now time.Time) {
 		for next < len(events) && epoch.Add(time.Duration(events[next].atSec*float64(time.Second))).Before(now) {
 			e := events[next]
@@ -291,13 +408,10 @@ func run(users, towers int, hours float64, tick time.Duration, zipfS float64, se
 		if p := srv.AdmissionPending(); p > peakPending {
 			peakPending = p
 		}
-		srv.FlushAdmission()
-		for i := range fleet {
-			drainTower(i, now)
-			if pages, _ := srv.QueueDepth(fleet[i].ID); pages > peakQueue {
-				peakQueue = pages
-			}
-		}
+		// Batch renders spread over the admission shards; the concurrent
+		// flush lets them use every core the runtime is pinned to.
+		srv.FlushAdmissionConcurrent(runtime.GOMAXPROCS(0))
+		drainAll(now)
 	}
 
 	for now := epoch.Add(tick); !now.After(end); now = now.Add(tick) {
@@ -404,4 +518,8 @@ func printReport(r *report) {
 	fmt.Printf("  shard balance %.2f (max/mean), peak queue %d pages, peak pending %d\n",
 		r.ShardBalance, r.PeakQueuePages, r.PeakPending)
 	fmt.Printf("  wall          %.1fs (%.0f requests/s)\n", r.WallSeconds, r.WallReqPerSec)
+	for _, pt := range r.ProcsMatrix {
+		fmt.Printf("  procs=%d: %.1fs wall, %.2fx speedup, %.0f%% efficiency (host: %d CPUs)\n",
+			pt.Procs, pt.WallSeconds, pt.Speedup, pt.Efficiency*100, r.HostCPUs)
+	}
 }

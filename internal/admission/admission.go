@@ -155,11 +155,12 @@ type qshard struct {
 // Queue is the admission stage. Build with New; Close releases the
 // flush workers.
 type Queue struct {
-	cfg    Config
-	sink   Sink
-	shards []*qshard
-	stop   chan struct{}
-	wg     sync.WaitGroup
+	cfg       Config
+	sink      Sink
+	shards    []*qshard
+	stop      chan struct{}
+	wg        sync.WaitGroup
+	closeOnce sync.Once
 
 	// Telemetry (nil handles = off).
 	mSubmitted *telemetry.Counter
@@ -378,15 +379,48 @@ func (q *Queue) Flush() {
 	}
 }
 
+// FlushConcurrent drains every shard like Flush but spreads the shards
+// over a bounded worker pool, so the sink (which may render) runs on
+// up to workers cores. The sink's concurrency contract is the same as
+// the background flush workers': one call per batch, shards flushing
+// independently. workers <= 1 degrades to the serial Flush; batch
+// order within a shard is first-arrival either way.
+func (q *Queue) FlushConcurrent(workers int) {
+	if q == nil {
+		return
+	}
+	if workers > len(q.shards) {
+		workers = len(q.shards)
+	}
+	if workers <= 1 {
+		q.Flush()
+		return
+	}
+	sem := make(chan struct{}, workers)
+	var wg sync.WaitGroup
+	for _, sh := range q.shards {
+		sem <- struct{}{}
+		wg.Add(1)
+		go func(sh *qshard) {
+			defer func() { <-sem; wg.Done() }()
+			q.flushShard(sh)
+		}(sh)
+	}
+	wg.Wait()
+}
+
 // Close stops the flush workers, draining anything still pending.
-// Safe to call once.
+// Idempotent: extra calls (a defer racing an explicit shutdown path)
+// are no-ops rather than a double-close panic.
 func (q *Queue) Close() {
 	if q == nil {
 		return
 	}
-	close(q.stop)
-	q.wg.Wait()
-	// A Submit racing Close can land after the workers' final flush;
-	// sweep once more so nothing is stranded.
-	q.Flush()
+	q.closeOnce.Do(func() {
+		close(q.stop)
+		q.wg.Wait()
+		// A Submit racing Close can land after the workers' final flush;
+		// sweep once more so nothing is stranded.
+		q.Flush()
+	})
 }

@@ -31,14 +31,20 @@ var kernelPkgBases = map[string]bool{
 	"modem":      true,
 }
 
-// heavyFuncs lists CPU-heavy functions in otherwise lock-safe packages
-// that must never run inside a critical section: page generation and
-// bundle serialization sit on the enqueue path, and holding a queue
-// shard's mutex across them would serialize the whole stripe. Keyed by
-// package basename, like kernelPkgBases.
+// heavyFuncs lists CPU-heavy functions that must never run inside a
+// critical section: page generation and bundle serialization sit on
+// the enqueue path, and holding a queue shard's mutex across them
+// would serialize the whole stripe; OFDM modulation and the FM
+// broadcast chain are the fleet drain's dominant cost, so a mutex held
+// across either serializes every tower sharing the lock. Keyed by
+// package basename, like kernelPkgBases; entries here take precedence
+// over the blanket kernel-package rule so the diagnostic names the
+// specific heavy call.
 var heavyFuncs = map[string]map[string]bool{
 	"corpus": {"Generate": true},
 	"core":   {"MarshalBundle": true},
+	"modem":  {"Modulate": true},
+	"fm":     {"Broadcast": true},
 }
 
 // osBlocking lists os package functions and file-method names that hit
@@ -97,11 +103,13 @@ func forbiddenCallee(f *types.Func, current *types.Package) (string, bool) {
 			return "net/http." + f.Name(), true
 		}
 	}
-	if kernelPkgBases[path.Base(pkg.Path())] {
-		return pkg.Path() + "." + f.Name() + " (kernel package)", true
-	}
+	// Heavy-call entries first: modem.Modulate and fm.Broadcast live in
+	// kernel packages too, but the specific rule owns the diagnostic.
 	if m := heavyFuncs[path.Base(pkg.Path())]; m[f.Name()] {
 		return pkg.Path() + "." + f.Name() + " (heavy call)", true
+	}
+	if kernelPkgBases[path.Base(pkg.Path())] {
+		return pkg.Path() + "." + f.Name() + " (kernel package)", true
 	}
 	return "", false
 }

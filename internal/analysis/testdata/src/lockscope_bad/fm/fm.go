@@ -1,0 +1,9 @@
+// Package fm stands in for the real FM broadcast chain in lockscope
+// fixtures.
+package fm
+
+// Broadcast is the stand-in heavy broadcast entry point.
+func Broadcast(audio []float64) []float64 { return nil }
+
+// RSSI is cheap and allowed under a lock.
+func RSSI() float64 { return 0 }

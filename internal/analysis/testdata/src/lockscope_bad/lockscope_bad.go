@@ -9,6 +9,8 @@ import (
 	"time"
 
 	"sonic/internal/analysis/testdata/src/lockscope_bad/core"
+	"sonic/internal/analysis/testdata/src/lockscope_bad/fm"
+	"sonic/internal/analysis/testdata/src/lockscope_bad/modem"
 	"sonic/internal/analysis/testdata/src/lockscope_bad/webrender"
 )
 
@@ -50,4 +52,31 @@ func (s *server) marshalUnderShardLock() {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	_ = core.MarshalBundle() // want: heavy call while s.mu held
+}
+
+// modulateUnderTowerLock runs OFDM modulation — the fleet drain's
+// dominant cost — inside a tower mutex: the heavy-call rule must name
+// modem.Modulate specifically, not just the kernel package.
+func (s *server) modulateUnderTowerLock(m *modem.OFDM, payload []byte) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	_ = m.Modulate(payload) // want: heavy call while s.mu held
+}
+
+// broadcastUnderTowerLock holds a mutex across the full FM broadcast
+// chain.
+func (s *server) broadcastUnderTowerLock(audio []float64) {
+	s.mu.Lock()
+	_ = fm.Broadcast(audio) // want: heavy call while s.mu held
+	s.mu.Unlock()
+}
+
+// airtimeUnderLock shows rule precedence: these cheap calls still
+// trip the blanket kernel-package rule (fm/modem basenames), but they
+// report "(kernel package)" where Modulate/Broadcast above name the
+// specific heavy call.
+func (s *server) airtimeUnderLock(m *modem.OFDM) float64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return m.Airtime(1) + fm.RSSI() // want: kernel calls while s.mu held
 }

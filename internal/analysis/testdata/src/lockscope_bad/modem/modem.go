@@ -1,0 +1,13 @@
+// Package modem stands in for the real OFDM modem in lockscope
+// fixtures (heavy functions are matched by package basename + name,
+// methods included).
+package modem
+
+// OFDM is a stand-in modulator.
+type OFDM struct{}
+
+// Modulate is the stand-in heavy modulation entry point.
+func (m *OFDM) Modulate(payload []byte) []float64 { return nil }
+
+// Airtime is cheap and allowed under a lock.
+func (m *OFDM) Airtime(n int) float64 { return 0 }

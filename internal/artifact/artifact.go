@@ -1,0 +1,427 @@
+// Package artifact is the fleet-wide content-addressed artifact cache:
+// every derived form of a broadcast page — the marshaled SIC bundle
+// blob, the FEC-framed coded stream, and the modulated audio burst — is
+// keyed by (URL, effective hour, pipeline-config digest) and computed at
+// most once no matter how many transmitters carry the page. The paper's
+// deployment is exactly this shape: one national corpus, many regional
+// FM towers, byte-identical artifacts everywhere, so N towers airing the
+// same page must not render, encode, FEC-frame, or modulate it N times.
+//
+// Three mechanisms:
+//
+//   - Content addressing. A Key carries the URL, the content epoch
+//     (corpus effective hour), the page's stable 16-bit broadcast ID,
+//     and core.Config.Digest() — the fingerprint of every knob that can
+//     change emitted bytes. Two pipelines share artifacts exactly when
+//     they would emit identical bytes.
+//   - Per-stage singleflight. Each stage of each key coalesces
+//     concurrent misses: 64 tower drains hitting a cold page run one
+//     render, one FEC framing, one modulation, and 63 waiters per stage.
+//   - Bounded memory. Entries live in one byte-accounted cache with a
+//     second-chance (clock) eviction sweep, mirroring the dsp resample
+//     coefficient cache: a hot rotation stays resident, cold churn
+//     rotates out, and the cap holds regardless of corpus size.
+//
+// Values returned from the chain are shared across callers and MUST be
+// treated as immutable.
+//
+// The first chain stage delegates to the caller's render function —
+// raster production (and its own LRU plus pooled buffers) stays in the
+// server/webrender layer; the chain caches everything downstream of it.
+package artifact
+
+import (
+	"container/list"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"sonic/internal/core"
+	"sonic/internal/singleflight"
+	"sonic/internal/telemetry"
+)
+
+// Key content-addresses one page artifact generation.
+type Key struct {
+	URL string
+	// EffHour is the corpus effective hour — the content epoch the
+	// render targets. A page that changed hour over hour gets a new key.
+	EffHour int
+	// PageID is the stable broadcast page ID frames carry; it is baked
+	// into the FEC-framed stream, so it must be part of the address.
+	PageID uint16
+	// Digest is core.Config.Digest() of the producing pipeline.
+	Digest uint64
+}
+
+// Stage identifies one link of the artifact chain.
+type Stage int
+
+// The chain stages, in production order.
+const (
+	StageBlob   Stage = iota // marshaled bundle (SIC image + clickmap)
+	StageStream              // FEC-framed coded byte stream
+	StageAudio               // modulated audio burst
+	numStages
+)
+
+// String names a stage for telemetry labels.
+func (s Stage) String() string {
+	switch s {
+	case StageBlob:
+		return "blob"
+	case StageStream:
+		return "stream"
+	case StageAudio:
+		return "audio"
+	}
+	return fmt.Sprintf("stage-%d", int(s))
+}
+
+// RenderFunc produces the bundle for a key's URL at its content epoch —
+// typically server.RenderPage behind the server's own render LRU.
+type RenderFunc func() (core.Bundle, error)
+
+// DefaultMaxBytes bounds the cache when NewChain is given 0. Modulated
+// audio dominates the budget: a rendered corpus page marshals to
+// ~100-200 KB, and at the paper's ~10 kbps profile its float64 baseband
+// runs to tens of MB — so 256 MiB holds the audio of the few pages every
+// tower is airing right now (the fleet's hot set, which is what dedup
+// needs) plus the streams and blobs of a much larger tail. Fleet
+// replays that want the whole rotation resident size the cap
+// explicitly.
+const DefaultMaxBytes = 256 << 20
+
+// ckey is the cache's internal (key, stage) address.
+type ckey struct {
+	key   Key
+	stage Stage
+}
+
+// entry is one cached artifact. val and bytes are immutable once the
+// entry is published; used is the second-chance bit.
+type entry struct {
+	ck    ckey
+	val   any
+	bytes int64
+	used  atomic.Bool
+}
+
+// StageStats is one stage's counters in a Stats snapshot.
+type StageStats struct {
+	Hits      int64 `json:"hits"`
+	Misses    int64 `json:"misses"`    // leader computations
+	Coalesced int64 `json:"coalesced"` // waiters served by a leader in flight
+}
+
+// Stats is a point-in-time snapshot of the chain's accounting.
+type Stats struct {
+	Blob      StageStats `json:"blob"`
+	Stream    StageStats `json:"stream"`
+	Audio     StageStats `json:"audio"`
+	Bytes     int64      `json:"bytes"`
+	MaxBytes  int64      `json:"max_bytes"`
+	Entries   int        `json:"entries"`
+	Evictions int64      `json:"evictions"`
+}
+
+// Dedup returns how many stage computations the chain absorbed per one
+// it ran: (hits + coalesced + misses) / misses across all stages. 1.0
+// means no sharing; a 64-tower fleet airing one corpus approaches the
+// tower count.
+func (s Stats) Dedup() float64 {
+	var asked, ran int64
+	for _, st := range []StageStats{s.Blob, s.Stream, s.Audio} {
+		asked += st.Hits + st.Coalesced + st.Misses
+		ran += st.Misses
+	}
+	if ran == 0 {
+		return 1
+	}
+	return float64(asked) / float64(ran)
+}
+
+// Chain is the per-pipeline artifact cache. One Chain serves any number
+// of concurrent tower drains; all methods are safe for concurrent use.
+type Chain struct {
+	pipe   *core.Pipeline
+	digest uint64
+
+	mu      sync.Mutex
+	maxB    int64
+	bytes   int64
+	entries map[ckey]*entry
+	ring    *list.List    // clock order, oldest-inserted first
+	hand    *list.Element // eviction sweep position
+
+	flight singleflight.Group
+
+	hits      [numStages]atomic.Int64
+	misses    [numStages]atomic.Int64
+	coalesced [numStages]atomic.Int64
+	evictions atomic.Int64
+
+	// Telemetry (nil handles = off; see internal/telemetry).
+	mHits      [numStages]*telemetry.Counter // artifact_hits_total{stage=}
+	mMisses    [numStages]*telemetry.Counter // artifact_misses_total{stage=}
+	mCoalesced [numStages]*telemetry.Counter // artifact_coalesced_total{stage=}
+	mEvicted   *telemetry.Counter            // artifact_evictions_total
+	gBytes     *telemetry.Gauge              // artifact_cache_bytes
+	gEntries   *telemetry.Gauge              // artifact_cache_entries
+}
+
+// NewChain builds a chain over pipe bounded to maxBytes of cached
+// artifacts (0 = DefaultMaxBytes, negative = unbounded).
+func NewChain(pipe *core.Pipeline, maxBytes int64) *Chain {
+	if maxBytes == 0 {
+		maxBytes = DefaultMaxBytes
+	}
+	return &Chain{
+		pipe:    pipe,
+		digest:  pipe.ConfigDigest(),
+		maxB:    maxBytes,
+		entries: make(map[ckey]*entry),
+		ring:    list.New(),
+	}
+}
+
+// Instrument registers the chain's metric families on reg: per-stage
+// hit/miss/coalesced counters, the eviction counter, and the byte/entry
+// gauges. Call once at setup.
+func (ch *Chain) Instrument(reg *telemetry.Registry) {
+	if ch == nil {
+		return
+	}
+	for st := Stage(0); st < numStages; st++ {
+		ch.mHits[st] = reg.Counter("artifact_hits_total", "stage", st.String())
+		ch.mMisses[st] = reg.Counter("artifact_misses_total", "stage", st.String())
+		ch.mCoalesced[st] = reg.Counter("artifact_coalesced_total", "stage", st.String())
+	}
+	ch.mEvicted = reg.Counter("artifact_evictions_total")
+	ch.gBytes = reg.Gauge("artifact_cache_bytes")
+	ch.gEntries = reg.Gauge("artifact_cache_entries")
+}
+
+// Key builds the content address for a page under this chain's pipeline.
+func (ch *Chain) Key(url string, effHour int, pageID uint16) Key {
+	return Key{URL: url, EffHour: effHour, PageID: pageID, Digest: ch.digest}
+}
+
+// Pipeline returns the transmission pipeline the chain encodes with —
+// consumers use it for airtime math without threading a second handle.
+func (ch *Chain) Pipeline() *core.Pipeline { return ch.pipe }
+
+// Stats returns the chain's accounting snapshot.
+func (ch *Chain) Stats() Stats {
+	ch.mu.Lock()
+	bytes, entries := ch.bytes, len(ch.entries)
+	ch.mu.Unlock()
+	stage := func(st Stage) StageStats {
+		return StageStats{
+			Hits:      ch.hits[st].Load(),
+			Misses:    ch.misses[st].Load(),
+			Coalesced: ch.coalesced[st].Load(),
+		}
+	}
+	return Stats{
+		Blob:      stage(StageBlob),
+		Stream:    stage(StageStream),
+		Audio:     stage(StageAudio),
+		Bytes:     bytes,
+		MaxBytes:  ch.maxB,
+		Entries:   entries,
+		Evictions: ch.evictions.Load(),
+	}
+}
+
+// Blob returns the marshaled bundle blob for k, rendering via render on
+// a fleet-wide miss. The returned slice is shared; do not mutate.
+func (ch *Chain) Blob(k Key, render RenderFunc) ([]byte, error) {
+	v, err := ch.stage(StageBlob, k, func() (any, int64, error) {
+		b, err := render()
+		if err != nil {
+			return nil, 0, err
+		}
+		blob := core.MarshalBundle(b)
+		return blob, int64(len(blob)), nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return v.([]byte), nil
+}
+
+// Stream returns the FEC-framed coded stream for k — the bytes every
+// carrier of the page broadcasts. The returned slice is shared; do not
+// mutate.
+func (ch *Chain) Stream(k Key, render RenderFunc) ([]byte, error) {
+	v, err := ch.stage(StageStream, k, func() (any, int64, error) {
+		blob, err := ch.Blob(k, render)
+		if err != nil {
+			return nil, 0, err
+		}
+		stream, err := ch.pipe.BlobStream(k.PageID, blob)
+		if err != nil {
+			return nil, 0, err
+		}
+		return stream, int64(len(stream)), nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return v.([]byte), nil
+}
+
+// Audio returns the modulated broadcast burst for k — byte-identical to
+// core.Pipeline.EncodePageAudio of the same bundle. The returned slice
+// is shared; do not mutate.
+func (ch *Chain) Audio(k Key, render RenderFunc) ([]float64, error) {
+	v, err := ch.stage(StageAudio, k, func() (any, int64, error) {
+		stream, err := ch.Stream(k, render)
+		if err != nil {
+			return nil, 0, err
+		}
+		audio := ch.pipe.ModulateStream(stream)
+		return audio, int64(len(audio) * 8), nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return v.([]float64), nil
+}
+
+// stage is the shared lookup→singleflight→compute→insert path. compute
+// returns the value and its byte weight; it runs with no chain lock held
+// (it may call back into earlier stages).
+func (ch *Chain) stage(st Stage, k Key, compute func() (any, int64, error)) (any, error) {
+	ck := ckey{key: k, stage: st}
+	if v, ok := ch.get(ck); ok {
+		ch.hits[st].Add(1)
+		ch.mHits[st].Inc()
+		return v, nil
+	}
+	fkey := fmt.Sprintf("%d/%s@%d#%d:%x", st, k.URL, k.EffHour, k.PageID, k.Digest)
+	v, err, leader := ch.flight.Do(fkey, func() (any, error) {
+		// Re-check under the flight: an earlier leader may have published
+		// between our miss and this call starting.
+		if v, ok := ch.get(ck); ok {
+			ch.hits[st].Add(1)
+			ch.mHits[st].Inc()
+			return v, nil
+		}
+		val, bytes, err := compute()
+		if err != nil {
+			return nil, err
+		}
+		ch.put(ck, val, bytes)
+		ch.misses[st].Add(1)
+		ch.mMisses[st].Inc()
+		return val, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	if !leader {
+		ch.coalesced[st].Add(1)
+		ch.mCoalesced[st].Inc()
+	}
+	return v, nil
+}
+
+// get looks an artifact up and marks it recently used.
+func (ch *Chain) get(ck ckey) (any, bool) {
+	ch.mu.Lock()
+	e, ok := ch.entries[ck]
+	ch.mu.Unlock()
+	if !ok {
+		return nil, false
+	}
+	e.used.Store(true)
+	return e.val, true
+}
+
+// put publishes an artifact and evicts second-chance style past the
+// byte cap. An artifact larger than the whole cap is returned to the
+// caller but not retained (it would evict everything for one entry).
+func (ch *Chain) put(ck ckey, val any, bytes int64) {
+	if ch.maxB > 0 && bytes > ch.maxB {
+		return
+	}
+	ch.mu.Lock()
+	if _, ok := ch.entries[ck]; ok {
+		ch.mu.Unlock()
+		return
+	}
+	e := &entry{ck: ck, val: val, bytes: bytes}
+	e.used.Store(true)
+	ch.entries[ck] = e
+	ch.ring.PushBack(e)
+	ch.bytes += bytes
+	evicted := 0
+	for ch.maxB > 0 && ch.bytes > ch.maxB && ch.ring.Len() > 1 {
+		ch.evictOne(e)
+		evicted++
+	}
+	bytesNow, entriesNow := ch.bytes, len(ch.entries)
+	ch.mu.Unlock()
+	if evicted > 0 {
+		ch.evictions.Add(int64(evicted))
+		ch.mEvicted.Add(int64(evicted))
+	}
+	ch.gBytes.Set(float64(bytesNow))
+	ch.gEntries.Set(float64(entriesNow))
+}
+
+// evictOne advances the clock hand to the first cold entry (clearing
+// used bits as it passes hot ones) and drops it. keep is the entry just
+// inserted — never the victim, so one oversized insert cannot evict
+// itself. Callers hold ch.mu.
+func (ch *Chain) evictOne(keep *entry) {
+	// At most two laps: the first clears used bits, the second must find
+	// a cold entry.
+	for lap := 0; lap < 2*ch.ring.Len()+1; lap++ {
+		if ch.hand == nil {
+			ch.hand = ch.ring.Front()
+		}
+		el := ch.hand
+		ch.hand = ch.hand.Next()
+		e := el.Value.(*entry)
+		if e == keep {
+			continue
+		}
+		if e.used.Swap(false) {
+			continue
+		}
+		ch.ring.Remove(el)
+		delete(ch.entries, e.ck)
+		ch.bytes -= e.bytes
+		return
+	}
+}
+
+// Flush drops every cached artifact (benchmarks use it to re-measure
+// the cold path).
+func (ch *Chain) Flush() {
+	ch.mu.Lock()
+	ch.entries = make(map[ckey]*entry)
+	ch.ring.Init()
+	ch.hand = nil
+	ch.bytes = 0
+	ch.mu.Unlock()
+	ch.gBytes.Set(0)
+	ch.gEntries.Set(0)
+}
+
+// Len reports the number of cached artifacts across all stages.
+func (ch *Chain) Len() int {
+	ch.mu.Lock()
+	defer ch.mu.Unlock()
+	return len(ch.entries)
+}
+
+// Bytes reports the cached artifact bytes.
+func (ch *Chain) Bytes() int64 {
+	ch.mu.Lock()
+	defer ch.mu.Unlock()
+	return ch.bytes
+}

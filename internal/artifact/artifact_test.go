@@ -1,0 +1,342 @@
+package artifact
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"sonic/internal/core"
+	"sonic/internal/telemetry"
+)
+
+// testBundle builds a deterministic synthetic bundle of roughly n image
+// bytes — the chain never inspects bundle contents, so artifact tests
+// don't need real renders.
+func testBundle(seed int64, n int) core.Bundle {
+	rng := rand.New(rand.NewSource(seed))
+	img := make([]byte, n)
+	rng.Read(img)
+	cm := []byte(fmt.Sprintf(`{"seed":%d}`, seed))
+	return core.Bundle{Image: img, ClickMap: cm}
+}
+
+func newTestChain(t *testing.T, maxBytes int64) (*Chain, *core.Pipeline) {
+	t.Helper()
+	pipe, err := core.NewPipeline(core.DefaultConfig())
+	if err != nil {
+		t.Fatalf("NewPipeline: %v", err)
+	}
+	return NewChain(pipe, maxBytes), pipe
+}
+
+// TestChainMatchesSerialPath pins every cached stage byte-identical to
+// the pre-existing serial per-tower path: MarshalBundle for the blob,
+// EncodePageStream for the coded stream, EncodePageAudio for the audio.
+func TestChainMatchesSerialPath(t *testing.T) {
+	ch, pipe := newTestChain(t, 0)
+	for i := 0; i < 4; i++ {
+		b := testBundle(int64(i), 400+137*i)
+		k := ch.Key(fmt.Sprintf("page-%d.pk/", i), i%2, uint16(i+1))
+		render := func() (core.Bundle, error) { return b, nil }
+
+		blob, err := ch.Blob(k, render)
+		if err != nil {
+			t.Fatalf("Blob: %v", err)
+		}
+		if want := core.MarshalBundle(b); !bytes.Equal(blob, want) {
+			t.Fatalf("page %d: blob differs from MarshalBundle", i)
+		}
+
+		stream, err := ch.Stream(k, render)
+		if err != nil {
+			t.Fatalf("Stream: %v", err)
+		}
+		want, err := pipe.EncodePageStream(k.PageID, b)
+		if err != nil {
+			t.Fatalf("EncodePageStream: %v", err)
+		}
+		if !bytes.Equal(stream, want) {
+			t.Fatalf("page %d: stream differs from EncodePageStream", i)
+		}
+
+		audio, err := ch.Audio(k, render)
+		if err != nil {
+			t.Fatalf("Audio: %v", err)
+		}
+		wantAudio, err := pipe.EncodePageAudio(k.PageID, b)
+		if err != nil {
+			t.Fatalf("EncodePageAudio: %v", err)
+		}
+		if len(audio) != len(wantAudio) {
+			t.Fatalf("page %d: audio length %d != %d", i, len(audio), len(wantAudio))
+		}
+		for j := range audio {
+			if audio[j] != wantAudio[j] {
+				t.Fatalf("page %d: audio sample %d differs", i, j)
+			}
+		}
+	}
+}
+
+// TestChainFleetDedup runs a 32-tower herd at one key concurrently and
+// requires exactly one computation per stage fleet-wide, everyone
+// receiving the identical shared artifact. Run under -race.
+func TestChainFleetDedup(t *testing.T) {
+	ch, _ := newTestChain(t, 0)
+	b := testBundle(7, 2000)
+	var renders atomic.Int64
+	render := func() (core.Bundle, error) {
+		renders.Add(1)
+		return b, nil
+	}
+	k := ch.Key("hot.pk/", 3, 42)
+
+	const towers = 32
+	results := make([][]float64, towers)
+	var wg sync.WaitGroup
+	for i := 0; i < towers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			audio, err := ch.Audio(k, render)
+			if err != nil {
+				t.Errorf("tower %d: %v", i, err)
+				return
+			}
+			results[i] = audio
+		}(i)
+	}
+	wg.Wait()
+
+	if n := renders.Load(); n != 1 {
+		t.Fatalf("fleet rendered %d times, want 1", n)
+	}
+	st := ch.Stats()
+	for name, s := range map[string]StageStats{"blob": st.Blob, "stream": st.Stream, "audio": st.Audio} {
+		if s.Misses != 1 {
+			t.Fatalf("stage %s: %d computations, want 1 (stats %+v)", name, s.Misses, s)
+		}
+		if s.Hits+s.Coalesced+s.Misses != towers && name == "audio" {
+			t.Fatalf("stage %s: %d+%d+%d accounted, want %d", name, s.Hits, s.Coalesced, s.Misses, towers)
+		}
+	}
+	for i := 1; i < towers; i++ {
+		if &results[i][0] != &results[0][0] {
+			t.Fatalf("tower %d received a private audio copy; artifacts must be shared", i)
+		}
+	}
+	if d := st.Dedup(); d <= 1 {
+		t.Fatalf("dedup factor %.2f, want > 1", d)
+	}
+}
+
+// TestChainByteCapSecondChance pins the memory contract: cached bytes
+// never exceed the cap, eviction counts are reported, and an evicted
+// artifact is recomputed (not lost) on the next request.
+func TestChainByteCapSecondChance(t *testing.T) {
+	// Blob-only workload with ~1 KB artifacts and a cap that holds ~4.
+	const cap = 4500
+	ch, _ := newTestChain(t, cap)
+	var computes atomic.Int64
+	get := func(i int) []byte {
+		k := ch.Key(fmt.Sprintf("p%02d.pk/", i), 0, uint16(i+1))
+		blob, err := ch.Blob(k, func() (core.Bundle, error) {
+			computes.Add(1)
+			return testBundle(int64(i), 1000), nil
+		})
+		if err != nil {
+			t.Fatalf("Blob(%d): %v", i, err)
+		}
+		return blob
+	}
+	for i := 0; i < 12; i++ {
+		get(i)
+		if b := ch.Bytes(); b > cap {
+			t.Fatalf("after insert %d: %d cached bytes exceed cap %d", i, b, cap)
+		}
+	}
+	st := ch.Stats()
+	if st.Evictions == 0 {
+		t.Fatalf("no evictions under byte pressure (stats %+v)", st)
+	}
+	if st.Bytes > cap {
+		t.Fatalf("stats report %d bytes over cap %d", st.Bytes, cap)
+	}
+	// Key 0 rotated out long ago; asking again must recompute, and the
+	// recomputed blob must be byte-identical.
+	before := computes.Load()
+	blob := get(0)
+	if computes.Load() != before+1 {
+		t.Fatalf("evicted artifact was not recomputed")
+	}
+	if want := core.MarshalBundle(testBundle(0, 1000)); !bytes.Equal(blob, want) {
+		t.Fatalf("recomputed blob differs")
+	}
+}
+
+// TestChainSecondChanceKeepsHotEntry exercises the clock sweep: once an
+// eviction wave has cleared the insert-time used bits, an entry touched
+// again (a tower re-airing it) earns a second chance and survives the
+// next wave, while its untouched sibling is the victim.
+func TestChainSecondChanceKeepsHotEntry(t *testing.T) {
+	compute := func(i int) RenderFunc {
+		return func() (core.Bundle, error) { return testBundle(int64(i), 1000), nil }
+	}
+	// Learn the exact per-entry byte cost, then size the cap to hold
+	// three entries (all seeds are single-digit, so all blobs match).
+	probe, pipe := newTestChain(t, 0)
+	if _, err := probe.Blob(probe.Key("probe.pk/", 0, 1), compute(1)); err != nil {
+		t.Fatal(err)
+	}
+	size := probe.Bytes()
+	ch := NewChain(pipe, 3*size+size/2)
+
+	blob := func(i int) Key {
+		k := ch.Key(fmt.Sprintf("k%d.pk/", i), 0, uint16(i))
+		if _, err := ch.Blob(k, compute(i)); err != nil {
+			t.Fatal(err)
+		}
+		return k
+	}
+	blob(1) // A
+	b := blob(2)
+	c := blob(3)
+	// D overflows: the sweep clears every used bit, laps, and evicts A.
+	blob(4)
+	if ch.Len() != 3 || ch.Stats().Evictions != 1 {
+		t.Fatalf("after first wave: %d entries, %d evictions (want 3, 1)", ch.Len(), ch.Stats().Evictions)
+	}
+	// Re-air B: its used bit is set again. C stays cold.
+	if _, ok := ch.get(ckey{key: b, stage: StageBlob}); !ok {
+		t.Fatalf("B missing before second wave")
+	}
+	// E overflows again: the hand passes B (second chance), evicts C.
+	blob(5)
+	misses := ch.Stats().Blob.Misses
+	blob(2) // B must still be cached…
+	if got := ch.Stats().Blob.Misses; got != misses {
+		t.Fatalf("touched entry was evicted despite its second chance (misses %d -> %d)", misses, got)
+	}
+	if _, ok := ch.get(ckey{key: c, stage: StageBlob}); ok {
+		t.Fatalf("cold entry C survived the wave that should have taken it")
+	}
+}
+
+// TestChainErrorNotCached pins that a failed render poisons nothing: the
+// error propagates to every coalesced caller of that flight, and the
+// next request computes fresh.
+func TestChainErrorNotCached(t *testing.T) {
+	ch, _ := newTestChain(t, 0)
+	k := ch.Key("flaky.pk/", 0, 9)
+	boom := errors.New("render down")
+	calls := 0
+	if _, err := ch.Audio(k, func() (core.Bundle, error) {
+		calls++
+		return core.Bundle{}, boom
+	}); !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want %v", err, boom)
+	}
+	audio, err := ch.Audio(k, func() (core.Bundle, error) {
+		calls++
+		return testBundle(1, 300), nil
+	})
+	if err != nil || len(audio) == 0 {
+		t.Fatalf("recovery render failed: %v", err)
+	}
+	if calls != 2 {
+		t.Fatalf("render called %d times, want 2", calls)
+	}
+}
+
+// TestChainKeySeparation pins content addressing: a different effective
+// hour, page ID, or pipeline digest is a different artifact.
+func TestChainKeySeparation(t *testing.T) {
+	ch, _ := newTestChain(t, 0)
+	render := func(seed int64) RenderFunc {
+		return func() (core.Bundle, error) { return testBundle(seed, 500), nil }
+	}
+	a, err := ch.Blob(ch.Key("u.pk/", 0, 1), render(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := ch.Blob(ch.Key("u.pk/", 1, 1), render(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Equal(a, b) {
+		t.Fatalf("different effective hours shared one artifact")
+	}
+	s1, err := ch.Stream(ch.Key("u.pk/", 0, 1), render(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := ch.Stream(ch.Key("u.pk/", 0, 2), render(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Equal(s1, s2) {
+		t.Fatalf("different page IDs shared one framed stream")
+	}
+}
+
+// TestConfigDigest pins the digest contract: workers and the receive-
+// side soft-decision knob do not change emitted bytes and are excluded;
+// quality and the FEC stack are included.
+func TestConfigDigest(t *testing.T) {
+	base := core.DefaultConfig()
+	d := base.Digest()
+	w := base
+	w.Workers = 7
+	if w.Digest() != d {
+		t.Fatalf("Workers changed the digest; parallel output is pinned byte-identical")
+	}
+	soft := base
+	soft.SoftDecision = true
+	if soft.Digest() != d {
+		t.Fatalf("SoftDecision (receive-only) changed the digest")
+	}
+	q := base
+	q.Quality = 20
+	if q.Digest() == d {
+		t.Fatalf("Quality did not change the digest")
+	}
+	rs := base
+	rs.UseRS = false
+	if rs.Digest() == d {
+		t.Fatalf("FEC stack did not change the digest")
+	}
+	m := base
+	m.Modem.DataCarriers = 64
+	if m.Digest() == d {
+		t.Fatalf("modem profile did not change the digest")
+	}
+}
+
+// TestChainInstrumented checks the telemetry families register and move.
+func TestChainInstrumented(t *testing.T) {
+	ch, _ := newTestChain(t, 0)
+	reg := telemetry.New()
+	ch.Instrument(reg)
+	k := ch.Key("m.pk/", 0, 5)
+	if _, err := ch.Audio(k, func() (core.Bundle, error) { return testBundle(3, 600), nil }); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ch.Audio(k, func() (core.Bundle, error) { return testBundle(3, 600), nil }); err != nil {
+		t.Fatal(err)
+	}
+	snap := reg.Snapshot()
+	if snap.Counters["artifact_misses_total{stage=audio}"] != 1 {
+		t.Fatalf("audio miss counter = %d, want 1 (counters: %v)",
+			snap.Counters["artifact_misses_total{stage=audio}"], snap.Counters)
+	}
+	if snap.Counters["artifact_hits_total{stage=audio}"] != 1 {
+		t.Fatalf("audio hit counter = %d, want 1", snap.Counters["artifact_hits_total{stage=audio}"])
+	}
+	if snap.Gauges["artifact_cache_bytes"] <= 0 {
+		t.Fatalf("byte gauge not set")
+	}
+}

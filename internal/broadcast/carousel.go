@@ -230,10 +230,13 @@ func CompareCarouselPolicies(pages []corpus.PageRef, size SizeFunc, rateBps floa
 }
 
 // TopNByDemand returns the n highest-demand entries of a carousel,
-// useful for catalog displays.
+// useful for catalog displays. The sort is stable: entries with equal
+// demand keep their rotation (corpus) order, so the ranking is
+// deterministic — fleet replays and the parallel PushPopular depend on
+// every tower computing the identical list.
 func (c *Carousel) TopNByDemand(n int) []CarouselEntry {
 	sorted := c.Entries()
-	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Demand > sorted[j].Demand })
+	sort.SliceStable(sorted, func(i, j int) bool { return sorted[i].Demand > sorted[j].Demand })
 	if n > len(sorted) {
 		n = len(sorted)
 	}

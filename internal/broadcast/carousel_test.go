@@ -1,7 +1,9 @@
 package broadcast
 
 import (
+	"fmt"
 	"math"
+	"sync"
 	"testing"
 
 	"sonic/internal/corpus"
@@ -196,4 +198,114 @@ func TestMeasuredCarouselTracksDemand(t *testing.T) {
 			t.Fatalf("entry %d starved", i)
 		}
 	}
+}
+
+// TestTopNByDemandStableAtEqualDemand pins the deterministic-rank
+// contract: at exactly equal demand the ranking must keep rotation
+// (corpus) order, because the fleet engine and the parallel PushPopular
+// both assume every tower computes the identical list.
+func TestTopNByDemandStableAtEqualDemand(t *testing.T) {
+	pages := corpus.Pages()[:8]
+	size := func(corpus.PageRef, int) int { return 50 * 1024 }
+	// Cancel the static popularity floor so every page's total demand is
+	// exactly equal — the pure tie case.
+	demand := make(map[string]float64, len(pages))
+	for _, ref := range pages {
+		demand[ref.URL] = 100 - corpus.PopularityWeight(ref)
+	}
+	c, err := MeasuredCarousel(pages, size, demand, PolicySqrt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	top := c.TopNByDemand(len(pages))
+	if len(top) != len(pages) {
+		t.Fatalf("top returned %d entries, want %d", len(top), len(pages))
+	}
+	for i, e := range top {
+		if e.Ref.URL != pages[i].URL {
+			t.Fatalf("equal-demand rank %d = %s, want rotation order %s", i, e.Ref.URL, pages[i].URL)
+		}
+	}
+}
+
+// TestMeasuredCarouselConcurrentDemandUpdates is the -race guard for
+// the fleet drain path: admission keeps bumping a shared demand table
+// while tower drains snapshot it, rebuild MeasuredCarousel, and walk a
+// schedule. Carousels built from the same snapshot must also schedule
+// identically regardless of which goroutine built them.
+func TestMeasuredCarouselConcurrentDemandUpdates(t *testing.T) {
+	pages := corpus.Pages()[:6]
+	size := func(corpus.PageRef, int) int { return 50 * 1024 }
+
+	var mu sync.Mutex
+	demand := make(map[string]float64)
+	snapshot := func() map[string]float64 {
+		mu.Lock()
+		defer mu.Unlock()
+		out := make(map[string]float64, len(demand))
+		for k, v := range demand {
+			out[k] = v
+		}
+		return out
+	}
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() { // admission side: demand keeps moving
+		defer wg.Done()
+		i := 0
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			mu.Lock()
+			demand[pages[i%len(pages)].URL] += float64(1 + i%7)
+			mu.Unlock()
+			i++
+		}
+	}()
+
+	const drains = 4
+	errs := make(chan error, drains)
+	for d := 0; d < drains; d++ {
+		wg.Add(1)
+		go func() { // tower side: snapshot -> rebuild -> schedule
+			defer wg.Done()
+			for iter := 0; iter < 50; iter++ {
+				snap := snapshot()
+				a, err := MeasuredCarousel(pages, size, snap, PolicySqrt)
+				if err != nil {
+					errs <- err
+					return
+				}
+				b, err := MeasuredCarousel(pages, size, snap, PolicySqrt)
+				if err != nil {
+					errs <- err
+					return
+				}
+				sa, sb := a.Schedule(64), b.Schedule(64)
+				for i := range sa {
+					if sa[i] != sb[i] {
+						errs <- fmt.Errorf("same-snapshot schedules diverge at slot %d: %d vs %d", i, sa[i], sb[i])
+						return
+					}
+					if sa[i] < 0 || sa[i] >= len(pages) {
+						errs <- fmt.Errorf("schedule slot %d out of range: %d", i, sa[i])
+						return
+					}
+				}
+			}
+			errs <- nil
+		}()
+	}
+	for d := 0; d < drains; d++ {
+		if err := <-errs; err != nil {
+			t.Fatal(err)
+		}
+	}
+	close(stop)
+	wg.Wait()
 }

@@ -12,6 +12,7 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"hash/fnv"
 
 	"sonic/internal/fec"
 	"sonic/internal/fm"
@@ -44,6 +45,32 @@ type Config struct {
 	// GOMAXPROCS; 1 forces the serial paths. Output is identical for
 	// every value — the knob trades cores for wall clock only.
 	Workers int
+}
+
+// Digest returns a stable fingerprint of every config field that can
+// change the bytes the transmit pipeline emits: the modem profile, the
+// FEC stack, the transport mode, and the image quality. Workers is
+// deliberately excluded — the parallel stages are pinned byte-identical
+// at every worker count — and so is SoftDecision, which only affects the
+// receive side. The artifact cache (internal/artifact) keys entries on
+// this digest so two pipelines share artifacts exactly when they would
+// emit identical bytes.
+func (c Config) Digest() uint64 {
+	h := fnv.New64a()
+	m := c.Modem
+	constBits := 0
+	if m.Constellation != nil {
+		constBits = m.Constellation.Bits()
+	}
+	fmt.Fprintf(h, "modem:%s,%d,%d,%d,%g,%d,%d,%d,%g",
+		m.Name, m.SampleRate, m.FFTSize, m.CyclicPrefix, m.CenterHz,
+		m.DataCarriers, m.PilotCarriers, constBits, m.Amplitude)
+	fmt.Fprintf(h, "|rs:%t", c.UseRS)
+	if c.InnerCode != nil {
+		fmt.Fprintf(h, "|conv:%d,%g", c.InnerCode.ConstraintLength(), c.InnerCode.Rate())
+	}
+	fmt.Fprintf(h, "|cells:%t,%d|q:%d", c.CellTransport, c.CellTolerance, c.Quality)
+	return h.Sum64()
 }
 
 // DefaultConfig is the paper's configuration: Sonic92 OFDM profile,
@@ -189,29 +216,75 @@ func UnmarshalBundle(blob []byte) (Bundle, error) {
 
 // --- transmit / receive ------------------------------------------------------
 
+// ConfigDigest returns the pipeline config's transmit fingerprint (see
+// Config.Digest) — the artifact-cache key component that ties cached
+// streams and audio to the exact bytes this pipeline would emit.
+func (p *Pipeline) ConfigDigest() uint64 { return p.cfg.Digest() }
+
 // EncodePageAudio turns a page bundle into the broadcast audio burst.
 func (p *Pipeline) EncodePageAudio(pageID uint16, b Bundle) ([]float64, error) {
 	sp := p.tel.StartSpan("core.encode_page")
 	defer sp.End()
+	stream, err := p.encodeStream(sp, pageID, MarshalBundle(b))
+	if err != nil {
+		return nil, err
+	}
+	return p.modulateStream(sp, stream), nil
+}
 
-	chunkSp := sp.StartChild("chunk")
-	frames := frame.Chunk(pageID, MarshalBundle(b))
+// EncodePageStream runs the transmit chain up to (not including) the
+// modem: the marshaled bundle is chunked into frames and FEC-framed into
+// the coded byte stream the modem would broadcast. It is the middle
+// stage of the artifact chain — callers that fan one page out to many
+// transmitters cache this stream once and modulate (or hand it to
+// hardware) per carrier.
+func (p *Pipeline) EncodePageStream(pageID uint16, b Bundle) ([]byte, error) {
+	sp := p.tel.StartSpan("core.encode_page_stream")
+	defer sp.End()
+	return p.encodeStream(sp, pageID, MarshalBundle(b))
+}
+
+// BlobStream is EncodePageStream over an already-marshaled bundle blob —
+// the allocation the artifact chain's blob stage has already paid.
+func (p *Pipeline) BlobStream(pageID uint16, blob []byte) ([]byte, error) {
+	sp := p.tel.StartSpan("core.encode_page_stream")
+	defer sp.End()
+	return p.encodeStream(sp, pageID, blob)
+}
+
+// ModulateStream turns a FEC-framed stream (EncodePageStream) into the
+// broadcast audio burst — the final artifact stage. The result is
+// byte-identical to EncodePageAudio of the same bundle.
+func (p *Pipeline) ModulateStream(stream []byte) []float64 {
+	sp := p.tel.StartSpan("core.modulate_stream")
+	defer sp.End()
+	return p.modulateStream(sp, stream)
+}
+
+// encodeStream chunks a marshaled blob and FEC-frames it, with chunk and
+// fec_encode child spans under parent (nil-safe).
+func (p *Pipeline) encodeStream(parent *telemetry.Span, pageID uint16, blob []byte) ([]byte, error) {
+	chunkSp := parent.StartChild("chunk")
+	frames := frame.Chunk(pageID, blob)
 	chunkSp.End()
 
-	fecSp := sp.StartChild("fec_encode")
+	fecSp := parent.StartChild("fec_encode")
 	stream, err := p.codec.EncodeStream(frames)
 	fecSp.End()
 	if err != nil {
 		return nil, err
 	}
+	p.framesTx.Add(int64(len(frames)))
+	return stream, nil
+}
 
-	modSp := sp.StartChild("modulate")
+// modulateStream is the modem stage with its span scoped under parent.
+func (p *Pipeline) modulateStream(parent *telemetry.Span, stream []byte) []float64 {
+	modSp := parent.StartChild("modulate")
 	audio := p.modem.Modulate(stream)
 	modSp.End()
-
 	p.pagesEncoded.Inc()
-	p.framesTx.Add(int64(len(frames)))
-	return audio, nil
+	return audio
 }
 
 // ReceiveResult summarizes one received page transmission.

@@ -159,6 +159,15 @@ func (s *Server) FlushAdmission() {
 	s.admit.Flush()
 }
 
+// FlushAdmissionConcurrent drains the admission stage with the shards
+// spread over up to workers goroutines, so the batch sink (render +
+// enqueue, already safe under the background flush workers' shard
+// concurrency) can use multiple cores. The multi-core variant of
+// FlushAdmission for clock-driven simulations.
+func (s *Server) FlushAdmissionConcurrent(workers int) {
+	s.admit.FlushConcurrent(workers)
+}
+
 // AdmissionPending reports how many accepted requests await a batch
 // flush (0 with admission off).
 func (s *Server) AdmissionPending() int {
@@ -169,7 +178,7 @@ func (s *Server) AdmissionPending() int {
 }
 
 // Close releases the admission flush workers, draining anything still
-// pending. Safe to call once, and a no-op with admission off.
+// pending. Idempotent, and a no-op with admission off.
 func (s *Server) Close() {
 	s.admit.Close()
 }

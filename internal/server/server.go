@@ -23,6 +23,7 @@ import (
 	"time"
 
 	"sonic/internal/admission"
+	"sonic/internal/artifact"
 	"sonic/internal/core"
 	"sonic/internal/corpus"
 	"sonic/internal/imagecodec"
@@ -99,6 +100,11 @@ type Config struct {
 	// spread across; queue work on one stripe never contends with
 	// another. 0 means DefaultShards.
 	Shards int
+	// ArtifactCacheBytes caps the fleet-wide content-addressed artifact
+	// cache (blob -> FEC stream -> modulated audio; see
+	// internal/artifact). 0 means artifact.DefaultMaxBytes; negative
+	// means unbounded.
+	ArtifactCacheBytes int64
 	// Admission configures the batched SMS admission stage (see
 	// internal/admission). Admission.Enabled switches HandleSMS from
 	// synchronous render+enqueue onto the batching path; the default
@@ -147,6 +153,11 @@ type Server struct {
 	flight    singleflight.Group
 	renderSem chan struct{} // bounds concurrent miss renders
 	inflight  atomic.Int64  // renders currently executing (gauge feed)
+
+	// chain is the fleet-wide content-addressed artifact cache: the
+	// downstream stages (marshaled blob, FEC stream, modulated audio)
+	// any tower drain resolves through, each computed once fleet-wide.
+	chain *artifact.Chain
 
 	// topo is the copy-on-write fleet snapshot; topoMu serializes
 	// writers only. transmitterFor never takes a lock.
@@ -222,6 +233,7 @@ func (s *Server) Instrument(reg *telemetry.Registry) {
 	s.gInflight = reg.Gauge("server_render_inflight")
 	s.gCacheSize.Set(float64(s.cache.len()))
 	s.admit.Instrument(reg)
+	s.chain.Instrument(reg)
 }
 
 // recordQueueDepth refreshes a transmitter's queue depth and age
@@ -294,6 +306,7 @@ func New(cfg Config, pipeline *core.Pipeline) *Server {
 		refs:      refs,
 		cache:     newRenderCache(capacity),
 		renderSem: make(chan struct{}, workers),
+		chain:     artifact.NewChain(pipeline, cfg.ArtifactCacheBytes),
 		shards:    make([]*shard, nShards),
 		pageIDs:   make(map[string]uint16),
 	}
@@ -571,6 +584,18 @@ func (s *Server) DequeuePage(transmitterID string) (url string, pageID uint16, b
 // simulations pass their own timeline; DequeuePage uses the last caller
 // timestamp the server observed.
 func (s *Server) DequeuePageAt(transmitterID string, at time.Time) (url string, pageID uint16, b core.Bundle, ok bool) {
+	head := s.dequeueHead(transmitterID, at)
+	if head == nil {
+		return "", 0, core.Bundle{}, false
+	}
+	return head.URL, head.PageID, head.Bundle, true
+}
+
+// dequeueHead pops a transmitter's head page and stamps any lifecycle
+// traces riding on it — the shared core of DequeuePageAt and the fleet
+// audio drain (DequeueAudioAt), which also needs the page's effective
+// hour for artifact addressing.
+func (s *Server) dequeueHead(transmitterID string, at time.Time) *queuedPage {
 	sh := s.shardFor(transmitterID)
 	sh.mu.Lock()
 	var head *queuedPage
@@ -579,7 +604,7 @@ func (s *Server) DequeuePageAt(transmitterID string, at time.Time) (url string, 
 	}
 	if head == nil {
 		sh.mu.Unlock()
-		return "", 0, core.Bundle{}, false
+		return nil
 	}
 	s.mDequeued.Inc()
 	s.recordQueueDepth(sh, transmitterID)
@@ -595,7 +620,7 @@ func (s *Server) DequeuePageAt(transmitterID string, at time.Time) (url string, 
 			tr.StampAt(telemetry.StageOnAirDone, done)
 		}
 	}
-	return head.URL, head.PageID, head.Bundle, true
+	return head
 }
 
 // QueueDepth returns (pages, bytes) pending for a transmitter in O(1).
@@ -616,48 +641,91 @@ func (s *Server) QueueDepth(transmitterID string) (int, int) {
 // counts (TowerDemand) dominate, static corpus popularity is the
 // cold-start fallback and tiebreaker, so the push tracks what each
 // region actually requests. Pages already queued on a transmitter are
-// skipped. Renders and bundle marshalling run with no shard lock held.
+// skipped. Towers run concurrently on a bounded pool — each tower's
+// enqueue order stays its ranked order, so per-tower queue contents are
+// identical to the old serial walk — and renders plus bundle
+// marshalling dedup fleet-wide through the artifact chain with no shard
+// lock held: a page popular on 64 towers renders and marshals once.
 func (s *Server) PushPopular(n int, now time.Time) error {
-	for _, tx := range s.Transmitters() {
-		ranked := rankByDemand(corpus.Pages(), s.TowerDemand(tx.ID))
-		m := n
-		if m > len(ranked) {
-			m = len(ranked)
+	towers := s.Transmitters()
+	workers := runtime.GOMAXPROCS(0)
+	if workers > len(towers) {
+		workers = len(towers)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	sem := make(chan struct{}, workers)
+	var wg sync.WaitGroup
+	var errMu sync.Mutex
+	var firstErr error
+	for _, tx := range towers {
+		wg.Add(1)
+		go func(tx Transmitter) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			if err := s.pushPopularTower(tx, n, now); err != nil {
+				errMu.Lock()
+				if firstErr == nil {
+					firstErr = err
+				}
+				errMu.Unlock()
+			}
+		}(tx)
+	}
+	wg.Wait()
+	return firstErr
+}
+
+// pushPopularTower is one tower's share of PushPopular: rank, skip
+// already-queued pages, render+marshal via the fleet artifact chain,
+// enqueue in ranked order.
+func (s *Server) pushPopularTower(tx Transmitter, n int, now time.Time) error {
+	ranked := rankByDemand(corpus.Pages(), s.TowerDemand(tx.ID))
+	m := n
+	if m > len(ranked) {
+		m = len(ranked)
+	}
+	sh := s.shardFor(tx.ID)
+	queued := map[string]bool{}
+	sh.mu.Lock()
+	s.noteNow(now)
+	if tq := sh.queues[tx.ID]; tq != nil {
+		for _, q := range tq.pages {
+			queued[q.URL] = true
 		}
-		sh := s.shardFor(tx.ID)
-		queued := map[string]bool{}
+	}
+	sh.mu.Unlock()
+	for _, ref := range ranked[:m] {
+		if queued[ref.URL] {
+			continue
+		}
+		b, err := s.RenderPage(ref.URL, now)
+		if err != nil {
+			return err
+		}
+		eff := corpus.EffectiveHour(ref, s.hourAt(now))
+		blob, err := s.chain.Blob(s.chain.Key(ref.URL, eff, s.pageIDFor(ref.URL)), func() (core.Bundle, error) {
+			return b, nil
+		})
+		if err != nil {
+			return err
+		}
+		s.noteBundleBytes(len(blob))
+		page := &queuedPage{
+			URL:      ref.URL,
+			PageID:   s.pageIDFor(ref.URL),
+			Bundle:   b,
+			Bytes:    len(blob),
+			EffHour:  eff,
+			Enqueued: now,
+		}
 		sh.mu.Lock()
-		s.noteNow(now)
-		if tq := sh.queues[tx.ID]; tq != nil {
-			for _, q := range tq.pages {
-				queued[q.URL] = true
-			}
-		}
+		sh.queue(tx.ID).push(page)
+		s.mEnqueued.Inc()
+		s.recordQueueDepth(sh, tx.ID)
 		sh.mu.Unlock()
-		for _, ref := range ranked[:m] {
-			if queued[ref.URL] {
-				continue
-			}
-			b, err := s.RenderPage(ref.URL, now)
-			if err != nil {
-				return err
-			}
-			blobLen := len(core.MarshalBundle(b))
-			s.noteBundleBytes(blobLen)
-			page := &queuedPage{
-				URL:      ref.URL,
-				PageID:   s.pageIDFor(ref.URL),
-				Bundle:   b,
-				Bytes:    blobLen,
-				EffHour:  corpus.EffectiveHour(ref, s.hourAt(now)),
-				Enqueued: now,
-			}
-			sh.mu.Lock()
-			sh.queue(tx.ID).push(page)
-			s.mEnqueued.Inc()
-			s.recordQueueDepth(sh, tx.ID)
-			sh.mu.Unlock()
-		}
 	}
 	return nil
 }

@@ -55,6 +55,14 @@ echo "==> loadgen smoke (10k requesters, 16 towers, coalescing + p99 SLOs)"
 go run ./cmd/sonic-loadgen -users 10000 -towers 16 -hours 0.25 \
     -check -max-p99 14400 -min-dedup 2 -out loadgen-smoke.json
 
+# Fleet broadcast engine: a small tower fleet airing the same rotation
+# through the shared artifact chain, with a one-tower dedup-off
+# baseline. The run itself asserts nothing numeric here (the dedup and
+# parity contracts live in go test); this smoke proves the replay,
+# cache, and baseline paths run end to end on any host.
+echo "==> fleet-day smoke (8 towers through the shared artifact chain)"
+go run ./cmd/sonic-bench -fleet 8 -fleet-hours 1 -fleet-pages 4 -fleet-baseline 1
+
 echo "==> bench smoke (one iteration per benchmark)"
 go test -run='^$' -bench=. -benchtime=1x ./...
 
